@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the simulator's memory system: simulated
+//! operations per second for L1-hit loads/stores, L2 hits, NVMM misses,
+//! and flush+fence pairs. These bound how large a workload the experiment
+//! binaries can simulate per wall-clock second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::Machine;
+
+fn machine() -> Machine {
+    Machine::new(
+        MachineConfig::default()
+            .with_cores(1)
+            .with_nvmm_bytes(64 << 20),
+    )
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ops");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("l1_hit_load", |b| {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(8).unwrap();
+        let mut ctx = m.ctx(0);
+        let _: f64 = ctx.load(arr, 0); // warm
+        b.iter(|| {
+            for _ in 0..1024 {
+                let v: f64 = ctx.load(arr, 0);
+                black_box(v);
+            }
+        })
+    });
+
+    group.bench_function("l1_hit_store", |b| {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(8).unwrap();
+        let mut ctx = m.ctx(0);
+        ctx.store(arr, 0, 0.0); // warm
+        b.iter(|| {
+            for i in 0..1024 {
+                ctx.store(arr, 0, i as f64);
+            }
+        })
+    });
+
+    group.bench_function("streaming_miss_load", |b| {
+        // Each iteration streams over 1024 distinct lines (mostly L2/NVMM
+        // traffic after the working set exceeds the caches).
+        let mut m = machine();
+        let arr = m.alloc::<f64>(1024 * 8 * 64).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut pos = 0usize;
+        b.iter(|| {
+            for _ in 0..1024 {
+                let v: f64 = ctx.load(arr, pos);
+                black_box(v);
+                pos = (pos + 8) % arr.len();
+            }
+        })
+    });
+
+    group.bench_function("flush_fence_pair", |b| {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(1024 * 8).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..1024 {
+                ctx.store(arr, i, 1.0);
+                ctx.clflushopt(arr.addr(i));
+                ctx.sfence();
+                i = (i + 8) % arr.len();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_ops);
+criterion_main!(benches);

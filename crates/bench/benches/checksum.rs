@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks of the checksum engines: throughput of
+//! `update` over a region's worth of doubles, per kind. This is the hot
+//! path LP adds to every kernel inner loop, so its relative cost explains
+//! Figure 15(b)'s ordering (parity ≈ modular < modular∥parity ≪ Adler-32).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lp_core::checksum::{ChecksumKind, RunningChecksum};
+
+fn bench_checksums(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096u64)
+        .map(|i| (i as f64 * 1.618).to_bits())
+        .collect();
+    let mut group = c.benchmark_group("checksum_update");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for kind in ChecksumKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut ck = RunningChecksum::new(kind);
+                for &v in &values {
+                    ck.update(black_box(v));
+                }
+                black_box(ck.value())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checksums);
+criterion_main!(benches);

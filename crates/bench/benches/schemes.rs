@@ -1,0 +1,40 @@
+//! Criterion end-to-end benchmarks: one small tmm window under each
+//! persistency scheme. Wall-clock here tracks simulated work (ops), so
+//! the relative host times mirror the schemes' instruction-count
+//! overheads (WAL ≫ EP > LP ≈ base).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lp_core::scheme::Scheme;
+use lp_kernels::tmm::{self, TmmParams};
+use lp_sim::config::MachineConfig;
+
+fn bench_schemes(c: &mut Criterion) {
+    let params = TmmParams {
+        n: 64,
+        bsize: 8,
+        threads: 2,
+        kk_window: 2,
+        seed: 42,
+    };
+    let cfg = MachineConfig::default().with_nvmm_bytes(16 << 20);
+    let mut group = c.benchmark_group("tmm_end_to_end");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::Base,
+        Scheme::lazy_default(),
+        Scheme::Eager,
+        Scheme::Wal,
+    ] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || (cfg.clone(), params),
+                |(cfg, params)| tmm::run(&cfg, params, scheme),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

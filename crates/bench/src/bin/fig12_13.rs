@@ -1,0 +1,90 @@
+//! Figures 12 and 13: normalized execution time and write amplification
+//! for all five benchmarks (TMM, Cholesky, 2D-conv, Gauss, FFT) under
+//! Lazy Persistency vs. EagerRecompute, normalized to the non-persistent
+//! base versions.
+//!
+//! Paper reference: LP execution-time overhead 0.1%–3.5% (avg 1.1%) vs.
+//! EP 4.4%–17.9% (avg 9%); LP write amplification 0.1%–4.4% (avg 3%) vs.
+//! EP 0.2%–55% (avg 20.6%).
+//!
+//! Run: `cargo run --release -p lp-bench --bin fig12_13 [--quick]`.
+
+use lp_bench::{gmean, overhead_pct, print_bars, print_table, BenchArgs};
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{run_kernel, KernelId, Scale};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = if args.quick { Scale::Bench } else { Scale::Paper };
+    let cfg = args.base_config();
+
+    let mut time_rows = Vec::new();
+    let mut amp_rows = Vec::new();
+    let mut lp_time_factors = Vec::new();
+    let mut ep_time_factors = Vec::new();
+    let mut lp_amp_factors = Vec::new();
+    let mut ep_amp_factors = Vec::new();
+
+    for kernel in KernelId::ALL {
+        eprintln!("fig12/13: {kernel}...");
+        let base = run_kernel(kernel, scale, &cfg, Scheme::Base);
+        assert!(base.verified, "{kernel} base");
+        let lp = run_kernel(kernel, scale, &cfg, Scheme::lazy_default());
+        assert!(lp.verified, "{kernel} LP");
+        let ep = run_kernel(kernel, scale, &cfg, Scheme::Eager);
+        assert!(ep.verified, "{kernel} EP");
+
+        let bc = base.cycles().max(1);
+        let bw = base.writes().max(1);
+        time_rows.push(vec![
+            kernel.name().to_string(),
+            overhead_pct(lp.cycles(), bc),
+            overhead_pct(ep.cycles(), bc),
+        ]);
+        amp_rows.push(vec![
+            kernel.name().to_string(),
+            overhead_pct(lp.writes(), bw),
+            overhead_pct(ep.writes(), bw),
+        ]);
+        lp_time_factors.push(lp.cycles() as f64 / bc as f64);
+        ep_time_factors.push(ep.cycles() as f64 / bc as f64);
+        lp_amp_factors.push(lp.writes() as f64 / bw as f64);
+        ep_amp_factors.push(ep.writes() as f64 / bw as f64);
+    }
+    time_rows.push(vec![
+        "gmean".into(),
+        format!("{:+.1}%", (gmean(&lp_time_factors) - 1.0) * 100.0),
+        format!("{:+.1}%", (gmean(&ep_time_factors) - 1.0) * 100.0),
+    ]);
+    amp_rows.push(vec![
+        "gmean".into(),
+        format!("{:+.1}%", (gmean(&lp_amp_factors) - 1.0) * 100.0),
+        format!("{:+.1}%", (gmean(&ep_amp_factors) - 1.0) * 100.0),
+    ]);
+
+    print_table(
+        "Figure 12 — normalized execution time overhead vs base",
+        &["Benchmark", "LP", "EP"],
+        &time_rows,
+    );
+    let bars: Vec<(String, f64)> = KernelId::ALL
+        .iter()
+        .zip(&lp_time_factors)
+        .map(|(k, f)| (format!("{k} LP"), (f - 1.0) * 100.0))
+        .chain(
+            KernelId::ALL
+                .iter()
+                .zip(&ep_time_factors)
+                .map(|(k, f)| (format!("{k} EP"), (f - 1.0) * 100.0)),
+        )
+        .collect();
+    print_bars("Execution-time overhead (%)", &bars, |v| format!("{v:+.1}%"));
+    println!("paper: LP 0.1%..3.5% (avg 1.1%) | EP 4.4%..17.9% (avg 9%)");
+
+    print_table(
+        "Figure 13 — normalized write amplification overhead vs base",
+        &["Benchmark", "LP", "EP"],
+        &amp_rows,
+    );
+    println!("paper: LP 0.1%..4.4% (avg 3%) | EP 0.2%..55% (avg 20.6%)");
+}

@@ -1,0 +1,49 @@
+//! Figure 14(a): sensitivity of LP and EP execution-time overhead to the
+//! NVMM read/write latency, for tmm. Each latency pair is normalized to
+//! the *base* run at the same latencies.
+//!
+//! Paper reference: as latencies grow from (60, 150) ns to (150, 300) ns,
+//! EagerRecompute's overhead trends *up* (flushes, misses and barriers
+//! all get slower) while Lazy Persistency's overhead shrinks.
+//!
+//! Run: `cargo run --release -p lp-bench --bin fig14a [--quick]`.
+
+use lp_bench::{overhead_pct, print_table, BenchArgs};
+use lp_core::scheme::Scheme;
+use lp_kernels::tmm::{self, TmmParams};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = if args.quick {
+        TmmParams::bench_default()
+    } else {
+        TmmParams::paper_default()
+    };
+    if let Some(t) = args.threads {
+        params.threads = t;
+    }
+
+    let latencies = [(60u64, 150u64), (100, 200), (150, 300)];
+    let mut rows = Vec::new();
+    for (read_ns, write_ns) in latencies {
+        eprintln!("fig14a: ({read_ns}, {write_ns}) ns...");
+        let cfg = args.base_config().with_nvmm_latency_ns(read_ns, write_ns);
+        let base = tmm::run(&cfg, params, Scheme::Base);
+        assert!(base.verified);
+        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
+        assert!(lp.verified);
+        let ep = tmm::run(&cfg, params, Scheme::Eager);
+        assert!(ep.verified);
+        rows.push(vec![
+            format!("({read_ns}, {write_ns}) ns"),
+            overhead_pct(lp.cycles(), base.cycles()),
+            overhead_pct(ep.cycles(), base.cycles()),
+        ]);
+    }
+    print_table(
+        "Figure 14(a) — execution-time overhead vs NVMM (read, write) latency",
+        &["NVMM latency", "LP", "EP"],
+        &rows,
+    );
+    println!("\npaper: EP overhead grows with latency; LP overhead shrinks");
+}

@@ -1,0 +1,49 @@
+//! Figure 14(b): scalability — tmm execution time for base and LP as the
+//! thread count varies from 1 to 16, normalized to base with 1 thread.
+//!
+//! Paper reference: LP scales like base (the checksum adds no
+//! synchronization — the collision-free table needs no locks).
+//!
+//! Run: `cargo run --release -p lp-bench --bin fig14b [--quick]`.
+
+use lp_bench::{print_table, BenchArgs};
+use lp_core::scheme::Scheme;
+use lp_kernels::tmm::{self, TmmParams};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let params0 = if args.quick {
+        TmmParams::bench_default()
+    } else {
+        TmmParams::paper_default()
+    };
+    let cfg = args.base_config();
+
+    let mut rows = Vec::new();
+    let mut base1 = 0u64;
+    for threads in [1usize, 2, 4, 8, 16] {
+        eprintln!("fig14b: {threads} thread(s)...");
+        let mut params = params0;
+        params.threads = threads;
+        let base = tmm::run(&cfg, params, Scheme::Base);
+        assert!(base.verified);
+        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
+        assert!(lp.verified);
+        if base1 == 0 {
+            base1 = base.cycles().max(1);
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.3}", base.cycles() as f64 / base1 as f64),
+            format!("{:.3}", lp.cycles() as f64 / base1 as f64),
+            format!("{:.2}x", base1 as f64 / base.cycles().max(1) as f64),
+            format!("{:.2}x", base1 as f64 / lp.cycles().max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Figure 14(b) — execution time vs threads (normalized to base @ 1 thread)",
+        &["Threads", "base", "LP", "base speedup", "LP speedup"],
+        &rows,
+    );
+    println!("\npaper: LP matches base scalability from 1 to 16 threads");
+}

@@ -1,0 +1,46 @@
+//! Figure 15(a): sensitivity of LP's execution-time overhead to the L2
+//! cache size (256 KB / 512 KB / 1 MB), with the L2 miss rate.
+//!
+//! Paper reference: 256 KB → 6.5% overhead (L2MR > 4%); 512 KB → 0.2%
+//! (L2MR 2%); 1 MB → 0.1% (L2MR 1.5%). Small caches evict the working
+//! set + checksums early, hurting LP.
+//!
+//! Run: `cargo run --release -p lp-bench --bin fig15a [--quick]`.
+
+use lp_bench::{overhead_pct, print_table, BenchArgs};
+use lp_core::scheme::Scheme;
+use lp_kernels::tmm::{self, TmmParams};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = if args.quick {
+        TmmParams::bench_default()
+    } else {
+        TmmParams::paper_default()
+    };
+    if let Some(t) = args.threads {
+        params.threads = t;
+    }
+
+    let mut rows = Vec::new();
+    for l2_kb in [256usize, 512, 1024] {
+        eprintln!("fig15a: L2 {l2_kb} KB...");
+        let cfg = args.base_config().with_l2_bytes(l2_kb * 1024);
+        let base = tmm::run(&cfg, params, Scheme::Base);
+        assert!(base.verified);
+        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
+        assert!(lp.verified);
+        rows.push(vec![
+            format!("{l2_kb} KB"),
+            overhead_pct(lp.cycles(), base.cycles()),
+            format!("{:.3}", lp.stats.mem.l2_miss_rate()),
+            format!("{:.3}", base.stats.mem.l2_miss_rate()),
+        ]);
+    }
+    print_table(
+        "Figure 15(a) — LP execution-time overhead vs L2 size",
+        &["L2 size", "LP overhead", "LP L2MR", "base L2MR"],
+        &rows,
+    );
+    println!("\npaper: 256KB -> 6.5% (L2MR>4%); 512KB -> 0.2% (2%); 1MB -> 0.1% (1.5%)");
+}

@@ -1,0 +1,211 @@
+//! `lp` — the command-line driver: run any kernel under any persistency
+//! scheme at any size, optionally crash it and recover.
+//!
+//! ```sh
+//! cargo run --release -p lp-bench --bin lp -- \
+//!     --kernel tmm --scheme lp --n 256 --threads 8
+//! cargo run --release -p lp-bench --bin lp -- \
+//!     --kernel gauss --scheme wal --crash-ops 50000
+//! cargo run --release -p lp-bench --bin lp -- --help
+//! ```
+
+use lp_core::checksum::ChecksumKind;
+use lp_core::scheme::Scheme;
+use lp_kernels::cholesky::{Cholesky, CholeskyParams};
+use lp_kernels::conv2d::{Conv2d, Conv2dParams};
+use lp_kernels::fft::{Fft, FftParams};
+use lp_kernels::gauss::{Gauss, GaussParams};
+use lp_kernels::tmm::{Tmm, TmmParams};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::prelude::CrashTrigger;
+
+const HELP: &str = "\
+lp — run a kernel on the NVMM simulator under a persistency scheme
+
+USAGE:
+    lp [--kernel K] [--scheme S] [--n N] [--threads T] [--crash-ops OPS]
+       [--l2-kb KB] [--read-ns NS] [--write-ns NS] [--seed SEED]
+
+OPTIONS:
+    --kernel K      tmm | cholesky | conv2d | gauss | fft   (default tmm)
+    --scheme S      base | lp | lp-parity | lp-adler | lp-crc | lp-combined |
+                    lp-eager-ck | ep | wal                  (default lp)
+    --n N           problem size (kernel-specific default)
+    --threads T     worker threads (default 4)
+    --crash-ops OPS inject a crash after OPS memory operations, then recover
+    --l2-kb KB      shared L2 size in KiB (default 512)
+    --read-ns NS    NVMM read latency (default 150)
+    --write-ns NS   NVMM write latency (default 300)
+    --seed SEED     input seed (default 42)
+";
+
+#[derive(Debug)]
+struct Cli {
+    kernel: String,
+    scheme: Scheme,
+    n: Option<usize>,
+    threads: usize,
+    crash_ops: Option<u64>,
+    l2_kb: usize,
+    read_ns: u64,
+    write_ns: u64,
+    seed: u64,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        kernel: "tmm".into(),
+        scheme: Scheme::lazy_default(),
+        n: None,
+        threads: 4,
+        crash_ops: None,
+        l2_kb: 512,
+        read_ns: 150,
+        write_ns: 300,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            "--kernel" => cli.kernel = next(&mut args, "--kernel"),
+            "--scheme" => {
+                cli.scheme = match next(&mut args, "--scheme").as_str() {
+                    "base" => Scheme::Base,
+                    "lp" => Scheme::Lazy(ChecksumKind::Modular),
+                    "lp-parity" => Scheme::Lazy(ChecksumKind::Parity),
+                    "lp-adler" => Scheme::Lazy(ChecksumKind::Adler32),
+                    "lp-crc" => Scheme::Lazy(ChecksumKind::Crc32),
+                    "lp-combined" => Scheme::Lazy(ChecksumKind::ModularParity),
+                    "lp-eager-ck" => Scheme::LazyEagerCk(ChecksumKind::Modular),
+                    "ep" => Scheme::Eager,
+                    "wal" => Scheme::Wal,
+                    other => panic!("unknown scheme {other}; try --help"),
+                }
+            }
+            "--n" => cli.n = Some(next(&mut args, "--n").parse().expect("--n number")),
+            "--threads" => cli.threads = next(&mut args, "--threads").parse().expect("number"),
+            "--crash-ops" => {
+                cli.crash_ops = Some(next(&mut args, "--crash-ops").parse().expect("number"))
+            }
+            "--l2-kb" => cli.l2_kb = next(&mut args, "--l2-kb").parse().expect("number"),
+            "--read-ns" => cli.read_ns = next(&mut args, "--read-ns").parse().expect("number"),
+            "--write-ns" => cli.write_ns = next(&mut args, "--write-ns").parse().expect("number"),
+            "--seed" => cli.seed = next(&mut args, "--seed").parse().expect("number"),
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    cli
+}
+
+/// Run one kernel generically: setup, (crashed?) run, recovery, verify.
+macro_rules! drive {
+    ($ty:ident, $params:expr, $cli:expr, $cfg:expr) => {{
+        let params = $params;
+        let mut machine = Machine::new($cfg.with_cores($cli.threads));
+        let work = $ty::setup(&mut machine, params, $cli.scheme).expect("setup");
+        if let Some(ops) = $cli.crash_ops {
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+        }
+        let t0 = std::time::Instant::now();
+        let outcome = machine.run(work.plans());
+        let stats = machine.stats();
+        println!("outcome: {outcome:?} (host {:?})", t0.elapsed());
+        println!("stats:   {}", stats.summary());
+        if outcome == Outcome::Crashed {
+            machine.clear_crash_trigger();
+            machine.take_stats();
+            let r = work.recover(&mut machine);
+            println!(
+                "recover: checked {} regions, {} inconsistent, recomputed {} in {} cycles",
+                r.regions_checked, r.regions_inconsistent, r.regions_repaired, r.cycles
+            );
+        }
+        machine.drain_caches();
+        let ok = work.verify(&machine);
+        println!("verify:  output matches golden reference: {ok}");
+        assert!(ok, "verification failed");
+    }};
+}
+
+fn main() {
+    let cli = parse_cli();
+    let cfg = MachineConfig::default()
+        .with_nvmm_bytes(512 << 20)
+        .with_l2_bytes(cli.l2_kb * 1024)
+        .with_nvmm_latency_ns(cli.read_ns, cli.write_ns);
+    println!(
+        "lp: kernel={} scheme={} threads={} l2={}KB nvmm=({},{})ns",
+        cli.kernel, cli.scheme, cli.threads, cli.l2_kb, cli.read_ns, cli.write_ns
+    );
+    match cli.kernel.as_str() {
+        "tmm" => drive!(
+            Tmm,
+            TmmParams {
+                n: cli.n.unwrap_or(256),
+                bsize: 16,
+                threads: cli.threads,
+                kk_window: 2,
+                seed: cli.seed,
+            },
+            cli,
+            cfg
+        ),
+        "cholesky" => drive!(
+            Cholesky,
+            CholeskyParams {
+                n: cli.n.unwrap_or(256),
+                bsize: 32,
+                threads: cli.threads,
+                col_window: 32,
+                seed: cli.seed,
+            },
+            cli,
+            cfg
+        ),
+        "conv2d" => drive!(
+            Conv2d,
+            Conv2dParams {
+                n: cli.n.unwrap_or(256),
+                bsize: 16,
+                threads: cli.threads,
+                block_window: 8,
+                seed: cli.seed,
+            },
+            cli,
+            cfg
+        ),
+        "gauss" => drive!(
+            Gauss,
+            GaussParams {
+                n: cli.n.unwrap_or(512),
+                bsize: 16,
+                threads: cli.threads,
+                pivot_window: 4,
+                seed: cli.seed,
+            },
+            cli,
+            cfg
+        ),
+        "fft" => drive!(
+            Fft,
+            FftParams {
+                n: cli.n.unwrap_or(16 * 1024),
+                chunks: 16,
+                threads: cli.threads,
+                stage_window: 5,
+                seed: cli.seed,
+            },
+            cli,
+            cfg
+        ),
+        other => panic!("unknown kernel {other}; try --help"),
+    }
+}

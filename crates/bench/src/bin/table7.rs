@@ -1,0 +1,60 @@
+//! Table VII: Lazy Persistency execution-time overhead on a *real*
+//! machine (the host), normalized to the non-persistent base case.
+//!
+//! LP needs no hardware support, so it runs on any stock machine; only
+//! the checksum-computation overhead is measurable (this host is
+//! DRAM-based, like the paper's Opteron testbed).
+//!
+//! Paper reference: TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%,
+//! FFT 1.1%, gmean 1.1%.
+//!
+//! Run: `cargo run --release -p lp-bench --bin table7 [--quick] [--threads N]`.
+
+use lp_bench::{gmean, print_table, BenchArgs};
+use lp_kernels::native::{run_native, NativeKernel};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    });
+    let reps = if args.quick { 2 } else { 3 };
+
+    let mut rows = Vec::new();
+    let mut factors = Vec::new();
+    for kernel in NativeKernel::ALL {
+        let n = match (kernel, args.quick) {
+            (NativeKernel::Fft, false) => 1 << 20,
+            (NativeKernel::Fft, true) => 1 << 16,
+            (NativeKernel::Gauss, false) => 1024,
+            (NativeKernel::Cholesky, false) => 768,
+            (NativeKernel::Conv2d, false) => 2048,
+            (NativeKernel::Tmm, false) => 512,
+            (_, true) => 192,
+        };
+        eprintln!("table7: {} (n={n}, {threads} threads, {reps} reps)...", kernel.name());
+        let r = run_native(kernel, n, threads, reps);
+        assert!(r.outputs_match, "{}: variants disagree", kernel.name());
+        factors.push(1.0 + r.overhead().max(0.0));
+        rows.push(vec![
+            kernel.name().to_string(),
+            format!("{:+.1}%", r.overhead() * 100.0),
+            format!("{:.1?}", r.base),
+            format!("{:.1?}", r.lp),
+        ]);
+    }
+    rows.push(vec![
+        "gmean".into(),
+        format!("{:+.1}%", (gmean(&factors) - 1.0) * 100.0),
+        "-".into(),
+        "-".into(),
+    ]);
+    print_table(
+        "Table VII — LP execution-time overhead on the real host",
+        &["Benchmark", "LP overhead", "base time", "LP time"],
+        &rows,
+    );
+    println!("\npaper: TMM 0.8% | Cholesky 1.1% | 2D-conv 0.9% | Gauss 2.1% | FFT 1.1% | gmean 1.1%");
+}

@@ -1,0 +1,435 @@
+//! Software error-detection codes for Lazy Persistency regions
+//! (Section III-D of the paper).
+//!
+//! A Lazy Persistency region computes a running checksum over every value it
+//! stores and writes the final checksum to a persistent table. After a
+//! failure, recovery recomputes the checksum from whatever data survived in
+//! NVMM; a mismatch means some store (or the checksum itself) did not
+//! persist, and the region must be recomputed.
+//!
+//! The paper evaluates four codes, all implemented here, plus a CRC-32
+//! extension:
+//!
+//! * **Parity** — XOR of all value bit patterns: cheapest, weakest.
+//! * **Modular** — wrapping sum of all value bit patterns: the paper's
+//!   default (accuracy ≈ Adler-32 at a fraction of the cost).
+//! * **Adler-32** — the zlib checksum over the value bytes: strongest of
+//!   the paper's single codes, noticeably more expensive.
+//! * **Modular ∥ Parity** — both in parallel for a lower false-negative
+//!   rate at higher cost (evaluated in Figure 15(b)).
+//! * **CRC-32** — the "stronger checksum" option Section III-D points
+//!   anyone worried about false negatives toward.
+
+pub mod accuracy;
+
+/// Which error-detection code a region uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChecksumKind {
+    /// XOR of all stored values.
+    Parity,
+    /// Wrapping sum of all stored values (paper default).
+    Modular,
+    /// Adler-32 over the bytes of all stored values.
+    Adler32,
+    /// Modular and Parity computed in parallel.
+    ModularParity,
+    /// CRC-32 (reflected, polynomial `0xEDB88320`) over the value bytes —
+    /// a stronger code than any the paper evaluates, kept as the
+    /// "anyone concerned with false negatives can employ a stronger
+    /// checksum" extension Section III-D invites.
+    Crc32,
+}
+
+impl ChecksumKind {
+    /// All kinds, in the order Figure 15(b) sweeps them (plus the CRC-32
+    /// extension).
+    pub const ALL: [ChecksumKind; 5] = [
+        ChecksumKind::Modular,
+        ChecksumKind::Parity,
+        ChecksumKind::Adler32,
+        ChecksumKind::ModularParity,
+        ChecksumKind::Crc32,
+    ];
+
+    /// Modelled ALU operations per `update` call, charged to the simulated
+    /// core so checksum choice shows up in execution time as in Figure
+    /// 15(b): parity/modular are single ops, Adler-32 walks the value's
+    /// bytes (amortized across SIMD lanes), and the parallel combination
+    /// is the costliest (matching the paper's 3.4% vs Adler's ~1%).
+    pub fn cost_ops(self) -> u64 {
+        match self {
+            ChecksumKind::Parity => 1,
+            ChecksumKind::Modular => 1,
+            ChecksumKind::Adler32 => 6,
+            ChecksumKind::ModularParity => 10,
+            ChecksumKind::Crc32 => 8,
+        }
+    }
+
+    /// Short display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChecksumKind::Parity => "parity",
+            ChecksumKind::Modular => "modular",
+            ChecksumKind::Adler32 => "adler32",
+            ChecksumKind::ModularParity => "modular+parity",
+            ChecksumKind::Crc32 => "crc32",
+        }
+    }
+}
+
+impl std::fmt::Display for ChecksumKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const ADLER_MOD: u32 = 65_521;
+
+/// Reflected CRC-32 lookup table (polynomial `0xEDB88320`), built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// A running checksum over the 64-bit bit patterns of stored values.
+///
+/// # Examples
+///
+/// ```
+/// use lp_core::checksum::{ChecksumKind, RunningChecksum};
+/// let mut ck = RunningChecksum::new(ChecksumKind::Modular);
+/// ck.update(1.0f64.to_bits());
+/// ck.update(2.0f64.to_bits());
+/// let saved = ck.value();
+///
+/// // Recomputing over the same values matches...
+/// let mut again = RunningChecksum::new(ChecksumKind::Modular);
+/// again.update(1.0f64.to_bits());
+/// again.update(2.0f64.to_bits());
+/// assert_eq!(again.value(), saved);
+///
+/// // ...but a lost store does not.
+/// let mut lost = RunningChecksum::new(ChecksumKind::Modular);
+/// lost.update(1.0f64.to_bits());
+/// lost.update(0.0f64.to_bits());
+/// assert_ne!(lost.value(), saved);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunningChecksum {
+    /// See [`ChecksumKind::Parity`].
+    Parity {
+        /// Running XOR.
+        x: u64,
+    },
+    /// See [`ChecksumKind::Modular`].
+    Modular {
+        /// Running wrapping sum.
+        sum: u64,
+    },
+    /// See [`ChecksumKind::Adler32`].
+    Adler32 {
+        /// Adler `a` accumulator.
+        a: u32,
+        /// Adler `b` accumulator.
+        b: u32,
+    },
+    /// See [`ChecksumKind::ModularParity`].
+    ModularParity {
+        /// Running wrapping sum.
+        sum: u64,
+        /// Running XOR.
+        x: u64,
+    },
+    /// See [`ChecksumKind::Crc32`].
+    Crc32 {
+        /// Running CRC register (pre-inversion).
+        crc: u32,
+    },
+}
+
+impl RunningChecksum {
+    /// Fresh checksum of the given kind (call at region entry — the
+    /// `ResetCheckSum()` of Figure 8).
+    pub fn new(kind: ChecksumKind) -> Self {
+        match kind {
+            ChecksumKind::Parity => RunningChecksum::Parity { x: 0 },
+            ChecksumKind::Modular => RunningChecksum::Modular { sum: 0 },
+            ChecksumKind::Adler32 => RunningChecksum::Adler32 { a: 1, b: 0 },
+            ChecksumKind::ModularParity => RunningChecksum::ModularParity { sum: 0, x: 0 },
+            ChecksumKind::Crc32 => RunningChecksum::Crc32 { crc: 0xFFFF_FFFF },
+        }
+    }
+
+    /// The kind this checksum was created with.
+    pub fn kind(&self) -> ChecksumKind {
+        match self {
+            RunningChecksum::Parity { .. } => ChecksumKind::Parity,
+            RunningChecksum::Modular { .. } => ChecksumKind::Modular,
+            RunningChecksum::Adler32 { .. } => ChecksumKind::Adler32,
+            RunningChecksum::ModularParity { .. } => ChecksumKind::ModularParity,
+            RunningChecksum::Crc32 { .. } => ChecksumKind::Crc32,
+        }
+    }
+
+    /// Fold a stored value's 64-bit pattern into the checksum (the
+    /// `UpdateCheckSum()` of Figure 8).
+    #[inline]
+    pub fn update(&mut self, bits: u64) {
+        match self {
+            RunningChecksum::Parity { x } => *x ^= bits,
+            RunningChecksum::Modular { sum } => *sum = sum.wrapping_add(bits),
+            RunningChecksum::Adler32 { a, b } => {
+                for byte in bits.to_le_bytes() {
+                    *a = (*a + byte as u32) % ADLER_MOD;
+                    *b = (*b + *a) % ADLER_MOD;
+                }
+            }
+            RunningChecksum::ModularParity { sum, x } => {
+                *sum = sum.wrapping_add(bits);
+                *x ^= bits;
+            }
+            RunningChecksum::Crc32 { crc } => {
+                for byte in bits.to_le_bytes() {
+                    *crc = (*crc >> 8) ^ CRC_TABLE[((*crc ^ byte as u32) & 0xff) as usize];
+                }
+            }
+        }
+    }
+
+    /// The checksum value to persist (the `GetCheckSum()` of Figure 8).
+    ///
+    /// Single codes fold to 32 bits like the paper's table entries; the
+    /// parallel combination packs modular in the low half and parity in
+    /// the high half.
+    pub fn value(&self) -> u64 {
+        match self {
+            RunningChecksum::Parity { x } => fold32(*x) as u64,
+            RunningChecksum::Modular { sum } => {
+                ((*sum as u32).wrapping_add((*sum >> 32) as u32)) as u64
+            }
+            RunningChecksum::Adler32 { a, b } => (((*b) << 16) | (*a & 0xffff)) as u64,
+            RunningChecksum::ModularParity { sum, x } => {
+                let m = (*sum as u32).wrapping_add((*sum >> 32) as u32) as u64;
+                let p = fold32(*x) as u64;
+                (p << 32) | m
+            }
+            RunningChecksum::Crc32 { crc } => (*crc ^ 0xFFFF_FFFF) as u64,
+        }
+    }
+}
+
+#[inline]
+fn fold32(x: u64) -> u32 {
+    (x as u32) ^ ((x >> 32) as u32)
+}
+
+/// Checksum a slice of `f64` values in one call (recovery-side helper).
+///
+/// # Examples
+///
+/// ```
+/// use lp_core::checksum::{checksum_f64s, ChecksumKind};
+/// let a = checksum_f64s(ChecksumKind::Modular, &[1.0, 2.0, 3.0]);
+/// let b = checksum_f64s(ChecksumKind::Modular, &[1.0, 2.0, 3.0]);
+/// assert_eq!(a, b);
+/// ```
+pub fn checksum_f64s(kind: ChecksumKind, values: &[f64]) -> u64 {
+    let mut ck = RunningChecksum::new(kind);
+    for v in values {
+        ck.update(v.to_bits());
+    }
+    ck.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> impl Iterator<Item = ChecksumKind> {
+        ChecksumKind::ALL.into_iter()
+    }
+
+    #[test]
+    fn deterministic_for_same_sequence() {
+        for kind in all_kinds() {
+            let mut a = RunningChecksum::new(kind);
+            let mut b = RunningChecksum::new(kind);
+            for v in [1u64, 99, 0, u64::MAX, 42] {
+                a.update(v);
+                b.update(v);
+            }
+            assert_eq!(a.value(), b.value(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn detects_single_changed_value() {
+        for kind in all_kinds() {
+            let mut a = RunningChecksum::new(kind);
+            let mut b = RunningChecksum::new(kind);
+            for v in [10u64, 20, 30] {
+                a.update(v);
+            }
+            for v in [10u64, 21, 30] {
+                b.update(v);
+            }
+            assert_ne!(a.value(), b.value(), "{kind} missed a changed value");
+        }
+    }
+
+    #[test]
+    fn detects_missing_value_vs_zero() {
+        // A lost store typically reads back the old value (often 0).
+        for kind in all_kinds() {
+            let mut a = RunningChecksum::new(kind);
+            let mut b = RunningChecksum::new(kind);
+            for v in [7u64, 8, 9] {
+                a.update(v);
+            }
+            for v in [7u64, 0, 9] {
+                b.update(v);
+            }
+            assert_ne!(a.value(), b.value(), "{kind} missed a dropped value");
+        }
+    }
+
+    #[test]
+    fn parity_is_order_independent_modular_commutative() {
+        // Associativity matters: regions may persist out of order, but the
+        // *values within one region* are always folded in program order by
+        // both normal execution and recovery, so order sensitivity is
+        // allowed. Still, parity and modular happen to be commutative:
+        let mut a = RunningChecksum::new(ChecksumKind::Modular);
+        let mut b = RunningChecksum::new(ChecksumKind::Modular);
+        a.update(1);
+        a.update(2);
+        b.update(2);
+        b.update(1);
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn adler32_matches_reference_for_known_input() {
+        // Adler-32 of "Wikipedia" is 0x11E60398 (well-known test vector).
+        // Our updates take u64s, so feed 8 bytes then 1 byte via two
+        // updates is not byte-exact; instead verify against a direct
+        // byte-level reference implementation on the same u64 stream.
+        fn reference(words: &[u64]) -> u64 {
+            let (mut a, mut b) = (1u32, 0u32);
+            for w in words {
+                for byte in w.to_le_bytes() {
+                    a = (a + byte as u32) % 65_521;
+                    b = (b + a) % 65_521;
+                }
+            }
+            (((b) << 16) | (a & 0xffff)) as u64
+        }
+        let words = [0x0123_4567_89ab_cdefu64, 42, u64::MAX];
+        let mut ck = RunningChecksum::new(ChecksumKind::Adler32);
+        for w in words {
+            ck.update(w);
+        }
+        assert_eq!(ck.value(), reference(&words));
+    }
+
+    #[test]
+    fn modular_parity_packs_both_halves() {
+        let mut ck = RunningChecksum::new(ChecksumKind::ModularParity);
+        ck.update(5);
+        ck.update(9);
+        let v = ck.value();
+        let mut m = RunningChecksum::new(ChecksumKind::Modular);
+        m.update(5);
+        m.update(9);
+        let mut p = RunningChecksum::new(ChecksumKind::Parity);
+        p.update(5);
+        p.update(9);
+        assert_eq!(v & 0xffff_ffff, m.value());
+        assert_eq!(v >> 32, p.value());
+    }
+
+    #[test]
+    fn parity_misses_duplicate_pair_but_modular_catches_it() {
+        // Classic parity weakness: two identical corruptions cancel.
+        let good = [3u64, 3, 5];
+        let bad = [4u64, 4, 5]; // both elements corrupted identically
+        let mut pg = RunningChecksum::new(ChecksumKind::Parity);
+        let mut pb = RunningChecksum::new(ChecksumKind::Parity);
+        let mut mg = RunningChecksum::new(ChecksumKind::Modular);
+        let mut mb = RunningChecksum::new(ChecksumKind::Modular);
+        for v in good {
+            pg.update(v);
+            mg.update(v);
+        }
+        for v in bad {
+            pb.update(v);
+            mb.update(v);
+        }
+        assert_eq!(pg.value(), pb.value(), "parity cancels pairs");
+        assert_ne!(mg.value(), mb.value(), "modular does not");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // CRC-32 of the bytes 00..=07 (one little-endian u64).
+        let mut ck = RunningChecksum::new(ChecksumKind::Crc32);
+        ck.update(u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
+        // Reference computed with the bitwise definition:
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                c ^= b as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+            }
+            c ^ 0xFFFF_FFFF
+        }
+        assert_eq!(ck.value(), reference(&[0, 1, 2, 3, 4, 5, 6, 7]) as u64);
+    }
+
+    #[test]
+    fn kind_roundtrip_and_cost() {
+        for kind in all_kinds() {
+            assert_eq!(RunningChecksum::new(kind).kind(), kind);
+            assert!(kind.cost_ops() >= 1);
+            assert!(!kind.name().is_empty());
+        }
+        assert!(ChecksumKind::Adler32.cost_ops() > ChecksumKind::Modular.cost_ops());
+        assert!(ChecksumKind::ModularParity.cost_ops() > ChecksumKind::Modular.cost_ops());
+    }
+
+    #[test]
+    fn empty_region_checksums_are_stable() {
+        for kind in all_kinds() {
+            let a = RunningChecksum::new(kind).value();
+            let b = RunningChecksum::new(kind).value();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn helper_matches_manual_loop() {
+        let vals = [1.5f64, -2.25, 1e300];
+        let mut ck = RunningChecksum::new(ChecksumKind::Adler32);
+        for v in vals {
+            ck.update(v.to_bits());
+        }
+        assert_eq!(checksum_f64s(ChecksumKind::Adler32, &vals), ck.value());
+    }
+}

@@ -1,0 +1,182 @@
+//! Error-injection accuracy study for the checksum codes (Section III-D).
+//!
+//! The paper injects random errors into matrix elements and measures how
+//! often a corrupted region still produces the error-free checksum (a
+//! *false negative* for the detector — the paper reports fewer than one
+//! miss in two billion injections for Modular and Adler-32).
+//!
+//! A "persistency error" here means: some of the values a region stored
+//! never reached NVMM, so recovery reads a *stale* value (the previous
+//! content of that location — commonly zero for freshly-allocated output,
+//! or an older result for in-place updates).
+
+use super::{ChecksumKind, RunningChecksum};
+use rand::Rng;
+
+/// How injected corruption models the stale data read after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorModel {
+    /// Lost stores read back as zero (fresh output arrays).
+    StaleZero,
+    /// Lost stores read back as an arbitrary previous value.
+    StaleRandom,
+    /// A single bit of one stored value flips (a harsher, ABFT-style
+    /// model; persistency failures are coarser than this in practice).
+    BitFlip,
+}
+
+/// Result of an injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccuracyReport {
+    /// Corrupted regions tested.
+    pub injections: u64,
+    /// Corrupted regions whose checksum still matched (false negatives).
+    pub undetected: u64,
+}
+
+impl AccuracyReport {
+    /// False-negative probability estimate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.undetected as f64 / self.injections as f64
+        }
+    }
+}
+
+fn checksum_of(kind: ChecksumKind, values: &[u64]) -> u64 {
+    let mut ck = RunningChecksum::new(kind);
+    for &v in values {
+        ck.update(v);
+    }
+    ck.value()
+}
+
+/// Run `trials` corruption experiments on regions of `region_len` random
+/// values, returning how many corruptions went undetected by `kind`.
+///
+/// Each trial generates a fresh region, corrupts between 1 and
+/// `region_len` of its values according to `model`, and compares the
+/// corrupted checksum to the clean one. Trials where the corruption
+/// happens to reproduce the original values exactly are re-rolled (no
+/// error was actually injected).
+pub fn run_injection_campaign<R: Rng>(
+    kind: ChecksumKind,
+    region_len: usize,
+    trials: u64,
+    model: ErrorModel,
+    rng: &mut R,
+) -> AccuracyReport {
+    assert!(region_len > 0, "region must hold at least one value");
+    let mut report = AccuracyReport::default();
+    let mut values = vec![0u64; region_len];
+    for _ in 0..trials {
+        for v in values.iter_mut() {
+            // Realistic double values: uniform magnitudes, never exactly 0.
+            let x: f64 = rng.gen_range(1.0e-3..1.0e3) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            *v = x.to_bits();
+        }
+        let clean = checksum_of(kind, &values);
+        let mut corrupted = values.clone();
+        loop {
+            match model {
+                ErrorModel::StaleZero => {
+                    let k = rng.gen_range(1..=region_len.min(8));
+                    for _ in 0..k {
+                        let i = rng.gen_range(0..region_len);
+                        corrupted[i] = 0;
+                    }
+                }
+                ErrorModel::StaleRandom => {
+                    let k = rng.gen_range(1..=region_len.min(8));
+                    for _ in 0..k {
+                        let i = rng.gen_range(0..region_len);
+                        corrupted[i] = rng.gen::<u64>();
+                    }
+                }
+                ErrorModel::BitFlip => {
+                    let i = rng.gen_range(0..region_len);
+                    let bit = rng.gen_range(0..64);
+                    corrupted[i] ^= 1u64 << bit;
+                }
+            }
+            if corrupted != values {
+                break;
+            }
+            corrupted.copy_from_slice(&values);
+        }
+        report.injections += 1;
+        if checksum_of(kind, &corrupted) == clean {
+            report.undetected += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn modular_detects_stale_zero_corruption() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = run_injection_campaign(
+            ChecksumKind::Modular,
+            64,
+            20_000,
+            ErrorModel::StaleZero,
+            &mut rng,
+        );
+        assert_eq!(r.injections, 20_000);
+        assert_eq!(r.undetected, 0, "modular missed stale-zero corruption");
+    }
+
+    #[test]
+    fn adler_detects_bit_flips() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = run_injection_campaign(
+            ChecksumKind::Adler32,
+            64,
+            20_000,
+            ErrorModel::BitFlip,
+            &mut rng,
+        );
+        assert_eq!(r.undetected, 0, "adler32 missed single bit flips");
+    }
+
+    #[test]
+    fn parity_detects_single_bit_flips_perfectly() {
+        // A single bit flip always changes an XOR parity.
+        let mut rng = StdRng::seed_from_u64(13);
+        let r = run_injection_campaign(
+            ChecksumKind::Parity,
+            32,
+            10_000,
+            ErrorModel::BitFlip,
+            &mut rng,
+        );
+        assert_eq!(r.undetected, 0);
+    }
+
+    #[test]
+    fn all_kinds_handle_random_corruption_well() {
+        for kind in ChecksumKind::ALL {
+            let mut rng = StdRng::seed_from_u64(kind.cost_ops());
+            let r =
+                run_injection_campaign(kind, 128, 5_000, ErrorModel::StaleRandom, &mut rng);
+            assert!(
+                r.miss_rate() < 1e-3,
+                "{kind}: miss rate {}",
+                r.miss_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn miss_rate_of_empty_report_is_zero() {
+        assert_eq!(AccuracyReport::default().miss_rate(), 0.0);
+    }
+}

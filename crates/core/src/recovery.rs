@@ -1,0 +1,216 @@
+//! Recovery-side helpers: verify regions against their stored checksums
+//! and account for repair work.
+//!
+//! Recovery is kernel-specific (Section III-E: "recovery mechanisms are
+//! region and workload dependent"), but every kernel's recovery does the
+//! same two primitive things this module provides:
+//!
+//! 1. *verification* — reload a region's values from the post-crash NVMM
+//!    image, recompute the checksum, and compare it with the table entry;
+//! 2. *accounting* — count how many regions were checked, how many had to
+//!    be recomputed, and how expensive recovery was.
+//!
+//! Recovery always runs with **Eager Persistency** (repairs are flushed
+//! and fenced) so that a crash during recovery cannot lose progress —
+//! the forward-progress argument of Section III-E.
+
+use crate::checksum::{ChecksumKind, RunningChecksum};
+use crate::table::ChecksumTable;
+use lp_sim::core::CoreCtx;
+use lp_sim::mem::{PArray, Scalar};
+
+/// Counters describing one recovery pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Regions whose checksum was verified.
+    pub regions_checked: u64,
+    /// Regions found inconsistent (checksum mismatch or never written).
+    pub regions_inconsistent: u64,
+    /// Regions recomputed/repair work units executed.
+    pub regions_repaired: u64,
+    /// Cycles spent in recovery (filled by the kernel harness).
+    pub cycles: u64,
+}
+
+impl RecoveryStats {
+    /// Merge another pass into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.regions_checked += other.regions_checked;
+        self.regions_inconsistent += other.regions_inconsistent;
+        self.regions_repaired += other.regions_repaired;
+        self.cycles += other.cycles;
+    }
+}
+
+/// Recompute the checksum of region values read through the timed context
+/// and compare it with the stored table entry for `key`.
+///
+/// The values are the elements `indices` of `arr`, folded in the same
+/// order normal execution folded them — checksum codes need not be
+/// commutative, so order is part of the contract.
+///
+/// Returns `false` when the entry was never written (the sentinel case of
+/// Section IV: the region may not have been reached before the failure).
+pub fn region_consistent<T: Scalar>(
+    ctx: &mut CoreCtx<'_>,
+    table: &ChecksumTable,
+    key: usize,
+    kind: ChecksumKind,
+    arr: PArray<T>,
+    indices: impl Iterator<Item = usize>,
+) -> bool {
+    let mut ck = RunningChecksum::new(kind);
+    for i in indices {
+        let v: T = ctx.load(arr, i);
+        ck.update(v.to_bits64());
+        ctx.compute(kind.cost_ops());
+    }
+    table.matches(ctx, key, ck.value())
+}
+
+/// Recompute a checksum over values produced by a closure (for regions
+/// whose values span several arrays or need address arithmetic).
+pub fn recompute_checksum(
+    kind: ChecksumKind,
+    feed: impl FnOnce(&mut RunningChecksum),
+) -> u64 {
+    let mut ck = RunningChecksum::new(kind);
+    feed(&mut ck);
+    ck.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Scheme, SchemeHandles};
+    use lp_sim::config::MachineConfig;
+    use lp_sim::machine::Machine;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MachineConfig::default()
+                .with_cores(1)
+                .with_nvmm_bytes(1 << 20),
+        )
+    }
+
+    #[test]
+    fn consistent_region_verifies_after_drain() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(32).unwrap();
+        let h = SchemeHandles::alloc(&mut m, Scheme::lazy_default(), 4, 1, 0).unwrap();
+        let tp = h.thread(0);
+        {
+            let mut ctx = m.ctx(0);
+            let mut rs = tp.begin(0);
+            for i in 0..32 {
+                tp.store(&mut ctx, &mut rs, arr, i, (i * 3) as f64);
+            }
+            tp.commit(&mut ctx, rs);
+        }
+        m.drain_caches();
+        let mut ctx = m.ctx(0);
+        assert!(region_consistent(
+            &mut ctx,
+            &h.table,
+            0,
+            crate::checksum::ChecksumKind::Modular,
+            arr,
+            0..32
+        ));
+    }
+
+    #[test]
+    fn crashed_region_fails_verification() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(32).unwrap();
+        let h = SchemeHandles::alloc(&mut m, Scheme::lazy_default(), 4, 1, 0).unwrap();
+        let tp = h.thread(0);
+        m.set_crash_trigger(CrashTrigger::AfterMemOps(10));
+        let mut plans = m.plans();
+        plans[0].region(move |ctx| {
+            let mut rs = tp.begin(0);
+            for i in 0..32 {
+                tp.store(ctx, &mut rs, arr, i, (i * 3) as f64);
+            }
+            tp.commit(ctx, rs);
+        });
+        assert_eq!(m.run(plans), lp_sim::machine::Outcome::Crashed);
+        let mut ctx = m.ctx(0);
+        assert!(
+            !region_consistent(
+                &mut ctx,
+                &h.table,
+                0,
+                crate::checksum::ChecksumKind::Modular,
+                arr,
+                0..32
+            ),
+            "nothing persisted, so the region must verify as inconsistent"
+        );
+    }
+
+    #[test]
+    fn verification_order_matters_for_adler() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(4).unwrap();
+        let h = SchemeHandles::alloc(
+            &mut m,
+            Scheme::Lazy(crate::checksum::ChecksumKind::Adler32),
+            2,
+            1,
+            0,
+        )
+        .unwrap();
+        let tp = h.thread(0);
+        {
+            let mut ctx = m.ctx(0);
+            let mut rs = tp.begin(0);
+            for i in 0..4 {
+                tp.store(&mut ctx, &mut rs, arr, i, (i + 1) as f64);
+            }
+            tp.commit(&mut ctx, rs);
+        }
+        m.drain_caches();
+        let mut ctx = m.ctx(0);
+        let kind = crate::checksum::ChecksumKind::Adler32;
+        assert!(region_consistent(&mut ctx, &h.table, 0, kind, arr, 0..4));
+        assert!(
+            !region_consistent(&mut ctx, &h.table, 0, kind, arr, (0..4).rev()),
+            "feeding values in the wrong order must not verify"
+        );
+    }
+
+    #[test]
+    fn recovery_stats_merge() {
+        let mut a = RecoveryStats {
+            regions_checked: 2,
+            regions_inconsistent: 1,
+            regions_repaired: 1,
+            cycles: 100,
+        };
+        let b = RecoveryStats {
+            regions_checked: 3,
+            regions_inconsistent: 0,
+            regions_repaired: 0,
+            cycles: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.regions_checked, 5);
+        assert_eq!(a.cycles, 150);
+    }
+
+    #[test]
+    fn recompute_checksum_closure_form() {
+        let kind = crate::checksum::ChecksumKind::Modular;
+        let v = recompute_checksum(kind, |ck| {
+            ck.update(1);
+            ck.update(2);
+        });
+        let mut ck = RunningChecksum::new(kind);
+        ck.update(1);
+        ck.update(2);
+        assert_eq!(v, ck.value());
+    }
+}

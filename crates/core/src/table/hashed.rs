@@ -1,0 +1,199 @@
+//! The *smaller, collision-prone* checksum-table alternative Section IV
+//! weighs against the collision-free design.
+//!
+//! The paper sizes its table so that `(ii, kk, thread)` keys map to
+//! entries collision-free — no locks, ~1% space. The alternative it
+//! mentions is a smaller hash table where regions may collide; colliding
+//! entries evict each other, which is *safe* (a region whose entry was
+//! overwritten verifies as inconsistent and is recomputed — a false
+//! negative, never a false positive) but costs recovery work, and a
+//! concurrent implementation on real hardware would need per-entry locks.
+//! This module implements that alternative so the trade-off is measurable.
+//!
+//! Each slot stores the full `(key, checksum)` pair (16 bytes), so a
+//! collision can never be mistaken for a match.
+
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::Machine;
+use lp_sim::mem::{OutOfPersistentMemory, PArray};
+
+/// Key sentinel for never-written slots.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// A persistent checksum table smaller than its key space.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::prelude::*;
+/// use lp_core::table::hashed::HashedChecksumTable;
+///
+/// let mut m = Machine::new(MachineConfig::default().with_cores(1).with_nvmm_bytes(1 << 20));
+/// let t = HashedChecksumTable::alloc(&mut m, 8).unwrap();
+/// let mut ctx = m.ctx(0);
+/// t.store(&mut ctx, 42, 0xfeed);
+/// assert_eq!(t.load(&mut ctx, 42), Some(0xfeed));
+/// // A colliding key evicts the previous entry — detected, never confused.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashedChecksumTable {
+    /// Interleaved `(key, value)` pairs.
+    slots: PArray<u64>,
+    nslots: usize,
+}
+
+impl HashedChecksumTable {
+    /// Allocate a table with `nslots` slots (each 16 bytes), all empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPersistentMemory`] if the persistent heap is full.
+    pub fn alloc(machine: &mut Machine, nslots: usize) -> Result<Self, OutOfPersistentMemory> {
+        let slots = machine.alloc::<u64>(2 * nslots.max(1))?;
+        let table = HashedChecksumTable {
+            slots,
+            nslots: nslots.max(1),
+        };
+        for s in 0..table.nslots {
+            machine.poke(slots, 2 * s, EMPTY_KEY);
+            machine.poke(slots, 2 * s + 1, 0);
+        }
+        Ok(table)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.nslots
+    }
+
+    /// Whether the table has zero capacity (never true after `alloc`).
+    pub fn is_empty(&self) -> bool {
+        self.nslots == 0
+    }
+
+    /// Space in bytes (the quantity traded against collisions).
+    pub fn bytes(&self) -> u64 {
+        self.slots.bytes()
+    }
+
+    /// Fibonacci-hash a region key onto a slot.
+    #[inline]
+    pub fn slot_of(&self, key: usize) -> usize {
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.nslots
+    }
+
+    /// Timed store: lazily write `(key, value)` into the key's slot,
+    /// evicting whatever was there.
+    pub fn store(&self, ctx: &mut CoreCtx<'_>, key: usize, value: u64) {
+        let s = self.slot_of(key);
+        ctx.store(self.slots, 2 * s, key as u64);
+        ctx.store(self.slots, 2 * s + 1, value);
+    }
+
+    /// Timed load: `Some(value)` only if the slot still holds *this* key.
+    pub fn load(&self, ctx: &mut CoreCtx<'_>, key: usize) -> Option<u64> {
+        let s = self.slot_of(key);
+        let k: u64 = ctx.load(self.slots, 2 * s);
+        if k != key as u64 {
+            return None;
+        }
+        Some(ctx.load(self.slots, 2 * s + 1))
+    }
+
+    /// Timed comparison against a recomputed checksum. Collisions and
+    /// never-written slots report `false` (safe: forces recomputation).
+    pub fn matches(&self, ctx: &mut CoreCtx<'_>, key: usize, recomputed: u64) -> bool {
+        self.load(ctx, key) == Some(recomputed)
+    }
+
+    /// Untimed durable-image read (post-crash inspection).
+    pub fn peek(&self, machine: &Machine, key: usize) -> Option<u64> {
+        let s = self.slot_of(key);
+        if machine.peek(self.slots, 2 * s) != key as u64 {
+            return None;
+        }
+        Some(machine.peek(self.slots, 2 * s + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::config::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MachineConfig::default()
+                .with_cores(1)
+                .with_nvmm_bytes(1 << 20),
+        )
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = machine();
+        let t = HashedChecksumTable::alloc(&mut m, 16).unwrap();
+        let mut ctx = m.ctx(0);
+        t.store(&mut ctx, 3, 111);
+        assert_eq!(t.load(&mut ctx, 3), Some(111));
+        assert!(t.matches(&mut ctx, 3, 111));
+        assert!(!t.matches(&mut ctx, 3, 112));
+    }
+
+    #[test]
+    fn unwritten_keys_read_none() {
+        let mut m = machine();
+        let t = HashedChecksumTable::alloc(&mut m, 16).unwrap();
+        let mut ctx = m.ctx(0);
+        for key in 0..64 {
+            assert_eq!(t.load(&mut ctx, key), None);
+        }
+    }
+
+    #[test]
+    fn collision_evicts_but_never_confuses() {
+        let mut m = machine();
+        // One slot: every key collides.
+        let t = HashedChecksumTable::alloc(&mut m, 1).unwrap();
+        let mut ctx = m.ctx(0);
+        t.store(&mut ctx, 1, 100);
+        t.store(&mut ctx, 2, 200);
+        // Key 2 wins the slot; key 1 must read as *absent*, not as 200.
+        assert_eq!(t.load(&mut ctx, 2), Some(200));
+        assert_eq!(t.load(&mut ctx, 1), None, "evicted entry must not match");
+        assert!(!t.matches(&mut ctx, 1, 100));
+        assert!(!t.matches(&mut ctx, 1, 200));
+    }
+
+    #[test]
+    fn space_is_smaller_than_collision_free_for_large_key_spaces() {
+        let mut m = machine();
+        // 1024 possible keys, 64 slots: 16x smaller than 1024 8-byte
+        // entries would need, at 2x per-entry width.
+        let hashed = HashedChecksumTable::alloc(&mut m, 64).unwrap();
+        let free = crate::table::ChecksumTable::alloc(&mut m, 1024).unwrap();
+        assert!(hashed.bytes() < free.bytes() / 4);
+    }
+
+    #[test]
+    fn distinct_keys_spread_over_slots() {
+        let mut m = machine();
+        let t = HashedChecksumTable::alloc(&mut m, 64).unwrap();
+        let used: std::collections::HashSet<usize> =
+            (0..64usize).map(|k| t.slot_of(k)).collect();
+        assert!(used.len() > 32, "hash should spread keys: {}", used.len());
+    }
+
+    #[test]
+    fn lazy_entries_lost_on_crash_like_the_collision_free_table() {
+        let mut m = machine();
+        let t = HashedChecksumTable::alloc(&mut m, 8).unwrap();
+        {
+            let mut ctx = m.ctx(0);
+            t.store(&mut ctx, 5, 55);
+        }
+        m.mem_mut().force_crash();
+        m.mem_mut().acknowledge_crash();
+        assert_eq!(t.peek(&m, 5), None, "lazy entry lost in crash");
+    }
+}

@@ -1,0 +1,349 @@
+//! Write-ahead-logging durable transactions (the `tmm+WAL` baseline,
+//! Figure 2 of the paper).
+//!
+//! Intel PMEM gives durability *ordering* (`clflushopt` + `sfence`) but no
+//! atomic durability, so programmers build transactions from software
+//! undo logging. Following Figure 2, one transaction:
+//!
+//! 1. appends `(address, old value)` log entries for everything it will
+//!    modify, flushes the log, fences;
+//! 2. durably sets `logStatus = 1` (log complete), flushes, fences;
+//! 3. performs the data stores (including the per-thread progress marker),
+//!    flushes them, fences;
+//! 4. durably clears `logStatus`, flushes, fences.
+//!
+//! Four flush+fence rounds per transaction — this is what makes WAL the
+//! most expensive scheme in Figure 10 (5.97× execution time, 3.83× writes).
+//!
+//! Recovery: a transaction interrupted with `logStatus == 1` is rolled
+//! back by applying the logged old values in reverse, eagerly; execution
+//! then resumes after the last durable marker.
+
+use lp_sim::addr::Addr;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::Machine;
+use lp_sim::mem::{OutOfPersistentMemory, PArray, Scalar};
+
+/// Layout of the per-thread arena header (one cache line).
+const H_STATUS: usize = 0;
+const H_COUNT: usize = 1;
+const H_MARKER: usize = 2;
+
+/// A per-thread undo-log arena in persistent memory.
+///
+/// Handles are `Copy`; each simulated thread owns one arena so no
+/// synchronization is needed. Only 8-byte scalars can be logged (all the
+/// evaluated kernels store `f64`/`u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalArena {
+    /// `(address, old bits)` pairs.
+    entries: PArray<u64>,
+    /// `[status, count, marker]`.
+    header: PArray<u64>,
+    capacity: usize,
+}
+
+impl WalArena {
+    /// Allocate an arena able to log `capacity` stores per transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPersistentMemory`] if the persistent heap is full.
+    pub fn alloc(machine: &mut Machine, capacity: usize) -> Result<Self, OutOfPersistentMemory> {
+        let entries = machine.alloc::<u64>(2 * capacity)?;
+        let header = machine.alloc::<u64>(8)?; // one line
+        let arena = WalArena {
+            entries,
+            header,
+            capacity,
+        };
+        for i in 0..8 {
+            machine.poke(header, i, 0);
+        }
+        Ok(arena)
+    }
+
+    /// Maximum stores per transaction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> WalTx {
+        WalTx {
+            arena: *self,
+            logged: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The durable progress marker (`0` = no transaction committed yet,
+    /// else `1 + key` of the last committed region). Timed read.
+    pub fn marker(&self, ctx: &mut CoreCtx<'_>) -> u64 {
+        ctx.load(self.header, H_MARKER)
+    }
+
+    /// Untimed marker read from the durable image.
+    pub fn peek_marker(&self, machine: &Machine) -> u64 {
+        machine.peek(self.header, H_MARKER)
+    }
+
+    /// Untimed status read from the durable image.
+    pub fn peek_status(&self, machine: &Machine) -> u64 {
+        machine.peek(self.header, H_STATUS)
+    }
+
+    /// Roll back an interrupted transaction, if any, using Eager
+    /// Persistency (recovery must guarantee forward progress). Returns the
+    /// number of undone stores.
+    pub fn recover(&self, ctx: &mut CoreCtx<'_>) -> usize {
+        let status: u64 = ctx.load(self.header, H_STATUS);
+        if status != 1 {
+            return 0;
+        }
+        let count = ctx.load(self.header, H_COUNT) as usize;
+        let mut undone = 0;
+        for j in (0..count).rev() {
+            let addr = Addr(ctx.load(self.entries, 2 * j));
+            let old: u64 = ctx.load(self.entries, 2 * j + 1);
+            ctx.store_addr::<u64>(addr, old);
+            ctx.clflushopt(addr);
+            undone += 1;
+        }
+        ctx.sfence();
+        ctx.store(self.header, H_STATUS, 0);
+        ctx.clflushopt(self.header.addr(H_STATUS));
+        ctx.sfence();
+        undone
+    }
+}
+
+/// An open durable transaction.
+///
+/// Stores are *staged*: [`WalTx::log_and_stage`] appends the undo record
+/// and buffers the new value; nothing modifies the data arrays until
+/// [`WalTx::commit`] has durably completed the log (true write-ahead
+/// ordering). A staged location must not be re-read through the cache
+/// within the same transaction.
+#[derive(Debug)]
+pub struct WalTx {
+    arena: WalArena,
+    logged: usize,
+    /// Buffered new values: `(address, bits)`.
+    pending: Vec<(Addr, u64)>,
+}
+
+impl WalTx {
+    /// Log the old value of `arr[i]` and stage the new value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction exceeds the arena capacity, if `i` is out
+    /// of bounds, or if `T` is not an 8-byte scalar.
+    pub fn log_and_stage<T: Scalar>(&mut self, ctx: &mut CoreCtx<'_>, arr: PArray<T>, i: usize, v: T) {
+        assert_eq!(T::SIZE, 8, "WAL supports 8-byte scalars only");
+        assert!(
+            self.logged < self.arena.capacity,
+            "WAL arena capacity ({}) exceeded",
+            self.arena.capacity
+        );
+        let addr = arr.addr(i);
+        let old: T = ctx.load(arr, i);
+        // Figure 2 flushes every log entry as it is created (lines 2–7):
+        // the entry must be on its way to NVMM before the fence in
+        // commit step (1).
+        ctx.store(self.arena.entries, 2 * self.logged, addr.0);
+        ctx.clflushopt(self.arena.entries.addr(2 * self.logged));
+        ctx.store(self.arena.entries, 2 * self.logged + 1, old.to_bits64());
+        ctx.clflushopt(self.arena.entries.addr(2 * self.logged + 1));
+        self.logged += 1;
+        self.pending.push((addr, v.to_bits64()));
+    }
+
+    /// Number of staged stores.
+    pub fn staged(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commit: the four flush+fence rounds of Figure 2. `marker_value`
+    /// (typically `1 + region key`) is stored durably with the data so
+    /// recovery knows where to resume.
+    pub fn commit(mut self, ctx: &mut CoreCtx<'_>, marker_value: u64) {
+        let arena = self.arena;
+        // The marker is transaction data too: log its old value.
+        let old_marker: u64 = ctx.load(arena.header, H_MARKER);
+        assert!(self.logged < arena.capacity, "no room for marker log entry");
+        ctx.store(arena.entries, 2 * self.logged, arena.header.addr(H_MARKER).0);
+        ctx.clflushopt(arena.entries.addr(2 * self.logged));
+        ctx.store(arena.entries, 2 * self.logged + 1, old_marker);
+        ctx.clflushopt(arena.entries.addr(2 * self.logged + 1));
+        self.logged += 1;
+
+        // (1) Log complete (entries were flushed as created): persist the
+        // count and wait for the whole log to be durable.
+        ctx.store(arena.header, H_COUNT, self.logged as u64);
+        ctx.clflushopt(arena.header.addr(H_COUNT));
+        ctx.sfence();
+
+        // (2) Durably mark the log valid.
+        ctx.store(arena.header, H_STATUS, 1);
+        ctx.clflushopt(arena.header.addr(H_STATUS));
+        ctx.sfence();
+
+        // (3) Apply the data stores + marker; Figure 2 flushes each
+        // written value (lines 15–17).
+        for &(addr, bits) in &self.pending {
+            ctx.store_addr::<u64>(addr, bits);
+            ctx.clflushopt(addr);
+        }
+        ctx.store(arena.header, H_MARKER, marker_value);
+        ctx.clflushopt(arena.header.addr(H_MARKER));
+        ctx.sfence();
+
+        // (4) Retire the log.
+        ctx.store(arena.header, H_STATUS, 0);
+        ctx.clflushopt(arena.header.addr(H_STATUS));
+        ctx.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::config::MachineConfig;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MachineConfig::default()
+                .with_cores(1)
+                .with_nvmm_bytes(1 << 20),
+        )
+    }
+
+    #[test]
+    fn committed_tx_is_durable() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(16).unwrap();
+        let arena = WalArena::alloc(&mut m, 32).unwrap();
+        {
+            let mut ctx = m.ctx(0);
+            let mut tx = arena.begin();
+            for i in 0..8 {
+                tx.log_and_stage(&mut ctx, arr, i, (i + 1) as f64);
+            }
+            assert_eq!(tx.staged(), 8);
+            tx.commit(&mut ctx, 1);
+        }
+        m.mem_mut().force_crash();
+        m.mem_mut().acknowledge_crash();
+        for i in 0..8 {
+            assert_eq!(m.peek(arr, i), (i + 1) as f64);
+        }
+        assert_eq!(arena.peek_marker(&m), 1);
+        assert_eq!(arena.peek_status(&m), 0);
+    }
+
+    #[test]
+    fn staged_stores_do_not_touch_data_before_commit() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(4).unwrap();
+        m.poke(arr, 0, 5.0);
+        let arena = WalArena::alloc(&mut m, 8).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut tx = arena.begin();
+        tx.log_and_stage(&mut ctx, arr, 0, 9.0);
+        // Before commit, the coherent view still has the old value.
+        let v: f64 = ctx.load(arr, 0);
+        assert_eq!(v, 5.0);
+        tx.commit(&mut ctx, 1);
+        let v: f64 = ctx.load(arr, 0);
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn crash_mid_apply_is_rolled_back() {
+        let mut m = machine();
+        let arr = m.alloc::<f64>(8).unwrap();
+        for i in 0..8 {
+            m.poke(arr, i, 100.0 + i as f64);
+        }
+        let arena = WalArena::alloc(&mut m, 16).unwrap();
+        // Find the op count up to just after status=1 is durable, then
+        // crash in the middle of the data-apply phase.
+        m.set_crash_trigger(CrashTrigger::AfterNvmmWrites(4));
+        let mut plans = m.plans();
+        plans[0].region(move |ctx| {
+            let mut tx = arena.begin();
+            for i in 0..8 {
+                tx.log_and_stage(ctx, arr, i, -1.0);
+            }
+            tx.commit(ctx, 1);
+        });
+        let outcome = m.run(plans);
+        assert_eq!(outcome, lp_sim::machine::Outcome::Crashed);
+        // If the log was marked valid, roll back; data must be intact.
+        if arena.peek_status(&m) == 1 {
+            let mut ctx = m.ctx(0);
+            let undone = arena.recover(&mut ctx);
+            assert!(undone > 0);
+        }
+        for i in 0..8 {
+            assert_eq!(m.peek(arr, i), 100.0 + i as f64, "element {i}");
+        }
+        assert_eq!(arena.peek_marker(&m), 0, "marker rolled back/never set");
+    }
+
+    #[test]
+    fn recover_is_noop_when_status_clear() {
+        let mut m = machine();
+        let arena = WalArena::alloc(&mut m, 8).unwrap();
+        let mut ctx = m.ctx(0);
+        assert_eq!(arena.recover(&mut ctx), 0);
+    }
+
+    #[test]
+    fn arena_is_reusable_across_transactions() {
+        let mut m = machine();
+        let arr = m.alloc::<u64>(4).unwrap();
+        let arena = WalArena::alloc(&mut m, 8).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut tx = arena.begin();
+        tx.log_and_stage(&mut ctx, arr, 0, 1);
+        tx.commit(&mut ctx, 1);
+        let mut tx = arena.begin();
+        tx.log_and_stage(&mut ctx, arr, 0, 2);
+        tx.commit(&mut ctx, 2);
+        drop(ctx);
+        m.drain_caches();
+        assert_eq!(m.peek(arr, 0), 2);
+        assert_eq!(arena.peek_marker(&m), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn over_capacity_panics() {
+        let mut m = machine();
+        let arr = m.alloc::<u64>(16).unwrap();
+        let arena = WalArena::alloc(&mut m, 2).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut tx = arena.begin();
+        for i in 0..3 {
+            tx.log_and_stage(&mut ctx, arr, i, 0);
+        }
+        tx.commit(&mut ctx, 1);
+    }
+
+    #[test]
+    fn tx_costs_four_fences() {
+        let mut m = machine();
+        let arr = m.alloc::<u64>(4).unwrap();
+        let arena = WalArena::alloc(&mut m, 8).unwrap();
+        let mut ctx = m.ctx(0);
+        let mut tx = arena.begin();
+        tx.log_and_stage(&mut ctx, arr, 0, 7);
+        tx.commit(&mut ctx, 1);
+        assert_eq!(ctx.core.stats.fences, 4);
+        assert!(ctx.core.stats.flushes >= 5); // log, count, status x2, data, marker
+    }
+}

@@ -1,0 +1,489 @@
+//! Cholesky factorization (`Cholesky` in the paper's Table V).
+//!
+//! Left-looking column factorization of a symmetric positive-definite
+//! input `a` into a separate lower-triangular output `l` (out-of-place so
+//! recovery can always replay from the preserved input):
+//!
+//! ```text
+//! l[j][j] = sqrt(a[j][j] − Σ_{k<j} l[j][k]²)
+//! l[i][j] = (a[i][j] − Σ_{k<j} l[i][k]·l[j][k]) / l[j][j]     (i > j)
+//! ```
+//!
+//! Regions: `(column j, row block)`. Within a column, row blocks are
+//! independent; every region recomputes the diagonal locally from row `j`
+//! of `l` (redundant arithmetic instead of an extra synchronization), and
+//! only the block owning row `j` stores it. A barrier separates columns,
+//! since column `j+1` reads column `j`.
+//!
+//! Recovery mirrors Gauss: pivot rows `0..col_window` live in block 0
+//! (enforced `col_window ≤ bsize`), so block 0 recovers first and other
+//! blocks replay their columns newest-consistent-first from the input.
+
+use crate::common::{
+    random_spd, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
+    IDX_OPS, MUL_ADD_OPS,
+};
+use lp_core::checksum::ChecksumKind;
+use lp_core::recovery::{recompute_checksum, RecoveryStats};
+use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::config::MachineConfig;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::{Machine, Outcome, ThreadPlan};
+
+/// Modelled ALU ops for a square root.
+const SQRT_OPS: u64 = 12;
+
+/// Problem and windowing parameters for one factorization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyParams {
+    /// Matrix dimension; must be a multiple of `bsize`.
+    pub n: usize,
+    /// Rows per block.
+    pub bsize: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Columns to factorize (the paper runs Cholesky to completion; the
+    /// default bench window covers the first `bsize` columns); must
+    /// satisfy `col_window ≤ bsize`.
+    pub col_window: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl CholeskyParams {
+    /// Parameters sized for fast unit tests.
+    pub fn test_small() -> Self {
+        CholeskyParams {
+            n: 32,
+            bsize: 8,
+            threads: 2,
+            col_window: 6,
+            seed: 23,
+        }
+    }
+
+    /// Bench-scale parameters.
+    pub fn bench_default() -> Self {
+        CholeskyParams {
+            n: 256,
+            bsize: 16,
+            threads: 8,
+            col_window: 16,
+            seed: 23,
+        }
+    }
+
+    /// Paper-scale parameters: 1024² input (the paper runs Cholesky to
+    /// completion; we window to the first tile-width of columns, where
+    /// the left-looking update cost is already dominated by the same
+    /// dot-product inner loop).
+    pub fn paper_default() -> Self {
+        CholeskyParams {
+            n: 1024,
+            bsize: 128,
+            threads: 8,
+            col_window: 128,
+            seed: 23,
+        }
+    }
+
+    /// Number of row blocks.
+    pub fn nblocks(&self) -> usize {
+        self.n / self.bsize
+    }
+
+    /// Validate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bsize == 0 || self.n % self.bsize != 0 {
+            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        if self.col_window == 0 || self.col_window > self.bsize {
+            return Err(format!(
+                "col_window={} must be in 1..=bsize={}",
+                self.col_window, self.bsize
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A configured factorization workload.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Parameters.
+    pub params: CholeskyParams,
+    /// The active scheme.
+    pub scheme: Scheme,
+    /// SPD input (read-only).
+    pub a: PMatrix,
+    /// Lower-triangular output.
+    pub l: PMatrix,
+    /// Scheme support structures.
+    pub handles: SchemeHandles,
+}
+
+impl Cholesky {
+    /// Allocate and initialize on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation or validation failures as strings.
+    pub fn setup(
+        machine: &mut Machine,
+        params: CholeskyParams,
+        scheme: Scheme,
+    ) -> Result<Self, String> {
+        params.validate()?;
+        let n = params.n;
+        let a = PMatrix::alloc(machine, n, n).map_err(|e| e.to_string())?;
+        let l = PMatrix::alloc(machine, n, n).map_err(|e| e.to_string())?;
+        a.fill(machine, &random_spd(params.seed, n));
+        l.fill(machine, &vec![0.0; n * n]);
+        let handles = SchemeHandles::alloc(
+            machine,
+            scheme,
+            params.col_window * params.nblocks(),
+            params.threads,
+            params.bsize + 8,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(Cholesky {
+            params,
+            scheme,
+            a,
+            l,
+            handles,
+        })
+    }
+
+    /// Checksum-table key of region `(j, block)`.
+    pub fn key(&self, j: usize, block: usize) -> usize {
+        j * self.params.nblocks() + block
+    }
+
+    /// Rows of `block` that column `j` writes: the diagonal row `j` if the
+    /// block owns it, plus the block's rows strictly below `j`.
+    pub fn region_rows(params: &CholeskyParams, j: usize, block: usize) -> Vec<usize> {
+        let lo = block * params.bsize;
+        let hi = (block + 1) * params.bsize;
+        (lo..hi).filter(|&r| r >= j).collect()
+    }
+
+    /// Round-robin block ownership.
+    pub fn ownership(&self) -> Vec<Vec<usize>> {
+        round_robin_blocks(self.params.nblocks(), self.params.threads)
+    }
+
+    /// Compute the diagonal value `l[j][j]` (loads row `j` of `l`).
+    fn diag_value(&self, ctx: &mut CoreCtx<'_>, j: usize) -> f64 {
+        let mut s = self.a.load(ctx, j, j);
+        for k in 0..j {
+            let v = self.l.load(ctx, j, k);
+            s -= v * v;
+            ctx.compute(MUL_ADD_OPS + IDX_OPS);
+        }
+        ctx.compute(SQRT_OPS);
+        s.sqrt()
+    }
+
+    /// One region: column `j`'s entries for this block's rows.
+    fn region_body<S: StoreSink>(&self, ctx: &mut CoreCtx<'_>, j: usize, block: usize, sink: &mut S) {
+        let d = self.diag_value(ctx, j);
+        for r in Self::region_rows(&self.params, j, block) {
+            if r == j {
+                sink.store(ctx, self.l.array(), self.l.idx(j, j), d);
+                continue;
+            }
+            let mut s = self.a.load(ctx, r, j);
+            for k in 0..j {
+                let lik = self.l.load(ctx, r, k);
+                let ljk = self.l.load(ctx, j, k);
+                s -= lik * ljk;
+                ctx.compute(MUL_ADD_OPS + IDX_OPS);
+            }
+            ctx.compute(MUL_ADD_OPS);
+            sink.store(ctx, self.l.array(), self.l.idx(r, j), s / d);
+        }
+    }
+
+    /// Per-thread schedules: per column, each thread's non-empty block
+    /// regions, then a barrier.
+    pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
+        let owners = self.ownership();
+        let mut plans: Vec<ThreadPlan<'static>> =
+            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        for j in 0..self.params.col_window {
+            for (t, owned) in owners.iter().enumerate() {
+                let tp = self.handles.thread(t);
+                for &block in owned {
+                    if Self::region_rows(&self.params, j, block).is_empty() {
+                        continue;
+                    }
+                    let this = self.clone();
+                    plans[t].region(move |ctx| {
+                        let key = this.key(j, block);
+                        let mut rs = tp.begin(key);
+                        let mut sink = SchemeSink { tp, rs: &mut rs };
+                        this.region_body(ctx, j, block, &mut sink);
+                        tp.commit(ctx, rs);
+                    });
+                }
+            }
+            for plan in &mut plans {
+                plan.barrier();
+            }
+        }
+        plans
+    }
+
+    /// Host golden for the simulated window.
+    pub fn golden(params: &CholeskyParams) -> Vec<f64> {
+        let n = params.n;
+        let a = random_spd(params.seed, n);
+        let mut l = vec![0.0f64; n * n];
+        for j in 0..params.col_window {
+            let mut s = a[j * n + j];
+            for k in 0..j {
+                s -= l[j * n + k] * l[j * n + k];
+            }
+            let d = s.sqrt();
+            l[j * n + j] = d;
+            for r in j + 1..n {
+                let mut s = a[r * n + j];
+                for k in 0..j {
+                    s -= l[r * n + k] * l[j * n + k];
+                }
+                l[r * n + j] = s / d;
+            }
+        }
+        l
+    }
+
+    /// Whether the durable output matches the golden reference.
+    pub fn verify(&self, machine: &Machine) -> bool {
+        crate::common::values_match(&self.l.peek_all(machine), &Self::golden(&self.params))
+    }
+
+    /// Fold region `(j, block)`'s checksum from current data in store
+    /// order (diagonal first when owned, then descending rows in order).
+    fn fold_region(&self, ctx: &mut CoreCtx<'_>, kind: ChecksumKind, j: usize, block: usize) -> u64 {
+        let mut values = Vec::new();
+        for r in Self::region_rows(&self.params, j, block) {
+            values.push(self.l.load(ctx, r, j));
+            ctx.compute(kind.cost_ops());
+        }
+        recompute_checksum(kind, |ck| {
+            for v in values {
+                ck.update(v.to_bits());
+            }
+        })
+    }
+
+    /// Zero a block's first `col_window` columns eagerly (its pre-run
+    /// state) so replay can start from scratch.
+    fn zero_block(&self, ctx: &mut CoreCtx<'_>, block: usize) {
+        let (bsize, window) = (self.params.bsize, self.params.col_window);
+        for r in block * bsize..(block + 1) * bsize {
+            for j in 0..window.min(r + 1) {
+                self.l.store(ctx, r, j, 0.0);
+            }
+            ctx.flush_range(self.l.array(), self.l.idx(r, 0), window.min(r + 1));
+        }
+        ctx.sfence();
+    }
+
+    /// Recover one block: newest-consistent column, then replay.
+    fn recover_block(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        block: usize,
+        stats: &mut RecoveryStats,
+    ) {
+        let window = self.params.col_window;
+        let mut resume = 0;
+        for j in (0..window).rev() {
+            if Self::region_rows(&self.params, j, block).is_empty() {
+                continue;
+            }
+            stats.regions_checked += 1;
+            let folded = self.fold_region(ctx, kind, j, block);
+            if self.handles.table.matches(ctx, self.key(j, block), folded) {
+                resume = j + 1;
+                break;
+            }
+            stats.regions_inconsistent += 1;
+        }
+        if resume == 0 {
+            self.zero_block(ctx, block);
+        }
+        for j in resume..window {
+            if Self::region_rows(&self.params, j, block).is_empty() {
+                continue;
+            }
+            let mut sink = RecoverySink::new(kind);
+            self.region_body(ctx, j, block, &mut sink);
+            sink.commit(ctx, &self.handles.table, self.key(j, block));
+            stats.regions_repaired += 1;
+        }
+    }
+
+    /// Post-crash recovery, dispatched by scheme.
+    pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
+        match self.scheme {
+            Scheme::Base => RecoveryStats::default(),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
+                let mut stats = RecoveryStats::default();
+                let mut ctx = machine.ctx(0);
+                let start = ctx.now();
+                for block in 0..self.params.nblocks() {
+                    self.recover_block(&mut ctx, kind, block, &mut stats);
+                }
+                stats.cycles = ctx.now() - start;
+                stats
+            }
+            Scheme::Eager | Scheme::Wal => {
+                // Conservative marker-free recovery: zero everything and
+                // replay column-by-column from the preserved input, undoing
+                // any open WAL transaction first.
+                let mut stats = RecoveryStats::default();
+                let mut ctx = machine.ctx(0);
+                let start = ctx.now();
+                for t in 0..self.params.threads {
+                    let tp = self.handles.thread(t);
+                    if tp.wal_recover(&mut ctx) > 0 {
+                        stats.regions_inconsistent += 1;
+                    }
+                }
+                for block in 0..self.params.nblocks() {
+                    self.zero_block(&mut ctx, block);
+                }
+                for j in 0..self.params.col_window {
+                    for block in 0..self.params.nblocks() {
+                        if Self::region_rows(&self.params, j, block).is_empty() {
+                            continue;
+                        }
+                        stats.regions_checked += 1;
+                        let mut sink = crate::common::RecoverySink::new(ChecksumKind::Modular);
+                        self.region_body(&mut ctx, j, block, &mut sink);
+                        // Reuse the recovery sink purely for its eager
+                        // commit; the checksum store is harmless here.
+                        sink.commit(&mut ctx, &self.handles.table, self.key(j, block));
+                        stats.regions_repaired += 1;
+                    }
+                }
+                stats.cycles = ctx.now() - start;
+                stats
+            }
+        }
+    }
+}
+
+/// Convenience driver mirroring [`crate::tmm::run`].
+pub fn run(cfg: &MachineConfig, params: CholeskyParams, scheme: Scheme) -> KernelRun {
+    let cfg = cfg.clone().with_cores(params.threads);
+    let mut machine = Machine::new(cfg);
+    let chol = Cholesky::setup(&mut machine, params, scheme).expect("cholesky setup");
+    let outcome = machine.run(chol.plans());
+    let stats = machine.stats();
+    machine.drain_caches();
+    let verified = outcome == Outcome::Completed && chol.verify(&machine);
+    KernelRun {
+        stats,
+        outcome,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default().with_nvmm_bytes(8 << 20)
+    }
+
+    #[test]
+    fn golden_satisfies_l_lt_equals_a() {
+        let params = CholeskyParams {
+            n: 16,
+            bsize: 16,
+            threads: 1,
+            col_window: 16,
+            seed: 3,
+        };
+        let l = Cholesky::golden(&params);
+        let a = random_spd(params.seed, params.n);
+        let n = params.n;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += l[i * n + k] * l[j * n + k];
+                }
+                assert!((s - a[i * n + j]).abs() < 1e-6, "(L·Lᵀ)[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_agree_with_golden() {
+        for scheme in [
+            Scheme::Base,
+            Scheme::lazy_default(),
+            Scheme::Eager,
+            Scheme::Wal,
+        ] {
+            let r = run(&cfg(), CholeskyParams::test_small(), scheme);
+            assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
+            assert!(r.verified, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn lazy_recovery_roundtrip() {
+        for ops in [100u64, 400, 1_200] {
+            let params = CholeskyParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let chol = Cholesky::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+            assert_eq!(machine.run(chol.plans()), Outcome::Crashed, "at {ops}");
+            machine.clear_crash_trigger();
+            let rstats = chol.recover(&mut machine);
+            machine.drain_caches();
+            assert!(chol.verify(&machine), "crash at {ops} ops");
+            assert!(rstats.regions_checked > 0);
+        }
+    }
+
+    #[test]
+    fn eager_and_wal_recovery_roundtrip() {
+        for scheme in [Scheme::Eager, Scheme::Wal] {
+            let params = CholeskyParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let chol = Cholesky::setup(&mut machine, params, scheme).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(600));
+            assert_eq!(machine.run(chol.plans()), Outcome::Crashed, "{scheme}");
+            machine.clear_crash_trigger();
+            chol.recover(&mut machine);
+            machine.drain_caches();
+            assert!(chol.verify(&machine), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn region_rows_include_diagonal_once() {
+        let p = CholeskyParams::test_small(); // bsize 8
+        assert_eq!(Cholesky::region_rows(&p, 0, 0), (0..8).collect::<Vec<_>>());
+        assert_eq!(Cholesky::region_rows(&p, 5, 0), vec![5, 6, 7]);
+        assert_eq!(Cholesky::region_rows(&p, 5, 1), (8..16).collect::<Vec<_>>());
+    }
+}

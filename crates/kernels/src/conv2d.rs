@@ -1,0 +1,398 @@
+//! 2-dimensional convolution (`2D-conv` in the paper's Table V): a 3×3
+//! stencil over an `n × n` image with a one-pixel halo.
+//!
+//! Each output row-block is an LP region. Regions are *idempotent* (Section
+//! III-E: output depends only on the read-only input), so recovery is the
+//! trivial case — mismatching blocks are simply recomputed, in any order.
+
+use crate::common::{
+    random_values, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
+    IDX_OPS, MUL_ADD_OPS,
+};
+use lp_core::checksum::ChecksumKind;
+use lp_core::recovery::RecoveryStats;
+use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::config::MachineConfig;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::{Machine, Outcome, ThreadPlan};
+
+/// Problem and windowing parameters for one convolution run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Output image dimension (`n × n`); the input is padded to
+    /// `(n+2) × (n+2)`. Must be a multiple of `bsize`.
+    pub n: usize,
+    /// Rows per region.
+    pub bsize: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Number of row-blocks to simulate (the paper windows 2D-conv to ~4%
+    /// of its runtime); capped at `n / bsize`.
+    pub block_window: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Conv2dParams {
+    /// Parameters sized for fast unit tests.
+    pub fn test_small() -> Self {
+        Conv2dParams {
+            n: 32,
+            bsize: 8,
+            threads: 2,
+            block_window: 4,
+            seed: 7,
+        }
+    }
+
+    /// Bench-scale parameters (256² image, 8 threads).
+    pub fn bench_default() -> Self {
+        Conv2dParams {
+            n: 256,
+            bsize: 16,
+            threads: 8,
+            block_window: 8,
+            seed: 7,
+        }
+    }
+
+    /// Paper-scale parameters: 1024² image, a ~4%-of-runtime window.
+    pub fn paper_default() -> Self {
+        Conv2dParams {
+            n: 1024,
+            bsize: 16,
+            threads: 8,
+            block_window: 16,
+            seed: 7,
+        }
+    }
+
+    /// Total row-blocks in the image.
+    pub fn nblocks(&self) -> usize {
+        self.n / self.bsize
+    }
+
+    /// Effective window (capped).
+    pub fn window(&self) -> usize {
+        self.block_window.min(self.nblocks())
+    }
+
+    /// Validate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bsize == 0 || self.n % self.bsize != 0 {
+            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        }
+        if self.threads == 0 || self.block_window == 0 {
+            return Err("threads and block_window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The 3×3 stencil derived deterministically from a seed.
+pub fn stencil(seed: u64) -> [f64; 9] {
+    let v = random_values(seed ^ 0xc0ffee, 9);
+    let mut w = [0.0; 9];
+    w.copy_from_slice(&v);
+    w
+}
+
+/// A configured convolution workload.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Parameters.
+    pub params: Conv2dParams,
+    /// The active scheme.
+    pub scheme: Scheme,
+    /// Padded input image (read-only during the run).
+    pub input: PMatrix,
+    /// Output image.
+    pub output: PMatrix,
+    /// Scheme support structures.
+    pub handles: SchemeHandles,
+    weights: [f64; 9],
+}
+
+impl Conv2d {
+    /// Allocate and initialize on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation or validation failures as strings.
+    pub fn setup(
+        machine: &mut Machine,
+        params: Conv2dParams,
+        scheme: Scheme,
+    ) -> Result<Self, String> {
+        params.validate()?;
+        let n = params.n;
+        let input = PMatrix::alloc(machine, n + 2, n + 2).map_err(|e| e.to_string())?;
+        let output = PMatrix::alloc(machine, n, n).map_err(|e| e.to_string())?;
+        input.fill(machine, &random_values(params.seed, (n + 2) * (n + 2)));
+        output.fill(machine, &vec![0.0; n * n]);
+        let handles = SchemeHandles::alloc(
+            machine,
+            scheme,
+            params.nblocks(),
+            params.threads,
+            params.bsize * n + 8,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(Conv2d {
+            params,
+            scheme,
+            input,
+            output,
+            handles,
+            weights: stencil(params.seed),
+        })
+    }
+
+    /// Round-robin block ownership.
+    pub fn ownership(&self) -> Vec<Vec<usize>> {
+        round_robin_blocks(self.params.window(), self.params.threads)
+    }
+
+    /// One region: convolve rows `[block·bsize, (block+1)·bsize)`.
+    fn region_body<S: StoreSink>(&self, ctx: &mut CoreCtx<'_>, block: usize, sink: &mut S) {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let w = self.weights;
+        for i in block * bsize..(block + 1) * bsize {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for di in 0..3 {
+                    for dj in 0..3 {
+                        let v = self.input.load(ctx, i + di, j + dj);
+                        sum += v * w[di * 3 + dj];
+                        ctx.compute(MUL_ADD_OPS + IDX_OPS);
+                    }
+                }
+                sink.store(ctx, self.output.array(), self.output.idx(i, j), sum);
+                ctx.compute(IDX_OPS);
+            }
+        }
+    }
+
+    /// Per-thread schedules: one region per owned block.
+    pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
+        let mut plans: Vec<ThreadPlan<'static>> =
+            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        for (t, owned) in self.ownership().into_iter().enumerate() {
+            let tp = self.handles.thread(t);
+            for block in owned {
+                let this = self.clone();
+                plans[t].region(move |ctx| {
+                    let mut rs = tp.begin(block);
+                    let mut sink = SchemeSink { tp, rs: &mut rs };
+                    this.region_body(ctx, block, &mut sink);
+                    tp.commit(ctx, rs);
+                });
+            }
+        }
+        plans
+    }
+
+    /// Host golden for the simulated window.
+    pub fn golden(params: &Conv2dParams) -> Vec<f64> {
+        let n = params.n;
+        let input = random_values(params.seed, (n + 2) * (n + 2));
+        let w = stencil(params.seed);
+        let mut out = vec![0.0f64; n * n];
+        for i in 0..params.window() * params.bsize {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for di in 0..3 {
+                    for dj in 0..3 {
+                        sum += input[(i + di) * (n + 2) + (j + dj)] * w[di * 3 + dj];
+                    }
+                }
+                out[i * n + j] = sum;
+            }
+        }
+        out
+    }
+
+    /// Whether the durable output matches the golden reference.
+    pub fn verify(&self, machine: &Machine) -> bool {
+        crate::common::values_match(&self.output.peek_all(machine), &Self::golden(&self.params))
+    }
+
+    /// Post-crash recovery (idempotent regions: recompute what mismatches).
+    pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
+        match self.scheme {
+            Scheme::Base => RecoveryStats::default(),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => self.recover_lazy(machine, kind),
+            Scheme::Eager | Scheme::Wal => self.recover_marker_based(machine),
+        }
+    }
+
+    fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        for block in 0..self.params.window() {
+            stats.regions_checked += 1;
+            let out = self.output;
+            let indices = (block * bsize..(block + 1) * bsize)
+                .flat_map(move |i| (0..n).map(move |j| out.idx(i, j)));
+            let consistent = lp_core::recovery::region_consistent(
+                &mut ctx,
+                &self.handles.table,
+                block,
+                kind,
+                self.output.array(),
+                indices,
+            );
+            if consistent {
+                continue;
+            }
+            stats.regions_inconsistent += 1;
+            let mut sink = RecoverySink::new(kind);
+            self.region_body(&mut ctx, block, &mut sink);
+            sink.commit(&mut ctx, &self.handles.table, block);
+            stats.regions_repaired += 1;
+        }
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+
+    /// EP/WAL recovery: undo any open transaction, then re-run every block
+    /// past each thread's marker (idempotent, so partial work is harmless).
+    fn recover_marker_based(&self, machine: &mut Machine) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        let owners = self.ownership();
+        let completed: Vec<usize> = (0..self.params.threads)
+            .map(|t| {
+                let marker = self.handles.thread(t).peek_marker(machine);
+                if marker == 0 {
+                    0
+                } else {
+                    owners[t]
+                        .iter()
+                        .position(|&b| b == (marker - 1) as usize)
+                        .map(|p| p + 1)
+                        .unwrap_or(0)
+                }
+            })
+            .collect();
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        for (t, owned) in owners.iter().enumerate() {
+            let tp = self.handles.thread(t);
+            tp.wal_recover(&mut ctx);
+            stats.regions_checked += owned.len() as u64;
+            for &block in &owned[completed[t]..] {
+                let mut rs = tp.begin(block);
+                let mut sink = SchemeSink { tp, rs: &mut rs };
+                self.region_body(&mut ctx, block, &mut sink);
+                tp.commit(&mut ctx, rs);
+                stats.regions_repaired += 1;
+            }
+        }
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+}
+
+/// Convenience driver mirroring [`crate::tmm::run`].
+pub fn run(cfg: &MachineConfig, params: Conv2dParams, scheme: Scheme) -> KernelRun {
+    let cfg = cfg.clone().with_cores(params.threads);
+    let mut machine = Machine::new(cfg);
+    let conv = Conv2d::setup(&mut machine, params, scheme).expect("conv2d setup");
+    let outcome = machine.run(conv.plans());
+    let stats = machine.stats();
+    machine.drain_caches();
+    let verified = outcome == Outcome::Completed && conv.verify(&machine);
+    KernelRun {
+        stats,
+        outcome,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default().with_nvmm_bytes(8 << 20)
+    }
+
+    #[test]
+    fn all_schemes_agree_with_golden() {
+        for scheme in [
+            Scheme::Base,
+            Scheme::lazy_default(),
+            Scheme::Eager,
+            Scheme::Wal,
+        ] {
+            let r = run(&cfg(), Conv2dParams::test_small(), scheme);
+            assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
+            assert!(r.verified, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn lp_overhead_is_small() {
+        let base = run(&cfg(), Conv2dParams::test_small(), Scheme::Base);
+        let lp = run(&cfg(), Conv2dParams::test_small(), Scheme::lazy_default());
+        let ep = run(&cfg(), Conv2dParams::test_small(), Scheme::Eager);
+        assert!(lp.cycles() as f64 / (base.cycles() as f64) < 1.25);
+        assert!(ep.cycles() > lp.cycles());
+    }
+
+    #[test]
+    fn lazy_recovery_roundtrip() {
+        for ops in [100u64, 3_000, 10_000] {
+            let params = Conv2dParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let conv = Conv2d::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+            assert_eq!(machine.run(conv.plans()), Outcome::Crashed);
+            machine.clear_crash_trigger();
+            let rstats = conv.recover(&mut machine);
+            machine.drain_caches();
+            assert!(conv.verify(&machine), "crash at {ops} ops");
+            assert!(rstats.regions_checked > 0);
+        }
+    }
+
+    #[test]
+    fn eager_and_wal_recovery_roundtrip() {
+        for scheme in [Scheme::Eager, Scheme::Wal] {
+            let params = Conv2dParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let conv = Conv2d::setup(&mut machine, params, scheme).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(4_000));
+            assert_eq!(machine.run(conv.plans()), Outcome::Crashed, "{scheme}");
+            machine.clear_crash_trigger();
+            conv.recover(&mut machine);
+            machine.drain_caches();
+            assert!(conv.verify(&machine), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn stencil_is_deterministic() {
+        assert_eq!(stencil(7), stencil(7));
+        assert_ne!(stencil(7), stencil(8));
+    }
+
+    #[test]
+    fn windowing_limits_computed_rows() {
+        let mut params = Conv2dParams::test_small();
+        params.block_window = 1;
+        let r = run(&cfg(), params, Scheme::Base);
+        assert!(r.verified);
+        // Golden for a 1-block window has zeros past the first block.
+        let g = Conv2d::golden(&params);
+        assert!(g[params.bsize * params.n..].iter().all(|&v| v == 0.0));
+        assert!(g[..params.bsize * params.n].iter().any(|&v| v != 0.0));
+    }
+}

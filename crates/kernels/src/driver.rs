@@ -1,0 +1,131 @@
+//! Uniform dispatch over the five simulated kernels, for the experiment
+//! harness and cross-kernel figures (Figures 12 and 13).
+
+use crate::common::KernelRun;
+use lp_core::scheme::Scheme;
+use lp_sim::config::MachineConfig;
+
+/// Which simulated kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelId {
+    /// Tiled matrix multiplication.
+    Tmm,
+    /// Cholesky factorization.
+    Cholesky,
+    /// 2-D convolution.
+    Conv2d,
+    /// Gaussian elimination.
+    Gauss,
+    /// Fast Fourier transform.
+    Fft,
+}
+
+impl KernelId {
+    /// All kernels in the paper's figure order.
+    pub const ALL: [KernelId; 5] = [
+        KernelId::Tmm,
+        KernelId::Cholesky,
+        KernelId::Conv2d,
+        KernelId::Gauss,
+        KernelId::Fft,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::Tmm => "TMM",
+            KernelId::Cholesky => "Cholesky",
+            KernelId::Conv2d => "2D-conv",
+            KernelId::Gauss => "Gauss",
+            KernelId::Fft => "FFT",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Problem scale for dispatched runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests (sub-second per run).
+    Test,
+    /// Bench-default inputs mirroring the paper's simulation windows
+    /// (seconds per run).
+    Bench,
+    /// Paper-scale inputs (tens of seconds per run).
+    Paper,
+}
+
+/// Run `kernel` under `scheme` at `scale` on a machine configured by
+/// `cfg` (core count is overridden by the kernel's thread parameter).
+pub fn run_kernel(kernel: KernelId, scale: Scale, cfg: &MachineConfig, scheme: Scheme) -> KernelRun {
+    match (kernel, scale) {
+        (KernelId::Tmm, Scale::Test) => crate::tmm::run(cfg, crate::tmm::TmmParams::test_small(), scheme),
+        (KernelId::Tmm, Scale::Bench) => {
+            crate::tmm::run(cfg, crate::tmm::TmmParams::bench_default(), scheme)
+        }
+        (KernelId::Tmm, Scale::Paper) => {
+            crate::tmm::run(cfg, crate::tmm::TmmParams::paper_default(), scheme)
+        }
+        (KernelId::Cholesky, Scale::Paper) => {
+            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::paper_default(), scheme)
+        }
+        (KernelId::Conv2d, Scale::Paper) => {
+            crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::paper_default(), scheme)
+        }
+        (KernelId::Gauss, Scale::Paper) => {
+            crate::gauss::run(cfg, crate::gauss::GaussParams::paper_default(), scheme)
+        }
+        (KernelId::Fft, Scale::Paper) => {
+            crate::fft::run(cfg, crate::fft::FftParams::paper_default(), scheme)
+        }
+        (KernelId::Cholesky, Scale::Test) => {
+            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::test_small(), scheme)
+        }
+        (KernelId::Cholesky, Scale::Bench) => {
+            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::bench_default(), scheme)
+        }
+        (KernelId::Conv2d, Scale::Test) => {
+            crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::test_small(), scheme)
+        }
+        (KernelId::Conv2d, Scale::Bench) => {
+            crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::bench_default(), scheme)
+        }
+        (KernelId::Gauss, Scale::Test) => {
+            crate::gauss::run(cfg, crate::gauss::GaussParams::test_small(), scheme)
+        }
+        (KernelId::Gauss, Scale::Bench) => {
+            crate::gauss::run(cfg, crate::gauss::GaussParams::bench_default(), scheme)
+        }
+        (KernelId::Fft, Scale::Test) => {
+            crate::fft::run(cfg, crate::fft::FftParams::test_small(), scheme)
+        }
+        (KernelId::Fft, Scale::Bench) => {
+            crate::fft::run(cfg, crate::fft::FftParams::bench_default(), scheme)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_dispatches_and_verifies_at_test_scale() {
+        let cfg = MachineConfig::default().with_nvmm_bytes(16 << 20);
+        for kernel in KernelId::ALL {
+            let r = run_kernel(kernel, Scale::Test, &cfg, Scheme::lazy_default());
+            assert!(r.verified, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn names_match_figures() {
+        let names: Vec<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["TMM", "Cholesky", "2D-conv", "Gauss", "FFT"]);
+    }
+}

@@ -1,0 +1,553 @@
+//! Fast Fourier transform (`FFT` in the paper's Table V; the paper windows
+//! it to ~5% of runtime — here, to a configurable number of butterfly
+//! stages).
+//!
+//! Radix-2 decimation-in-time over complex data stored as separate
+//! re/im arrays, computed *out-of-place per stage* between two ping-pong
+//! buffer pairs so each stage's writes are disjoint from its reads:
+//!
+//! * stage 0 performs the bit-reversal permutation from the (read-only,
+//!   durable) input into buffer 0;
+//! * stage `s ≥ 1` computes every output element independently from two
+//!   source elements of buffer `(s−1) mod 2` into buffer `s mod 2`
+//!   (an element's butterfly partner is found by position within its
+//!   group, so no region ever writes outside its own index range).
+//!
+//! Regions are contiguous index chunks per stage; a barrier separates
+//! stages (butterflies cross chunk boundaries).
+//!
+//! Recovery: a chunk of stage `s` can only be recomputed if stage `s−1`'s
+//! buffer survived — which ping-pong reuse may have destroyed. The driver
+//! therefore finds the *newest fully consistent stage* and replays from
+//! there; if none survived it replays everything from the preserved input
+//! (always possible). This is the honest consequence of in-place buffer
+//! reuse that Section III-E's associativity discussion anticipates.
+
+use crate::common::{
+    random_values, round_robin_blocks, KernelRun, RecoverySink, SchemeSink, StoreSink, IDX_OPS,
+    MUL_ADD_OPS,
+};
+use lp_core::checksum::ChecksumKind;
+use lp_core::recovery::{recompute_checksum, RecoveryStats};
+use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::config::MachineConfig;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::{Machine, Outcome, ThreadPlan};
+use lp_sim::mem::PArray;
+
+/// Modelled ALU ops for one twiddle-factor evaluation (a libm sin/cos
+/// pair plus the angle arithmetic).
+const TWIDDLE_OPS: u64 = 40;
+
+/// Problem and windowing parameters for one FFT run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftParams {
+    /// Points; must be a power of two.
+    pub n: usize,
+    /// Chunks per stage (regions); must divide `n`.
+    pub chunks: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Stages to simulate, *including* the bit-reversal stage 0; capped at
+    /// `log2(n) + 1`.
+    pub stage_window: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl FftParams {
+    /// Parameters sized for fast unit tests.
+    pub fn test_small() -> Self {
+        FftParams {
+            n: 256,
+            chunks: 4,
+            threads: 2,
+            stage_window: 4,
+            seed: 31,
+        }
+    }
+
+    /// Bench-scale parameters (16Ki points, ~1/3 of the stages).
+    pub fn bench_default() -> Self {
+        FftParams {
+            n: 16 * 1024,
+            chunks: 16,
+            threads: 8,
+            stage_window: 5,
+            seed: 31,
+        }
+    }
+
+    /// Paper-scale parameters: the paper transforms a 100k-node vector
+    /// and simulates ~5% of the run; 128Ki points with a 5-stage window
+    /// is the nearest power-of-two equivalent.
+    pub fn paper_default() -> Self {
+        FftParams {
+            n: 128 * 1024,
+            chunks: 16,
+            threads: 8,
+            stage_window: 5,
+            seed: 31,
+        }
+    }
+
+    /// log2(n).
+    pub fn log2n(&self) -> usize {
+        self.n.trailing_zeros() as usize
+    }
+
+    /// Effective stage count (capped at the full transform).
+    pub fn window(&self) -> usize {
+        self.stage_window.min(self.log2n() + 1)
+    }
+
+    /// Elements per chunk.
+    pub fn chunk_len(&self) -> usize {
+        self.n / self.chunks
+    }
+
+    /// Validate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.n.is_power_of_two() || self.n < 4 {
+            return Err(format!("n={} must be a power of two >= 4", self.n));
+        }
+        if self.chunks == 0 || self.n % self.chunks != 0 {
+            return Err(format!("chunks={} must divide n={}", self.chunks, self.n));
+        }
+        if self.threads == 0 || self.stage_window == 0 {
+            return Err("threads and stage_window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One complex buffer pair in persistent memory.
+#[derive(Debug, Clone, Copy)]
+struct CBuf {
+    re: PArray<f64>,
+    im: PArray<f64>,
+}
+
+/// A configured FFT workload.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Parameters.
+    pub params: FftParams,
+    /// The active scheme.
+    pub scheme: Scheme,
+    input: CBuf,
+    bufs: [CBuf; 2],
+    /// Scheme support structures.
+    pub handles: SchemeHandles,
+}
+
+/// Bit-reverse `i` within `bits` bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lp_kernels::fft::bit_reverse(0b0001, 4), 0b1000);
+/// ```
+pub fn bit_reverse(i: usize, bits: usize) -> usize {
+    let mut out = 0usize;
+    for b in 0..bits {
+        if i & (1 << b) != 0 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+impl Fft {
+    /// Allocate and initialize on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation or validation failures as strings.
+    pub fn setup(machine: &mut Machine, params: FftParams, scheme: Scheme) -> Result<Self, String> {
+        params.validate()?;
+        let n = params.n;
+        let alloc_buf = |machine: &mut Machine| -> Result<CBuf, String> {
+            Ok(CBuf {
+                re: machine.alloc::<f64>(n).map_err(|e| e.to_string())?,
+                im: machine.alloc::<f64>(n).map_err(|e| e.to_string())?,
+            })
+        };
+        let input = alloc_buf(machine)?;
+        let bufs = [alloc_buf(machine)?, alloc_buf(machine)?];
+        machine.poke_slice(input.re, 0, &random_values(params.seed, n));
+        machine.poke_slice(input.im, 0, &random_values(params.seed ^ 0xf457, n));
+        for b in &bufs {
+            machine.poke_slice(b.re, 0, &vec![0.0; n]);
+            machine.poke_slice(b.im, 0, &vec![0.0; n]);
+        }
+        let handles = SchemeHandles::alloc(
+            machine,
+            scheme,
+            params.window() * params.chunks,
+            params.threads,
+            2 * params.chunk_len() + 8,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(Fft {
+            params,
+            scheme,
+            input,
+            bufs,
+            handles,
+        })
+    }
+
+    /// Checksum-table key of region `(stage, chunk)`.
+    pub fn key(&self, stage: usize, chunk: usize) -> usize {
+        stage * self.params.chunks + chunk
+    }
+
+    /// The buffer written by `stage`.
+    fn dst(&self, stage: usize) -> CBuf {
+        self.bufs[stage % 2]
+    }
+
+    /// Round-robin chunk ownership.
+    pub fn ownership(&self) -> Vec<Vec<usize>> {
+        round_robin_blocks(self.params.chunks, self.params.threads)
+    }
+
+    /// One region: compute the chunk's output elements for `stage`.
+    /// Stores go re-then-im per element, ascending index.
+    fn region_body<S: StoreSink>(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        stage: usize,
+        chunk: usize,
+        sink: &mut S,
+    ) {
+        let len = self.params.chunk_len();
+        let dst = self.dst(stage);
+        let range = chunk * len..(chunk + 1) * len;
+        if stage == 0 {
+            let bits = self.params.log2n();
+            for i in range {
+                let src = bit_reverse(i, bits);
+                let re = ctx.load(self.input.re, src);
+                let im = ctx.load(self.input.im, src);
+                ctx.compute(IDX_OPS * 4);
+                sink.store(ctx, dst.re, i, re);
+                sink.store(ctx, dst.im, i, im);
+            }
+            return;
+        }
+        let src = self.bufs[(stage - 1) % 2];
+        let half = 1usize << (stage - 1); // butterflies span 2^stage points
+        let group = half * 2;
+        for i in range {
+            let pos = i & (group - 1);
+            let base = i - pos;
+            let (s1, s2, sign, tpos) = if pos < half {
+                (i, i + half, 1.0, pos)
+            } else {
+                (i - half, i, -1.0, pos - half)
+            };
+            let angle = -2.0 * std::f64::consts::PI * tpos as f64 / group as f64;
+            let (wr, wi) = (angle.cos(), angle.sin());
+            ctx.compute(TWIDDLE_OPS);
+            let ar = ctx.load(src.re, s1);
+            let ai = ctx.load(src.im, s1);
+            let br = ctx.load(src.re, s2);
+            let bi = ctx.load(src.im, s2);
+            // a ± w·b
+            let tr = wr * br - wi * bi;
+            let ti = wr * bi + wi * br;
+            ctx.compute(4 * MUL_ADD_OPS + IDX_OPS);
+            sink.store(ctx, dst.re, i, ar + sign * tr);
+            sink.store(ctx, dst.im, i, ai + sign * ti);
+            let _ = base;
+        }
+    }
+
+    /// Per-thread schedules: per stage, each thread's chunks, then a
+    /// barrier.
+    pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
+        let owners = self.ownership();
+        let mut plans: Vec<ThreadPlan<'static>> =
+            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        for stage in 0..self.params.window() {
+            for (t, owned) in owners.iter().enumerate() {
+                let tp = self.handles.thread(t);
+                for &chunk in owned {
+                    let this = self.clone();
+                    plans[t].region(move |ctx| {
+                        let key = this.key(stage, chunk);
+                        let mut rs = tp.begin(key);
+                        let mut sink = SchemeSink { tp, rs: &mut rs };
+                        this.region_body(ctx, stage, chunk, &mut sink);
+                        tp.commit(ctx, rs);
+                    });
+                }
+            }
+            for plan in &mut plans {
+                plan.barrier();
+            }
+        }
+        plans
+    }
+
+    /// Host golden: replay the same stages natively. Returns
+    /// `(re, im)` of the final stage's buffer.
+    pub fn golden(params: &FftParams) -> (Vec<f64>, Vec<f64>) {
+        let n = params.n;
+        let in_re = random_values(params.seed, n);
+        let in_im = random_values(params.seed ^ 0xf457, n);
+        let mut bufs = [
+            (vec![0.0f64; n], vec![0.0f64; n]),
+            (vec![0.0f64; n], vec![0.0f64; n]),
+        ];
+        let bits = params.log2n();
+        for i in 0..n {
+            let src = bit_reverse(i, bits);
+            bufs[0].0[i] = in_re[src];
+            bufs[0].1[i] = in_im[src];
+        }
+        for stage in 1..params.window() {
+            let (src_idx, dst_idx) = ((stage - 1) % 2, stage % 2);
+            let half = 1usize << (stage - 1);
+            let group = half * 2;
+            for i in 0..n {
+                let pos = i & (group - 1);
+                let (s1, s2, sign, tpos) = if pos < half {
+                    (i, i + half, 1.0, pos)
+                } else {
+                    (i - half, i, -1.0, pos - half)
+                };
+                let angle = -2.0 * std::f64::consts::PI * tpos as f64 / group as f64;
+                let (wr, wi) = (angle.cos(), angle.sin());
+                let (ar, ai) = (bufs[src_idx].0[s1], bufs[src_idx].1[s1]);
+                let (br, bi) = (bufs[src_idx].0[s2], bufs[src_idx].1[s2]);
+                let tr = wr * br - wi * bi;
+                let ti = wr * bi + wi * br;
+                bufs[dst_idx].0[i] = ar + sign * tr;
+                bufs[dst_idx].1[i] = ai + sign * ti;
+            }
+        }
+        let last = (params.window() - 1) % 2;
+        (bufs[last].0.clone(), bufs[last].1.clone())
+    }
+
+    /// Whether the durable final buffer matches the golden reference.
+    pub fn verify(&self, machine: &Machine) -> bool {
+        let (gre, gim) = Self::golden(&self.params);
+        let last = self.dst(self.params.window() - 1);
+        crate::common::values_match(&machine.peek_vec(last.re), &gre)
+            && crate::common::values_match(&machine.peek_vec(last.im), &gim)
+    }
+
+    /// Fold region `(stage, chunk)`'s checksum from current data.
+    fn fold_region(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        stage: usize,
+        chunk: usize,
+    ) -> u64 {
+        let len = self.params.chunk_len();
+        let dst = self.dst(stage);
+        let mut values = Vec::with_capacity(2 * len);
+        for i in chunk * len..(chunk + 1) * len {
+            values.push(ctx.load(dst.re, i));
+            values.push(ctx.load(dst.im, i));
+            ctx.compute(2 * kind.cost_ops());
+        }
+        recompute_checksum(kind, |ck| {
+            for v in values {
+                ck.update(v.to_bits());
+            }
+        })
+    }
+
+    /// Whether every chunk of `stage` matches its stored checksum.
+    fn stage_consistent(&self, ctx: &mut CoreCtx<'_>, kind: ChecksumKind, stage: usize) -> bool {
+        (0..self.params.chunks).all(|chunk| {
+            let folded = self.fold_region(ctx, kind, stage, chunk);
+            self.handles.table.matches(ctx, self.key(stage, chunk), folded)
+        })
+    }
+
+    /// Post-crash recovery: replay from the newest fully consistent stage
+    /// (or from the preserved input).
+    pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
+        let kind = match self.scheme {
+            Scheme::Base => return RecoveryStats::default(),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => kind,
+            // EP/WAL: undo any open tx, then full eager replay from input.
+            Scheme::Eager | Scheme::Wal => {
+                let mut stats = RecoveryStats::default();
+                let mut ctx = machine.ctx(0);
+                let start = ctx.now();
+                for t in 0..self.params.threads {
+                    let tp = self.handles.thread(t);
+                    if tp.wal_recover(&mut ctx) > 0 {
+                        stats.regions_inconsistent += 1;
+                    }
+                }
+                self.replay_from(&mut ctx, ChecksumKind::Modular, 0, &mut stats);
+                stats.cycles = ctx.now() - start;
+                return stats;
+            }
+        };
+        let mut stats = RecoveryStats::default();
+        let window = self.params.window();
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        let mut resume = 0;
+        for stage in (0..window).rev() {
+            stats.regions_checked += self.params.chunks as u64;
+            if self.stage_consistent(&mut ctx, kind, stage) {
+                resume = stage + 1;
+                break;
+            }
+            stats.regions_inconsistent += 1;
+        }
+        self.replay_from(&mut ctx, kind, resume, &mut stats);
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+
+    /// Eagerly re-execute stages `from..window`, repairing checksums.
+    fn replay_from(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        from: usize,
+        stats: &mut RecoveryStats,
+    ) {
+        for stage in from..self.params.window() {
+            for chunk in 0..self.params.chunks {
+                let mut sink = RecoverySink::new(kind);
+                self.region_body(ctx, stage, chunk, &mut sink);
+                sink.commit(ctx, &self.handles.table, self.key(stage, chunk));
+                stats.regions_repaired += 1;
+            }
+        }
+    }
+}
+
+/// Convenience driver mirroring [`crate::tmm::run`].
+pub fn run(cfg: &MachineConfig, params: FftParams, scheme: Scheme) -> KernelRun {
+    let cfg = cfg.clone().with_cores(params.threads);
+    let mut machine = Machine::new(cfg);
+    let fft = Fft::setup(&mut machine, params, scheme).expect("fft setup");
+    let outcome = machine.run(fft.plans());
+    let stats = machine.stats();
+    machine.drain_caches();
+    let verified = outcome == Outcome::Completed && fft.verify(&machine);
+    KernelRun {
+        stats,
+        outcome,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default().with_nvmm_bytes(8 << 20)
+    }
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        for bits in [4usize, 8] {
+            for i in 0..(1 << bits) {
+                assert_eq!(bit_reverse(bit_reverse(i, bits), bits), i);
+            }
+        }
+        assert_eq!(bit_reverse(0b0001, 4), 0b1000);
+        assert_eq!(bit_reverse(0b0110, 4), 0b0110);
+    }
+
+    #[test]
+    fn full_transform_matches_naive_dft() {
+        // With the window covering all stages, the golden equals a DFT.
+        let params = FftParams {
+            n: 64,
+            chunks: 4,
+            threads: 1,
+            stage_window: 7, // log2(64)+1
+            seed: 9,
+        };
+        let (re, im) = Fft::golden(&params);
+        let n = params.n;
+        let xre = random_values(params.seed, n);
+        let xim = random_values(params.seed ^ 0xf457, n);
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0f64, 0.0f64);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                sr += xre[t] * c - xim[t] * s;
+                si += xre[t] * s + xim[t] * c;
+            }
+            assert!((sr - re[k]).abs() < 1e-6, "re[{k}]");
+            assert!((si - im[k]).abs() < 1e-6, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn all_schemes_agree_with_golden() {
+        for scheme in [
+            Scheme::Base,
+            Scheme::lazy_default(),
+            Scheme::Eager,
+            Scheme::Wal,
+        ] {
+            let r = run(&cfg(), FftParams::test_small(), scheme);
+            assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
+            assert!(r.verified, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn lazy_recovery_roundtrip() {
+        for ops in [100u64, 1_500, 4_000] {
+            let params = FftParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let fft = Fft::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+            assert_eq!(machine.run(fft.plans()), Outcome::Crashed, "at {ops}");
+            machine.clear_crash_trigger();
+            let rstats = fft.recover(&mut machine);
+            machine.drain_caches();
+            assert!(fft.verify(&machine), "crash at {ops} ops");
+            assert!(rstats.regions_repaired > 0);
+        }
+    }
+
+    #[test]
+    fn eager_and_wal_recovery_roundtrip() {
+        for scheme in [Scheme::Eager, Scheme::Wal] {
+            let params = FftParams::test_small();
+            let mut machine = Machine::new(cfg().with_cores(params.threads));
+            let fft = Fft::setup(&mut machine, params, scheme).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterMemOps(3_000));
+            assert_eq!(machine.run(fft.plans()), Outcome::Crashed, "{scheme}");
+            machine.clear_crash_trigger();
+            fft.recover(&mut machine);
+            machine.drain_caches();
+            assert!(fft.verify(&machine), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn window_caps_at_full_transform() {
+        let mut params = FftParams::test_small();
+        params.stage_window = 100;
+        assert_eq!(params.window(), params.log2n() + 1);
+        params.validate().unwrap();
+    }
+}

@@ -1,0 +1,703 @@
+//! Tiled matrix multiplication (`tmm`) — the paper's running example
+//! (Figures 3, 4, 8 and 9) and the workload behind Figures 10, 11, 14, 15
+//! and Tables IV and VI.
+//!
+//! `c = a · b` with the standard 6-loop tiling (`kk, ii, jj, i, j, k`).
+//! The LP region is one `ii` iteration within a `kk` iteration — a
+//! `bsize × n` horizontal strip of `c` accumulating one `kk` partial
+//! product. Threads own disjoint `ii` strips, so regions of different
+//! threads never share output lines and the checksum table is indexed
+//! collision-free by `(kk, ii)`.
+//!
+//! Regions within one `kk` are associative; across `kk` there are output
+//! dependences (each `kk` accumulates into `c`), which recovery handles by
+//! scanning checksums in *reverse* `kk` order per strip (Figure 9 plus the
+//! per-strip "optimized Repair" the paper describes): the latest `kk` whose
+//! checksum matches the surviving data identifies the strip's durable
+//! state, and only later `kk` contributions are recomputed — eagerly, so
+//! recovery itself makes forward progress.
+
+use crate::common::{
+    random_values, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
+    IDX_OPS, MUL_ADD_OPS,
+};
+use lp_core::checksum::ChecksumKind;
+use lp_core::recovery::RecoveryStats;
+use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::config::MachineConfig;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::{Machine, Outcome, ThreadPlan};
+use lp_sim::mem::OutOfPersistentMemory;
+
+/// Problem and windowing parameters for one tmm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmmParams {
+    /// Matrix dimension (`n × n`); must be a multiple of `bsize`.
+    pub n: usize,
+    /// Tile size (paper default 16: one strip line persists with one
+    /// `clflushopt`).
+    pub bsize: usize,
+    /// Worker threads (logical cores).
+    pub threads: usize,
+    /// Number of outer `kk` iterations to simulate (the paper windows tmm
+    /// to 2 of `n/bsize`); capped at `n / bsize`.
+    pub kk_window: usize,
+    /// Seed for the deterministic random inputs.
+    pub seed: u64,
+}
+
+impl TmmParams {
+    /// Parameters sized for fast unit tests.
+    pub fn test_small() -> Self {
+        TmmParams {
+            n: 32,
+            bsize: 8,
+            threads: 2,
+            kk_window: 2,
+            seed: 42,
+        }
+    }
+
+    /// Parameters sized like the paper's simulation window (scaled down:
+    /// 256² matrices instead of 1024², same 2-`kk` window, 8 threads).
+    pub fn bench_default() -> Self {
+        TmmParams {
+            n: 256,
+            bsize: 16,
+            threads: 8,
+            kk_window: 2,
+            seed: 42,
+        }
+    }
+
+    /// The paper's exact Table IV setup: 1024² matrices, tile size 16,
+    /// 8 worker threads, a 2-`kk` simulation window (1/32 of the run).
+    pub fn paper_default() -> Self {
+        TmmParams {
+            n: 1024,
+            bsize: 16,
+            threads: 8,
+            kk_window: 2,
+            seed: 42,
+        }
+    }
+
+    /// Number of `ii` strips.
+    pub fn nb(&self) -> usize {
+        self.n / self.bsize
+    }
+
+    /// Effective `kk` window (capped at `nb`).
+    pub fn window(&self) -> usize {
+        self.kk_window.min(self.nb())
+    }
+
+    /// Validate divisibility and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bsize == 0 || self.n % self.bsize != 0 {
+            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        if self.kk_window == 0 {
+            return Err("kk_window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A configured tmm workload on a machine: inputs, output, scheme state.
+#[derive(Debug, Clone)]
+pub struct Tmm {
+    /// Parameters.
+    pub params: TmmParams,
+    /// The active scheme.
+    pub scheme: Scheme,
+    /// Input matrix `a` (read-only during the run).
+    pub a: PMatrix,
+    /// Input matrix `b` (read-only during the run).
+    pub b: PMatrix,
+    /// Output matrix `c` (initialized to zero).
+    pub c: PMatrix,
+    /// Scheme support structures.
+    pub handles: SchemeHandles,
+}
+
+impl Tmm {
+    /// Allocate and initialize the workload on `machine` (untimed setup:
+    /// inputs are durable before the measured run starts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPersistentMemory`] if the heap is too small, or a
+    /// parameter-validation message.
+    pub fn setup(
+        machine: &mut Machine,
+        params: TmmParams,
+        scheme: Scheme,
+    ) -> Result<Self, String> {
+        params.validate()?;
+        let alloc = |e: OutOfPersistentMemory| e.to_string();
+        let n = params.n;
+        let a = PMatrix::alloc(machine, n, n).map_err(alloc)?;
+        let b = PMatrix::alloc(machine, n, n).map_err(alloc)?;
+        let c = PMatrix::alloc(machine, n, n).map_err(alloc)?;
+        a.fill(machine, &random_values(params.seed, n * n));
+        b.fill(machine, &random_values(params.seed ^ 0x5eed, n * n));
+        // c starts at zero (freshly poked so the durable image is clean).
+        c.fill(machine, &vec![0.0; n * n]);
+        let nb = params.nb();
+        let handles = SchemeHandles::alloc(
+            machine,
+            scheme,
+            nb * nb,
+            params.threads,
+            params.bsize * n + 8,
+        )
+        .map_err(alloc)?;
+        Ok(Tmm {
+            params,
+            scheme,
+            a,
+            b,
+            c,
+            handles,
+        })
+    }
+
+    /// Collision-free checksum-table / marker key for region `(kb, ib)`.
+    pub fn key(&self, kb: usize, ib: usize) -> usize {
+        kb * self.params.nb() + ib
+    }
+
+    /// Inverse of [`Tmm::key`].
+    pub fn key_to_region(&self, key: usize) -> (usize, usize) {
+        (key / self.params.nb(), key % self.params.nb())
+    }
+
+    /// The strip indices owned by each thread (round-robin over `ii`
+    /// strips, like the paper's static parallelization).
+    pub fn ownership(&self) -> Vec<Vec<usize>> {
+        round_robin_blocks(self.params.nb(), self.params.threads)
+    }
+
+    /// `(i, j)` store order of region `(·, ib)`: the `jj → i → j` loop
+    /// nest of Figure 8. Checksum folds follow exactly this order.
+    pub fn region_elems(params: &TmmParams, ib: usize) -> impl Iterator<Item = (usize, usize)> {
+        let (n, bsize) = (params.n, params.bsize);
+        let ii = ib * bsize;
+        (0..n).step_by(bsize).flat_map(move |jj| {
+            (ii..ii + bsize).flat_map(move |i| (jj..jj + bsize).map(move |j| (i, j)))
+        })
+    }
+
+    /// One region's computation: accumulate the `kk` strip partial product
+    /// into `c`'s `ii` strip, routing stores through `sink`.
+    fn region_body<S: StoreSink>(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kb: usize,
+        ib: usize,
+        sink: &mut S,
+    ) {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let kk = kb * bsize;
+        let ii = ib * bsize;
+        for jj in (0..n).step_by(bsize) {
+            for i in ii..ii + bsize {
+                for j in jj..jj + bsize {
+                    let mut sum = self.c.load(ctx, i, j);
+                    for k in kk..kk + bsize {
+                        let av = self.a.load(ctx, i, k);
+                        let bv = self.b.load(ctx, k, j);
+                        sum += av * bv;
+                        ctx.compute(MUL_ADD_OPS + IDX_OPS);
+                    }
+                    sink.store(ctx, self.c.array(), self.c.idx(i, j), sum);
+                    ctx.compute(IDX_OPS);
+                }
+            }
+        }
+    }
+
+    /// Build the per-thread schedules: `kk`-major over each thread's owned
+    /// strips, one scheduled region per `(kk, ii)` (Figure 8's structure).
+    pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
+        let owners = self.ownership();
+        let mut plans: Vec<ThreadPlan<'static>> =
+            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        for (t, owned) in owners.into_iter().enumerate() {
+            let tp = self.handles.thread(t);
+            for kb in 0..self.params.window() {
+                for &ib in &owned {
+                    let this = self.clone();
+                    plans[t].region(move |ctx| {
+                        let key = this.key(kb, ib);
+                        let mut rs = tp.begin(key);
+                        let mut sink = SchemeSink { tp, rs: &mut rs };
+                        this.region_body(ctx, kb, ib, &mut sink);
+                        tp.commit(ctx, rs);
+                    });
+                }
+            }
+        }
+        plans
+    }
+
+    /// Host golden reference for the simulated window (same accumulation
+    /// order as the simulated kernel).
+    pub fn golden(params: &TmmParams) -> Vec<f64> {
+        let n = params.n;
+        let bsize = params.bsize;
+        let a = random_values(params.seed, n * n);
+        let b = random_values(params.seed ^ 0x5eed, n * n);
+        let mut c = vec![0.0f64; n * n];
+        for kb in 0..params.window() {
+            let kk = kb * bsize;
+            for ii in (0..n).step_by(bsize) {
+                for jj in (0..n).step_by(bsize) {
+                    for i in ii..ii + bsize {
+                        for j in jj..jj + bsize {
+                            let mut sum = c[i * n + j];
+                            for k in kk..kk + bsize {
+                                sum += a[i * n + k] * b[k * n + j];
+                            }
+                            c[i * n + j] = sum;
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Whether the durable image of `c` matches the golden reference.
+    pub fn verify(&self, machine: &Machine) -> bool {
+        crate::common::values_match(&self.c.peek_all(machine), &Self::golden(&self.params))
+    }
+
+    /// Post-crash recovery, dispatched by scheme. Runs single-threaded on
+    /// core 0 with Eager Persistency, per Section III-E.
+    pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
+        match self.scheme {
+            Scheme::Base => RecoveryStats::default(),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => self.recover_lazy(machine, kind),
+            Scheme::Eager => self.recover_eager(machine),
+            Scheme::Wal => self.recover_wal(machine),
+        }
+    }
+
+    /// Figure 9's recovery with the per-strip optimization: for each `ii`
+    /// strip, scan `kk` checksums newest-first; the first match is the
+    /// strip's durable state, and only later `kk`s are recomputed.
+    fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        let window = self.params.window();
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        for ib in 0..self.params.nb() {
+            // Newest-first scan (reverse program order, Figure 9 line 1).
+            let mut resume = 0;
+            for kb in (0..window).rev() {
+                stats.regions_checked += 1;
+                let consistent = lp_core::recovery::region_consistent(
+                    &mut ctx,
+                    &self.handles.table,
+                    self.key(kb, ib),
+                    kind,
+                    self.c.array(),
+                    Self::region_elems(&self.params, ib).map(|(i, j)| self.c.idx(i, j)),
+                );
+                if consistent {
+                    resume = kb + 1;
+                    break;
+                }
+                stats.regions_inconsistent += 1;
+            }
+            if resume >= window {
+                continue; // strip fully durable
+            }
+            if resume == 0 {
+                // No durable state: zero the strip (its initial value) and
+                // persist the zeros so a crash during recovery re-enters
+                // the same path.
+                let ii = ib * bsize;
+                for i in ii..ii + bsize {
+                    for j in 0..n {
+                        self.c.store(&mut ctx, i, j, 0.0);
+                    }
+                }
+                self.c.flush_rows(&mut ctx, ii, bsize);
+                ctx.sfence();
+            }
+            for kb in resume..window {
+                let mut sink = RecoverySink::new(kind);
+                self.region_body(&mut ctx, kb, ib, &mut sink);
+                sink.commit(&mut ctx, &self.handles.table, self.key(kb, ib));
+                stats.regions_repaired += 1;
+            }
+        }
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+
+    /// EagerRecompute recovery: each thread's durable marker names its
+    /// last committed region. The (single) region it was executing may
+    /// have leaked partial stores via natural evictions, so its strip is
+    /// rebuilt from scratch up to the preceding `kk`, then the remaining
+    /// schedule re-runs eagerly.
+    fn recover_eager(&self, machine: &mut Machine) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        let owners = self.ownership();
+        let window = self.params.window();
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        // Gather each thread's resume position before taking a ctx borrow.
+        let completed: Vec<usize> = (0..self.params.threads)
+            .map(|t| {
+                let marker = self.handles.thread(t).peek_marker(machine);
+                if marker == 0 {
+                    0
+                } else {
+                    let key = (marker - 1) as usize;
+                    let (kb, ib) = self.key_to_region(key);
+                    let pos_in_kk = owners[t].iter().position(|&b| b == ib).expect("owned");
+                    kb * owners[t].len() + pos_in_kk + 1
+                }
+            })
+            .collect();
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        for (t, owned) in owners.iter().enumerate() {
+            let seq: Vec<(usize, usize)> = (0..window)
+                .flat_map(|kb| owned.iter().map(move |&ib| (kb, ib)))
+                .collect();
+            let done = completed[t];
+            stats.regions_checked += seq.len() as u64;
+            if done >= seq.len() {
+                continue;
+            }
+            // The in-flight region's strip may hold partially-evicted
+            // stores: rebuild it from zero through the preceding kk.
+            let (kb_partial, ib_partial) = seq[done];
+            stats.regions_inconsistent += 1;
+            let ii = ib_partial * bsize;
+            for i in ii..ii + bsize {
+                for j in 0..n {
+                    self.c.store(&mut ctx, i, j, 0.0);
+                }
+            }
+            self.c.flush_rows(&mut ctx, ii, bsize);
+            ctx.sfence();
+            for kb in 0..kb_partial {
+                let mut sink = EagerOnlySink::default();
+                self.region_body(&mut ctx, kb, ib_partial, &mut sink);
+                sink.commit(&mut ctx);
+                stats.regions_repaired += 1;
+            }
+            // Re-run the rest of the schedule eagerly, advancing markers.
+            let tp = self.handles.thread(t);
+            for &(kb, ib) in &seq[done..] {
+                let key = self.key(kb, ib);
+                let mut rs = tp.begin(key);
+                let mut sink = SchemeSink { tp, rs: &mut rs };
+                self.region_body(&mut ctx, kb, ib, &mut sink);
+                tp.commit(&mut ctx, rs);
+                stats.regions_repaired += 1;
+            }
+        }
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+
+    /// WAL recovery: roll back any interrupted transaction per thread,
+    /// then re-run the remaining schedule transactionally.
+    fn recover_wal(&self, machine: &mut Machine) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        let owners = self.ownership();
+        let window = self.params.window();
+        let markers: Vec<u64> = (0..self.params.threads)
+            .map(|t| self.handles.thread(t).peek_marker(machine))
+            .collect();
+        let mut ctx = machine.ctx(0);
+        let start = ctx.now();
+        for (t, owned) in owners.iter().enumerate() {
+            let tp = self.handles.thread(t);
+            let undone = tp.wal_recover(&mut ctx);
+            if undone > 0 {
+                stats.regions_inconsistent += 1;
+            }
+            let seq: Vec<(usize, usize)> = (0..window)
+                .flat_map(|kb| owned.iter().map(move |&ib| (kb, ib)))
+                .collect();
+            let done = if markers[t] == 0 {
+                0
+            } else {
+                let (kb, ib) = self.key_to_region((markers[t] - 1) as usize);
+                let pos = owned.iter().position(|&b| b == ib).expect("owned");
+                kb * owned.len() + pos + 1
+            };
+            stats.regions_checked += seq.len() as u64;
+            for &(kb, ib) in &seq[done..] {
+                let key = self.key(kb, ib);
+                let mut rs = tp.begin(key);
+                let mut sink = SchemeSink { tp, rs: &mut rs };
+                self.region_body(&mut ctx, kb, ib, &mut sink);
+                tp.commit(&mut ctx, rs);
+                stats.regions_repaired += 1;
+            }
+        }
+        stats.cycles = ctx.now() - start;
+        stats
+    }
+}
+
+/// Recovery sink for schemes without checksums: plain eager stores.
+#[derive(Debug, Default)]
+struct EagerOnlySink {
+    committer: lp_core::ep::EagerCommitter,
+}
+
+impl EagerOnlySink {
+    fn commit(self, ctx: &mut CoreCtx<'_>) {
+        self.committer.commit(ctx);
+    }
+}
+
+impl StoreSink for EagerOnlySink {
+    fn store(&mut self, ctx: &mut CoreCtx<'_>, arr: lp_sim::mem::PArray<f64>, idx: usize, v: f64) {
+        ctx.store(arr, idx, v);
+        self.committer.note(arr.addr(idx));
+    }
+}
+
+/// Convenience driver: build a machine, run the window, verify against the
+/// golden reference. Statistics are snapshotted *before* the end-of-run
+/// drain so the write counts match the paper's in-window methodology.
+pub fn run(cfg: &MachineConfig, params: TmmParams, scheme: Scheme) -> KernelRun {
+    let cfg = cfg.clone().with_cores(params.threads);
+    let mut machine = Machine::new(cfg);
+    let tmm = Tmm::setup(&mut machine, params, scheme).expect("tmm setup");
+    let outcome = machine.run(tmm.plans());
+    let stats = machine.stats();
+    machine.drain_caches();
+    let verified = outcome == Outcome::Completed && tmm.verify(&machine);
+    KernelRun {
+        stats,
+        outcome,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::prelude::CrashTrigger;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default().with_nvmm_bytes(8 << 20)
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(TmmParams::test_small().validate().is_ok());
+        let mut p = TmmParams::test_small();
+        p.bsize = 7;
+        assert!(p.validate().is_err());
+        p = TmmParams::test_small();
+        p.threads = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn all_schemes_compute_the_same_product() {
+        let params = TmmParams::test_small();
+        for scheme in [
+            Scheme::Base,
+            Scheme::lazy_default(),
+            Scheme::Eager,
+            Scheme::Wal,
+        ] {
+            let run = run(&cfg(), params, scheme);
+            assert_eq!(run.outcome, Outcome::Completed, "{scheme}");
+            assert!(run.verified, "{scheme} produced a wrong product");
+        }
+    }
+
+    #[test]
+    fn scheme_cost_ordering_matches_figure_10() {
+        let params = TmmParams::test_small();
+        let base = run(&cfg(), params, Scheme::Base);
+        let lp = run(&cfg(), params, Scheme::lazy_default());
+        let ep = run(&cfg(), params, Scheme::Eager);
+        let wal = run(&cfg(), params, Scheme::Wal);
+        // Execution time: base <= LP < EP, WAL (the EP/WAL order at this
+        // tiny scale is noise; Figure 10's paper-scale run separates them).
+        assert!(lp.cycles() >= base.cycles());
+        assert!(ep.cycles() > lp.cycles(), "EP {} vs LP {}", ep.cycles(), lp.cycles());
+        assert!(wal.cycles() > lp.cycles(), "WAL {} vs LP {}", wal.cycles(), lp.cycles());
+        // Writes: LP close to base, EP and WAL amplified.
+        assert!(ep.writes() > lp.writes());
+        assert!(wal.writes() > ep.writes());
+        // LP overhead over base should be small (figure reports ~0.2%;
+        // allow slack for the tiny test size).
+        let lp_overhead = lp.cycles() as f64 / base.cycles() as f64;
+        assert!(lp_overhead < 1.25, "LP overhead {lp_overhead}");
+        let ep_overhead = ep.cycles() as f64 / base.cycles() as f64;
+        assert!(ep_overhead > lp_overhead);
+    }
+
+    #[test]
+    fn lp_never_flushes_or_fences() {
+        let run = run(&cfg(), TmmParams::test_small(), Scheme::lazy_default());
+        let t = run.stats.core_totals();
+        assert_eq!(t.flushes, 0);
+        assert_eq!(t.fences, 0);
+        assert_eq!(run.stats.mem.nvmm_writes_flush, 0);
+    }
+
+    #[test]
+    fn region_elems_order_is_jj_i_j() {
+        let params = TmmParams {
+            n: 4,
+            bsize: 2,
+            threads: 1,
+            kk_window: 1,
+            seed: 0,
+        };
+        let elems: Vec<_> = Tmm::region_elems(&params, 1).collect();
+        assert_eq!(
+            elems,
+            vec![
+                (2, 0),
+                (2, 1),
+                (3, 0),
+                (3, 1),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn keys_are_collision_free() {
+        let mut m = Machine::new(cfg().with_cores(2));
+        let tmm = Tmm::setup(&mut m, TmmParams::test_small(), Scheme::lazy_default()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for kb in 0..tmm.params.window() {
+            for ib in 0..tmm.params.nb() {
+                assert!(seen.insert(tmm.key(kb, ib)));
+                assert_eq!(tmm.key_to_region(tmm.key(kb, ib)), (kb, ib));
+            }
+        }
+        assert!(seen.iter().all(|&k| k < tmm.handles.table.len()));
+    }
+
+    fn crash_and_recover(scheme: Scheme, trigger: CrashTrigger) -> (bool, RecoveryStats) {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let tmm = Tmm::setup(&mut machine, params, scheme).unwrap();
+        machine.set_crash_trigger(trigger);
+        let outcome = machine.run(tmm.plans());
+        assert_eq!(outcome, Outcome::Crashed, "trigger should have fired");
+        machine.clear_crash_trigger();
+        machine.take_stats();
+        let rstats = tmm.recover(&mut machine);
+        machine.drain_caches();
+        (tmm.verify(&machine), rstats)
+    }
+
+    #[test]
+    fn lazy_recovery_restores_correct_output() {
+        for ops in [50u64, 500, 5_000, 20_000] {
+            let (ok, rstats) =
+                crash_and_recover(Scheme::lazy_default(), CrashTrigger::AfterMemOps(ops));
+            assert!(ok, "LP recovery failed for crash at {ops} ops");
+            assert!(rstats.regions_checked > 0);
+        }
+    }
+
+    #[test]
+    fn lazy_recovery_after_write_count_crash() {
+        // Small caches so natural evictions (and hence NVMM writes) happen
+        // early enough for the trigger to fire mid-run.
+        let params = TmmParams::test_small();
+        for writes in [1u64, 8, 64] {
+            let mut machine = Machine::new(
+                cfg()
+                    .with_cores(params.threads)
+                    .with_l1_bytes(2 * 1024)
+                    .with_l2_bytes(8 * 1024),
+            );
+            let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+            machine.set_crash_trigger(CrashTrigger::AfterNvmmWrites(writes));
+            let outcome = machine.run(tmm.plans());
+            assert_eq!(outcome, Outcome::Crashed, "at {writes} writes");
+            machine.clear_crash_trigger();
+            let _ = tmm.recover(&mut machine);
+            machine.drain_caches();
+            assert!(
+                tmm.verify(&machine),
+                "LP recovery failed for crash at {writes} writes"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_recovery_restores_correct_output() {
+        for ops in [100u64, 2_000, 30_000] {
+            let (ok, rstats) = crash_and_recover(Scheme::Eager, CrashTrigger::AfterMemOps(ops));
+            assert!(ok, "EP recovery failed for crash at {ops} ops");
+            assert!(rstats.regions_repaired > 0);
+        }
+    }
+
+    #[test]
+    fn wal_recovery_restores_correct_output() {
+        for ops in [100u64, 5_000, 20_000] {
+            let (ok, _) = crash_and_recover(Scheme::Wal, CrashTrigger::AfterMemOps(ops));
+            assert!(ok, "WAL recovery failed for crash at {ops} ops");
+        }
+    }
+
+    #[test]
+    fn crash_during_recovery_then_rerecover() {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+        machine.set_crash_trigger(CrashTrigger::AfterMemOps(3_000));
+        assert_eq!(machine.run(tmm.plans()), Outcome::Crashed);
+        machine.clear_crash_trigger();
+        // First recovery attempt is itself cut short.
+        let ops_so_far = machine.mem().mem_ops();
+        machine
+            .mem_mut()
+            .set_crash_trigger(Some(CrashTrigger::AfterMemOps(ops_so_far + 2_000)));
+        let _ = tmm.recover(&mut machine);
+        assert!(machine.mem().crashed(), "recovery crash should have fired");
+        machine.mem_mut().acknowledge_crash();
+        // Second recovery completes the job.
+        let _ = tmm.recover(&mut machine);
+        machine.drain_caches();
+        assert!(tmm.verify(&machine), "re-recovery must converge");
+    }
+
+    #[test]
+    fn recovery_on_clean_run_is_cheap_noop() {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+        assert_eq!(machine.run(tmm.plans()), Outcome::Completed);
+        machine.drain_caches(); // everything durable
+        let rstats = tmm.recover(&mut machine);
+        assert_eq!(rstats.regions_repaired, 0, "nothing to repair");
+        assert!(tmm.verify(&machine));
+    }
+}

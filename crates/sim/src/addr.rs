@@ -1,0 +1,157 @@
+//! Physical addresses and cache-line addresses in the simulated NVMM space.
+
+use std::fmt;
+
+/// Log2 of the cache line size. All caches in the hierarchy use 64-byte
+/// lines, matching Table II of the paper.
+pub const LINE_SHIFT: u32 = 6;
+/// Cache line size in bytes (64 B).
+pub const LINE_BYTES: usize = 1 << LINE_SHIFT;
+
+/// A byte address in the simulated physical (NVMM) address space.
+///
+/// Addresses are plain offsets into the NVMM image; there is no virtual
+/// memory in the simulator. `Addr` is a newtype so that byte addresses,
+/// line addresses, and array indices cannot be mixed up.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::addr::{Addr, LineAddr};
+/// let a = Addr(130);
+/// assert_eq!(a.line(), LineAddr(2));
+/// assert_eq!(a.line_offset(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    pub fn line_offset(self) -> usize {
+        (self.0 & (LINE_BYTES as u64 - 1)) as usize
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line address: the byte address divided by the 64-byte line size.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::addr::{Addr, LineAddr};
+/// let l = LineAddr(3);
+/// assert_eq!(l.base(), Addr(192));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Byte address of the first byte of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// Tag for a cache with `set_count` sets (power of two).
+    #[inline]
+    pub fn tag(self, set_bits: u32) -> u64 {
+        self.0 >> set_bits
+    }
+
+    /// Set index for a cache with `1 << set_bits` sets.
+    #[inline]
+    pub fn set_index(self, set_bits: u32) -> usize {
+        (self.0 & ((1u64 << set_bits) - 1)) as usize
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Iterator over the distinct line addresses covering a byte range.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::addr::{lines_covering, Addr, LineAddr};
+/// let v: Vec<LineAddr> = lines_covering(Addr(60), 8).collect();
+/// assert_eq!(v, vec![LineAddr(0), LineAddr(1)]);
+/// ```
+pub fn lines_covering(start: Addr, bytes: u64) -> impl Iterator<Item = LineAddr> {
+    let first = start.line().0;
+    let last = if bytes == 0 {
+        first
+    } else {
+        Addr(start.0 + bytes - 1).line().0
+    };
+    (first..=last).map(LineAddr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_addr() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(Addr(128).line_offset(), 0);
+        assert_eq!(Addr(129).line_offset(), 1);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        for i in [0u64, 1, 5, 1000] {
+            let l = LineAddr(i);
+            assert_eq!(l.base().line(), l);
+        }
+    }
+
+    #[test]
+    fn tag_and_set() {
+        // 4 sets -> 2 set bits.
+        let l = LineAddr(0b1011);
+        assert_eq!(l.set_index(2), 0b11);
+        assert_eq!(l.tag(2), 0b10);
+    }
+
+    #[test]
+    fn covering_lines() {
+        let v: Vec<_> = lines_covering(Addr(0), 64).collect();
+        assert_eq!(v, vec![LineAddr(0)]);
+        let v: Vec<_> = lines_covering(Addr(0), 65).collect();
+        assert_eq!(v, vec![LineAddr(0), LineAddr(1)]);
+        let v: Vec<_> = lines_covering(Addr(10), 0).collect();
+        assert_eq!(v, vec![LineAddr(0)]);
+        let v: Vec<_> = lines_covering(Addr(200), 200).collect();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Addr(255)), "0xff");
+        assert_eq!(format!("{}", LineAddr(2)), "L0x2");
+    }
+}

@@ -1,0 +1,289 @@
+//! Machine configuration: core count, cache geometry, latencies, queue sizes.
+//!
+//! Defaults reproduce Table II of the paper: out-of-order 2 GHz cores,
+//! 4-wide issue, 64 KB 8-way L1s, a 512 KB 8-way shared L2, an ADR memory
+//! controller with 32-entry read / 64-entry write queues, and NVMM with
+//! 150 ns read / 300 ns write latency.
+
+use crate::cleaner::CleanerConfig;
+
+/// Full configuration of a simulated machine.
+///
+/// Construct with [`MachineConfig::default`] (Table II values) and adjust
+/// fields via the `with_*` builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::config::MachineConfig;
+/// let cfg = MachineConfig::default()
+///     .with_cores(4)
+///     .with_l2_bytes(1024 * 1024)
+///     .with_nvmm_latency_ns(60, 150);
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(cfg.nvmm_read_cycles(), 120); // 60 ns at 2 GHz
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of simulated cores (worker threads). Paper default: 8 workers
+    /// (plus one master that performs no kernel work, which we omit).
+    pub cores: usize,
+    /// Core clock in GHz. Latencies in nanoseconds are converted to cycles
+    /// with this frequency.
+    pub freq_ghz: f64,
+    /// Issue/retire width of each core (instructions per cycle for the
+    /// compute model).
+    pub issue_width: u64,
+    /// Reorder-buffer capacity; used as the backlog threshold in the
+    /// structural-hazard model.
+    pub rob_entries: usize,
+    /// Load-queue capacity.
+    pub load_queue: usize,
+    /// Store-queue capacity (stores and cache-line flushes occupy entries
+    /// until their writeback completes).
+    pub store_queue: usize,
+    /// Per-core miss-status-holding registers (outstanding L1 misses).
+    pub mshrs: usize,
+    /// Modelled memory-level parallelism: an out-of-order core overlaps
+    /// this many outstanding load misses, so a load miss charges only
+    /// `1/mlp` of its NVMM residency to the issuing core. Store and flush
+    /// *completions* (what `sfence` waits for) are never scaled.
+    pub mlp: u64,
+
+    /// Per-core L1 data cache size in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+
+    /// Shared L2 size in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+
+    /// Memory-controller read queue entries.
+    pub mc_read_queue: usize,
+    /// Memory-controller write queue entries (in the ADR non-volatile
+    /// domain: a write accepted into this queue is durable).
+    pub mc_write_queue: usize,
+    /// Minimum cycles between successive NVMM read commands (bandwidth).
+    pub mc_read_gap: u64,
+    /// Minimum cycles between successive NVMM write commands (bandwidth).
+    pub mc_write_gap: u64,
+    /// Latency of a read serviced by forwarding from a pending entry in
+    /// the memory controller's write queue (no media access).
+    pub mc_forward_latency: u64,
+
+    /// NVMM read latency in nanoseconds (Table II default: 150 ns).
+    pub nvmm_read_ns: u64,
+    /// NVMM write latency in nanoseconds (Table II default: 300 ns).
+    pub nvmm_write_ns: u64,
+
+    /// Size of the simulated NVMM image in bytes.
+    pub nvmm_bytes: usize,
+
+    /// Optional periodic hardware cache cleaner (Section III-E1 / VI-A).
+    pub cleaner: Option<CleanerConfig>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 8,
+            freq_ghz: 2.0,
+            issue_width: 4,
+            rob_entries: 196,
+            load_queue: 48,
+            store_queue: 48,
+            mshrs: 16,
+            mlp: 4,
+            l1_bytes: 64 * 1024,
+            l1_assoc: 8,
+            l1_latency: 2,
+            l2_bytes: 512 * 1024,
+            l2_assoc: 8,
+            l2_latency: 11,
+            mc_read_queue: 32,
+            mc_write_queue: 64,
+            mc_read_gap: 8,
+            mc_write_gap: 64,
+            mc_forward_latency: 12,
+            nvmm_read_ns: 150,
+            nvmm_write_ns: 300,
+            nvmm_bytes: 256 * 1024 * 1024,
+            cleaner: None,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Set the number of cores.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1 && cores <= 64, "cores must be in 1..=64");
+        self.cores = cores;
+        self
+    }
+
+    /// Set the shared L2 capacity in bytes.
+    pub fn with_l2_bytes(mut self, bytes: usize) -> Self {
+        self.l2_bytes = bytes;
+        self
+    }
+
+    /// Set per-core L1 capacity in bytes.
+    pub fn with_l1_bytes(mut self, bytes: usize) -> Self {
+        self.l1_bytes = bytes;
+        self
+    }
+
+    /// Set NVMM read and write latencies in nanoseconds. The write-queue
+    /// forward latency scales with the read latency (the controller's
+    /// front end is part of the media round trip).
+    pub fn with_nvmm_latency_ns(mut self, read_ns: u64, write_ns: u64) -> Self {
+        self.nvmm_read_ns = read_ns;
+        self.nvmm_write_ns = write_ns;
+        self.mc_forward_latency = (self.nvmm_read_cycles() / 25).max(6);
+        self
+    }
+
+    /// Set the NVMM image capacity in bytes.
+    pub fn with_nvmm_bytes(mut self, bytes: usize) -> Self {
+        self.nvmm_bytes = bytes;
+        self
+    }
+
+    /// Enable the periodic hardware cache cleaner.
+    pub fn with_cleaner(mut self, cleaner: CleanerConfig) -> Self {
+        self.cleaner = Some(cleaner);
+        self
+    }
+
+    /// Convert nanoseconds to core cycles at the configured frequency.
+    #[inline]
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        (ns as f64 * self.freq_ghz).round() as u64
+    }
+
+    /// NVMM read latency in cycles.
+    #[inline]
+    pub fn nvmm_read_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.nvmm_read_ns)
+    }
+
+    /// NVMM write latency in cycles.
+    #[inline]
+    pub fn nvmm_write_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.nvmm_write_ns)
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (cache
+    /// geometry must be power-of-two sets, at least one core, non-zero
+    /// queues).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be >= 1".into());
+        }
+        for (name, bytes, assoc) in [
+            ("L1", self.l1_bytes, self.l1_assoc),
+            ("L2", self.l2_bytes, self.l2_assoc),
+        ] {
+            if assoc == 0 {
+                return Err(format!("{name} associativity must be >= 1"));
+            }
+            let line = crate::addr::LINE_BYTES;
+            if bytes % (assoc * line) != 0 {
+                return Err(format!("{name} size must be a multiple of assoc * 64"));
+            }
+            let sets = bytes / (assoc * line);
+            if !sets.is_power_of_two() {
+                return Err(format!("{name} set count {sets} must be a power of two"));
+            }
+        }
+        if self.load_queue == 0 || self.store_queue == 0 || self.mshrs == 0 {
+            return Err("queues and MSHRs must be non-zero".into());
+        }
+        if self.mc_read_queue == 0 || self.mc_write_queue == 0 {
+            return Err("memory controller queues must be non-zero".into());
+        }
+        if self.issue_width == 0 {
+            return Err("issue width must be >= 1".into());
+        }
+        if self.mlp == 0 {
+            return Err("mlp must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = MachineConfig::default();
+        assert_eq!(c.l1_bytes, 64 * 1024);
+        assert_eq!(c.l2_bytes, 512 * 1024);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.l2_latency, 11);
+        assert_eq!(c.nvmm_read_ns, 150);
+        assert_eq!(c.nvmm_write_ns, 300);
+        assert_eq!(c.rob_entries, 196);
+        assert_eq!(c.load_queue, 48);
+        assert_eq!(c.store_queue, 48);
+        assert_eq!(c.mc_read_queue, 32);
+        assert_eq!(c.mc_write_queue, 64);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn ns_conversion_at_2ghz() {
+        let c = MachineConfig::default();
+        assert_eq!(c.nvmm_read_cycles(), 300);
+        assert_eq!(c.nvmm_write_cycles(), 600);
+        assert_eq!(c.ns_to_cycles(1), 2);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = MachineConfig::default()
+            .with_cores(16)
+            .with_l1_bytes(32 * 1024)
+            .with_l2_bytes(1024 * 1024)
+            .with_nvmm_latency_ns(100, 200)
+            .with_nvmm_bytes(64 * 1024 * 1024);
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l2_bytes, 1024 * 1024);
+        assert_eq!(c.nvmm_read_cycles(), 200);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = MachineConfig::default();
+        c.l2_bytes = 100; // not a multiple of assoc*line
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default();
+        c.l2_bytes = 3 * 8 * 64; // 3 sets, not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be in 1..=64")]
+    fn with_cores_rejects_zero() {
+        let _ = MachineConfig::default().with_cores(0);
+    }
+}

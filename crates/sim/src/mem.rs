@@ -1,0 +1,384 @@
+//! The NVMM image, typed persistent arrays, and a bump allocator.
+//!
+//! The non-volatile main memory is modelled as a flat byte array. Only data
+//! that has been written back from the cache hierarchy (naturally evicted,
+//! flushed, cleaned, or drained) lives here; a crash discards all cache
+//! contents and keeps exactly this image.
+
+use crate::addr::{Addr, LINE_BYTES, LineAddr};
+
+/// The simulated non-volatile main memory: a flat byte image.
+///
+/// All contents are durable by definition. The cache hierarchy reads lines
+/// from and writes lines to this image; [`crate::machine::Machine`] exposes
+/// `poke_*`/`peek_*` helpers that bypass the hierarchy for setup and
+/// post-crash inspection.
+#[derive(Debug, Clone)]
+pub struct Nvmm {
+    data: Vec<u8>,
+}
+
+impl Nvmm {
+    /// Create an image of `bytes` capacity, zero-filled.
+    pub fn new(bytes: usize) -> Self {
+        Nvmm {
+            data: vec![0u8; bytes],
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read a full cache line into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is outside the image.
+    pub fn read_line(&self, line: LineAddr, buf: &mut [u8; LINE_BYTES]) {
+        let base = line.base().0 as usize;
+        buf.copy_from_slice(&self.data[base..base + LINE_BYTES]);
+    }
+
+    /// Write a full cache line from `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is outside the image.
+    pub fn write_line(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES]) {
+        let base = line.base().0 as usize;
+        self.data[base..base + LINE_BYTES].copy_from_slice(buf);
+    }
+
+    /// Read `N` bytes at an arbitrary address (setup/inspection path).
+    pub fn peek_bytes(&self, addr: Addr, out: &mut [u8]) {
+        let base = addr.0 as usize;
+        out.copy_from_slice(&self.data[base..base + out.len()]);
+    }
+
+    /// Write bytes at an arbitrary address (setup path; this models data
+    /// that is already durable before the measured run begins).
+    pub fn poke_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let base = addr.0 as usize;
+        self.data[base..base + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+    impl Sealed for u64 {}
+    impl Sealed for u32 {}
+    impl Sealed for i64 {}
+}
+
+/// Plain scalar types that can live in simulated persistent memory.
+///
+/// This trait is sealed; it is implemented for `f64`, `f32`, `u64`, `u32`
+/// and `i64`. Values are stored as little-endian bit patterns so that a
+/// crash (which operates on raw bytes) round-trips exactly.
+pub trait Scalar: private::Sealed + Copy + PartialEq + std::fmt::Debug + Default {
+    /// Size of the scalar in bytes.
+    const SIZE: usize;
+    /// Widen the bit pattern to 64 bits (zero-extended).
+    fn to_bits64(self) -> u64;
+    /// Recover the value from a 64-bit bit pattern.
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Scalar for f64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Scalar for f32 {
+    const SIZE: usize = 4;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Scalar for u64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Scalar for u32 {
+    const SIZE: usize = 4;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Scalar for i64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+/// A typed handle to a contiguous array in simulated persistent memory.
+///
+/// `PArray` is a cheap `Copy` handle (base address + length); the actual
+/// bytes live in the NVMM image / cache hierarchy. Element accesses go
+/// through [`crate::core::CoreCtx`] so they are timed and crash-aware;
+/// `Machine::poke_slice`/`peek_slice` provide untimed setup access.
+///
+/// # Examples
+///
+/// ```
+/// use lp_sim::machine::Machine;
+/// use lp_sim::config::MachineConfig;
+/// let mut m = Machine::new(MachineConfig::default().with_nvmm_bytes(1 << 20));
+/// let arr = m.alloc::<f64>(100).unwrap();
+/// m.poke(arr, 3, 1.5);
+/// assert_eq!(m.peek(arr, 3), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PArray<T: Scalar> {
+    base: Addr,
+    len: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Scalar> PArray<T> {
+    pub(crate) fn from_raw(base: Addr, len: usize) -> Self {
+        PArray {
+            base,
+            len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base byte address of the array.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> Addr {
+        assert!(i < self.len, "PArray index {i} out of bounds (len {})", self.len);
+        Addr(self.base.0 + (i * T::SIZE) as u64)
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.len * T::SIZE) as u64
+    }
+
+    /// Distinct cache lines covered by the whole array.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> {
+        crate::addr::lines_covering(self.base, self.bytes())
+    }
+
+    /// Distinct cache lines covered by elements `[start, start+count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn lines_of_range(&self, start: usize, count: usize) -> impl Iterator<Item = LineAddr> {
+        assert!(start + count <= self.len, "range out of bounds");
+        let first = Addr(self.base.0 + (start * T::SIZE) as u64);
+        crate::addr::lines_covering(first, (count * T::SIZE) as u64)
+    }
+}
+
+/// Error returned when the persistent heap runs out of capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfPersistentMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes remaining in the heap.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfPersistentMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of persistent memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfPersistentMemory {}
+
+/// Line-aligned bump allocator over the NVMM address space.
+///
+/// Allocations are aligned to cache-line boundaries so distinct arrays never
+/// share a line (avoiding false sharing between simulated threads and making
+/// flush sets exact).
+#[derive(Debug, Clone)]
+pub struct PersistentHeap {
+    cursor: u64,
+    capacity: u64,
+}
+
+impl PersistentHeap {
+    /// A heap spanning `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        PersistentHeap {
+            cursor: 0,
+            capacity,
+        }
+    }
+
+    /// Allocate a typed array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPersistentMemory`] if the heap is exhausted.
+    pub fn alloc<T: Scalar>(&mut self, len: usize) -> Result<PArray<T>, OutOfPersistentMemory> {
+        let bytes = (len * T::SIZE) as u64;
+        let aligned = self.cursor.next_multiple_of(LINE_BYTES as u64);
+        if aligned + bytes > self.capacity {
+            return Err(OutOfPersistentMemory {
+                requested: bytes,
+                available: self.capacity.saturating_sub(aligned),
+            });
+        }
+        let base = Addr(aligned);
+        self.cursor = aligned + bytes;
+        Ok(PArray::from_raw(base, len))
+    }
+
+    /// Bytes allocated so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Remaining capacity in bytes.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvmm_line_roundtrip() {
+        let mut n = Nvmm::new(4096);
+        let mut line = [0u8; LINE_BYTES];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        n.write_line(LineAddr(3), &line);
+        let mut out = [0u8; LINE_BYTES];
+        n.read_line(LineAddr(3), &mut out);
+        assert_eq!(line, out);
+        // Neighbours untouched.
+        n.read_line(LineAddr(2), &mut out);
+        assert_eq!(out, [0u8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn nvmm_poke_peek() {
+        let mut n = Nvmm::new(4096);
+        n.poke_bytes(Addr(100), &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        n.peek_bytes(Addr(100), &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(f64::from_bits64(1.25f64.to_bits64()), 1.25);
+        assert_eq!(f32::from_bits64(7.5f32.to_bits64()), 7.5);
+        assert_eq!(u64::from_bits64(u64::MAX.to_bits64()), u64::MAX);
+        assert_eq!(u32::from_bits64(12345u32.to_bits64()), 12345);
+        assert_eq!(i64::from_bits64((-17i64).to_bits64()), -17);
+    }
+
+    #[test]
+    fn heap_alignment_and_exhaustion() {
+        let mut h = PersistentHeap::new(256);
+        let a = h.alloc::<f64>(3).unwrap(); // 24 bytes at 0
+        assert_eq!(a.base(), Addr(0));
+        let b = h.alloc::<u32>(1).unwrap(); // next line
+        assert_eq!(b.base(), Addr(64));
+        assert!(h.alloc::<f64>(1000).is_err());
+        let err = h.alloc::<f64>(1000).unwrap_err();
+        assert!(err.to_string().contains("out of persistent memory"));
+    }
+
+    #[test]
+    fn parray_addressing() {
+        let mut h = PersistentHeap::new(1 << 16);
+        let a = h.alloc::<f64>(100).unwrap();
+        assert_eq!(a.len(), 100);
+        assert!(!a.is_empty());
+        assert_eq!(a.addr(0), a.base());
+        assert_eq!(a.addr(1).0 - a.addr(0).0, 8);
+        assert_eq!(a.bytes(), 800);
+        assert_eq!(a.lines().count(), 800usize.div_ceil(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn parray_bounds_check() {
+        let mut h = PersistentHeap::new(1 << 16);
+        let a = h.alloc::<u32>(4).unwrap();
+        let _ = a.addr(4);
+    }
+
+    #[test]
+    fn lines_of_range_spans_correctly() {
+        let mut h = PersistentHeap::new(1 << 16);
+        let a = h.alloc::<f64>(64).unwrap(); // 512 bytes = 8 lines
+        let all: Vec<_> = a.lines_of_range(0, 64).collect();
+        assert_eq!(all.len(), 8);
+        let one: Vec<_> = a.lines_of_range(0, 8).collect();
+        assert_eq!(one.len(), 1);
+        let straddle: Vec<_> = a.lines_of_range(7, 2).collect();
+        assert_eq!(straddle.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # lazy-persistency — workspace meta-crate
+//!
+//! Reproduction of *"Lazy Persistency: A High-Performing and
+//! Write-Efficient Software Persistency Technique"* (Alshboul, Tuck,
+//! Solihin — ISCA 2018). This crate re-exports the three component
+//! crates and hosts the cross-crate integration tests and examples:
+//!
+//! * [`sim`] (`lp-sim`) — the NVMM cache-hierarchy timing simulator;
+//! * [`core`] (`lp-core`) — the Lazy Persistency runtime and baselines;
+//! * [`kernels`] (`lp-kernels`) — the five evaluated workloads.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for the
+//! shortest end-to-end program.
+
+pub use lp_core as core;
+pub use lp_kernels as kernels;
+pub use lp_sim as sim;

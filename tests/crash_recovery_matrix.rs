@@ -1,0 +1,156 @@
+//! The central correctness claim, exercised exhaustively: for every
+//! kernel, every scheme with recovery, and a sweep of crash points, a
+//! crashed run followed by recovery produces exactly the golden output.
+
+use lp_core::scheme::Scheme;
+use lp_kernels::cholesky::{Cholesky, CholeskyParams};
+use lp_kernels::conv2d::{Conv2d, Conv2dParams};
+use lp_kernels::fft::{Fft, FftParams};
+use lp_kernels::gauss::{Gauss, GaussParams};
+use lp_kernels::tmm::{Tmm, TmmParams};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::prelude::CrashTrigger;
+
+fn cfg(threads: usize) -> MachineConfig {
+    MachineConfig::default()
+        .with_cores(threads)
+        .with_nvmm_bytes(32 << 20)
+}
+
+/// Crash points chosen to land in different phases of the tiny runs:
+/// setup-adjacent, early, mid, late.
+const CRASH_OPS: [u64; 4] = [37, 777, 4_321, 12_345];
+
+fn schemes() -> [Scheme; 5] {
+    [
+        Scheme::lazy_default(),
+        Scheme::Lazy(lp_core::checksum::ChecksumKind::Crc32),
+        Scheme::LazyEagerCk(lp_core::checksum::ChecksumKind::Modular),
+        Scheme::Eager,
+        Scheme::Wal,
+    ]
+}
+
+macro_rules! crash_matrix {
+    ($name:ident, $ty:ident, $params:expr) => {
+        #[test]
+        fn $name() {
+            for scheme in schemes() {
+                for ops in CRASH_OPS {
+                    let params = $params;
+                    let mut machine = Machine::new(cfg(params.threads));
+                    let work = $ty::setup(&mut machine, params, scheme).unwrap();
+                    machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+                    let outcome = machine.run(work.plans());
+                    if outcome == Outcome::Completed {
+                        // Crash point beyond the run: nothing to recover.
+                        machine.drain_caches();
+                        assert!(work.verify(&machine), "{scheme} clean run at {ops}");
+                        continue;
+                    }
+                    machine.clear_crash_trigger();
+                    machine.take_stats();
+                    work.recover(&mut machine);
+                    machine.drain_caches();
+                    assert!(
+                        work.verify(&machine),
+                        "{scheme}: wrong output after crash at {ops} ops"
+                    );
+                }
+            }
+        }
+    };
+}
+
+crash_matrix!(tmm_recovers_from_any_crash_point, Tmm, TmmParams::test_small());
+crash_matrix!(
+    conv2d_recovers_from_any_crash_point,
+    Conv2d,
+    Conv2dParams::test_small()
+);
+crash_matrix!(
+    gauss_recovers_from_any_crash_point,
+    Gauss,
+    GaussParams::test_small()
+);
+crash_matrix!(
+    cholesky_recovers_from_any_crash_point,
+    Cholesky,
+    CholeskyParams::test_small()
+);
+crash_matrix!(fft_recovers_from_any_crash_point, Fft, FftParams::test_small());
+
+#[test]
+fn tmm_recovers_under_write_triggered_crashes_with_tiny_caches() {
+    // Tiny caches force early natural evictions, creating the partial-
+    // persistence states (R2/R3/R4 of Figure 6) recovery must untangle.
+    let params = TmmParams::test_small();
+    for writes in [1u64, 5, 25, 120] {
+        let mut machine = Machine::new(
+            cfg(params.threads)
+                .with_l1_bytes(2 * 1024)
+                .with_l2_bytes(8 * 1024),
+        );
+        let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+        machine.set_crash_trigger(CrashTrigger::AfterNvmmWrites(writes));
+        if machine.run(tmm.plans()) == Outcome::Crashed {
+            machine.clear_crash_trigger();
+            tmm.recover(&mut machine);
+        }
+        machine.drain_caches();
+        assert!(tmm.verify(&machine), "crash at {writes} writes");
+    }
+}
+
+#[test]
+fn double_crash_during_recovery_still_converges() {
+    for scheme in schemes() {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(cfg(params.threads));
+        let tmm = Tmm::setup(&mut machine, params, scheme).unwrap();
+        machine.set_crash_trigger(CrashTrigger::AfterMemOps(5_000));
+        assert_eq!(machine.run(tmm.plans()), Outcome::Crashed, "{scheme}");
+        // First recovery attempt is itself interrupted.
+        let ops = machine.mem().mem_ops();
+        machine
+            .mem_mut()
+            .set_crash_trigger(Some(CrashTrigger::AfterMemOps(ops + 3_000)));
+        let _ = tmm.recover(&mut machine);
+        assert!(machine.mem().crashed(), "{scheme}: second crash fired");
+        machine.mem_mut().acknowledge_crash();
+        // Second recovery finishes the job.
+        tmm.recover(&mut machine);
+        machine.drain_caches();
+        assert!(tmm.verify(&machine), "{scheme}: converged after double crash");
+    }
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let params = TmmParams::test_small();
+    let mut machine = Machine::new(cfg(params.threads));
+    let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+    machine.set_crash_trigger(CrashTrigger::AfterMemOps(8_000));
+    assert_eq!(machine.run(tmm.plans()), Outcome::Crashed);
+    machine.clear_crash_trigger();
+    tmm.recover(&mut machine);
+    // Running recovery again finds nothing to repair.
+    let again = tmm.recover(&mut machine);
+    assert_eq!(again.regions_repaired, 0, "second pass must be a no-op");
+    machine.drain_caches();
+    assert!(tmm.verify(&machine));
+}
+
+#[test]
+fn crash_after_completion_loses_nothing_under_eager_and_wal() {
+    for scheme in [Scheme::Eager, Scheme::Wal] {
+        let params = Conv2dParams::test_small();
+        let mut machine = Machine::new(cfg(params.threads));
+        let conv = Conv2d::setup(&mut machine, params, scheme).unwrap();
+        assert_eq!(machine.run(conv.plans()), Outcome::Completed);
+        machine.mem_mut().force_crash();
+        machine.mem_mut().acknowledge_crash();
+        assert!(conv.verify(&machine), "{scheme}: durable at completion");
+    }
+}

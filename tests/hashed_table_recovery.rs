@@ -1,0 +1,141 @@
+//! End-to-end use of the §IV *alternative* checksum-table design — the
+//! smaller, collision-prone hash table — in a hand-rolled Lazy
+//! Persistency loop with crash and recovery. Demonstrates that collisions
+//! only ever cost extra recomputation (false negatives), never
+//! correctness.
+
+use lp_core::checksum::{ChecksumKind, RunningChecksum};
+use lp_core::table::hashed::HashedChecksumTable;
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::mem::PArray;
+use lp_sim::prelude::CrashTrigger;
+
+const REGIONS: usize = 32;
+const PER: usize = 64;
+const KIND: ChecksumKind = ChecksumKind::Modular;
+
+fn expected(region: usize, i: usize) -> f64 {
+    (region * PER + i) as f64 * 1.5 - 7.0
+}
+
+struct Workload {
+    out: PArray<f64>,
+    table: HashedChecksumTable,
+}
+
+fn setup(machine: &mut Machine, slots: usize) -> Workload {
+    let out = machine.alloc::<f64>(REGIONS * PER).unwrap();
+    let table = HashedChecksumTable::alloc(machine, slots).unwrap();
+    Workload { out, table }
+}
+
+fn plans(machine: &Machine, w: &Workload) -> Vec<lp_sim::machine::ThreadPlan<'static>> {
+    let mut plans = machine.plans();
+    let (out, table) = (w.out, w.table);
+    for (t, plan) in plans.iter_mut().enumerate() {
+        for r in (t..REGIONS).step_by(machine.cores()) {
+            plan.region(move |ctx| {
+                let mut ck = RunningChecksum::new(KIND);
+                for i in 0..PER {
+                    let v = expected(r, i);
+                    ctx.store(out, r * PER + i, v);
+                    ck.update(v.to_bits());
+                    ctx.compute(KIND.cost_ops());
+                }
+                table.store(ctx, r, ck.value());
+            });
+        }
+    }
+    plans
+}
+
+/// Recovery: recompute any region whose (possibly evicted) table entry
+/// does not match; persist repairs eagerly.
+fn recover(machine: &mut Machine, w: &Workload) -> usize {
+    let mut repaired = 0;
+    let mut ctx = machine.ctx(0);
+    for r in 0..REGIONS {
+        let mut ck = RunningChecksum::new(KIND);
+        for i in 0..PER {
+            let v: f64 = ctx.load(w.out, r * PER + i);
+            ck.update(v.to_bits());
+        }
+        if w.table.matches(&mut ctx, r, ck.value()) {
+            continue;
+        }
+        let mut ck = RunningChecksum::new(KIND);
+        for i in 0..PER {
+            let v = expected(r, i);
+            ctx.store(w.out, r * PER + i, v);
+            ck.update(v.to_bits());
+        }
+        ctx.flush_range(w.out, r * PER, PER);
+        ctx.sfence();
+        w.table.store(&mut ctx, r, ck.value());
+        repaired += 1;
+    }
+    repaired
+}
+
+fn verify(machine: &Machine, w: &Workload) -> bool {
+    (0..REGIONS).all(|r| (0..PER).all(|i| machine.peek(w.out, r * PER + i) == expected(r, i)))
+}
+
+fn machine() -> Machine {
+    Machine::new(
+        MachineConfig::default()
+            .with_cores(2)
+            .with_nvmm_bytes(4 << 20),
+    )
+}
+
+#[test]
+fn clean_run_verifies_with_ample_slots() {
+    let mut m = machine();
+    let w = setup(&mut m, 64); // 2x the keys: few/no collisions
+    let outcome = m.run(plans(&m, &w));
+    assert_eq!(outcome, Outcome::Completed);
+    m.drain_caches();
+    let repaired = recover(&mut m, &w);
+    assert_eq!(repaired, 0, "nothing to repair after a drained clean run");
+    assert!(verify(&m, &w));
+}
+
+#[test]
+fn collisions_force_recomputation_but_never_wrong_results() {
+    let mut m = machine();
+    let w = setup(&mut m, 8); // 32 keys -> 8 slots: heavy collisions
+    assert_eq!(m.run(plans(&m, &w)), Outcome::Completed);
+    m.drain_caches();
+    let repaired = recover(&mut m, &w);
+    // Evicted entries read as absent -> conservative recomputation.
+    assert!(repaired > 0, "heavy collisions must cost recomputation");
+    m.drain_caches();
+    assert!(verify(&m, &w), "collisions may waste work, not correctness");
+}
+
+#[test]
+fn crash_recovery_roundtrip_under_collisions() {
+    for slots in [4usize, 16, 64] {
+        for ops in [500u64, 3_000, 9_000] {
+            let mut m = machine();
+            let w = setup(&mut m, slots);
+            m.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+            if m.run(plans(&m, &w)) == Outcome::Crashed {
+                m.clear_crash_trigger();
+            }
+            recover(&mut m, &w);
+            m.drain_caches();
+            assert!(verify(&m, &w), "slots={slots} ops={ops}");
+        }
+    }
+}
+
+#[test]
+fn hashed_table_is_much_smaller() {
+    let mut m = machine();
+    let w = setup(&mut m, 8);
+    // 8 slots x 16 B = 128 B vs 32 keys x 8 B = 256 B collision-free.
+    assert!(w.table.bytes() < 32 * 8);
+}

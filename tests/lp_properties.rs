@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) on the core Lazy Persistency
+//! invariants: checksum detection, crash-point-independent recovery, and
+//! region associativity.
+
+use lp_core::checksum::{ChecksumKind, RunningChecksum};
+use lp_core::scheme::Scheme;
+use lp_kernels::conv2d::{Conv2d, Conv2dParams};
+use lp_kernels::tmm::{Tmm, TmmParams};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::prelude::CrashTrigger;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ChecksumKind> {
+    prop_oneof![
+        Just(ChecksumKind::Parity),
+        Just(ChecksumKind::Modular),
+        Just(ChecksumKind::Adler32),
+        Just(ChecksumKind::ModularParity),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recomputing a checksum over the same value sequence always matches.
+    #[test]
+    fn checksum_deterministic(kind in kind_strategy(), values in prop::collection::vec(any::<u64>(), 0..128)) {
+        let mut a = RunningChecksum::new(kind);
+        let mut b = RunningChecksum::new(kind);
+        for &v in &values {
+            a.update(v);
+            b.update(v);
+        }
+        prop_assert_eq!(a.value(), b.value());
+    }
+
+    /// Dropping any single non-zero value to zero (a lost store over a
+    /// fresh output) is detected by every code.
+    #[test]
+    fn checksum_detects_lost_store(
+        kind in kind_strategy(),
+        values in prop::collection::vec(1u64..u64::MAX, 1..96),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let i = idx.index(values.len());
+        let mut clean = RunningChecksum::new(kind);
+        let mut lost = RunningChecksum::new(kind);
+        for (k, &v) in values.iter().enumerate() {
+            clean.update(v);
+            lost.update(if k == i { 0 } else { v });
+        }
+        prop_assert_ne!(clean.value(), lost.value(), "lost store at {} undetected", i);
+    }
+
+    /// A single bit flip anywhere is detected by every code.
+    #[test]
+    fn checksum_detects_bit_flip(
+        kind in kind_strategy(),
+        values in prop::collection::vec(any::<u64>(), 1..96),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u32..64,
+    ) {
+        let i = idx.index(values.len());
+        let mut clean = RunningChecksum::new(kind);
+        let mut flipped = RunningChecksum::new(kind);
+        for (k, &v) in values.iter().enumerate() {
+            clean.update(v);
+            flipped.update(if k == i { v ^ (1u64 << bit) } else { v });
+        }
+        prop_assert_ne!(clean.value(), flipped.value());
+    }
+}
+
+proptest! {
+    // Full simulated crash/recovery runs are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// tmm + LP recovers the exact golden product from ANY crash point.
+    #[test]
+    fn tmm_lp_recovery_from_arbitrary_crash(ops in 1u64..40_000) {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(
+            MachineConfig::default()
+                .with_cores(params.threads)
+                .with_nvmm_bytes(16 << 20),
+        );
+        let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+        machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+        if machine.run(tmm.plans()) == Outcome::Crashed {
+            machine.clear_crash_trigger();
+            tmm.recover(&mut machine);
+        }
+        machine.drain_caches();
+        prop_assert!(tmm.verify(&machine), "crash at {} ops", ops);
+    }
+
+    /// conv2d (idempotent regions) recovers from any crash point too.
+    #[test]
+    fn conv2d_lp_recovery_from_arbitrary_crash(ops in 1u64..20_000) {
+        let params = Conv2dParams::test_small();
+        let mut machine = Machine::new(
+            MachineConfig::default()
+                .with_cores(params.threads)
+                .with_nvmm_bytes(16 << 20),
+        );
+        let conv = Conv2d::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
+        machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+        if machine.run(conv.plans()) == Outcome::Crashed {
+            machine.clear_crash_trigger();
+            conv.recover(&mut machine);
+        }
+        machine.drain_caches();
+        prop_assert!(conv.verify(&machine), "crash at {} ops", ops);
+    }
+
+    /// Region associativity (Section III-C): under LP, regions may persist
+    /// in any order. Shuffling which thread owns which strip (a different
+    /// persist/execution order) never changes the final durable output.
+    #[test]
+    fn tmm_output_independent_of_region_order(threads in 1usize..5) {
+        let mut params = TmmParams::test_small();
+        params.threads = threads;
+        let cfg = MachineConfig::default()
+            .with_cores(threads)
+            .with_nvmm_bytes(16 << 20);
+        let run = lp_kernels::tmm::run(&cfg, params, Scheme::lazy_default());
+        prop_assert!(run.verified, "threads={}", threads);
+    }
+}

@@ -1,0 +1,181 @@
+//! Golden-model property tests for the simulator's memory semantics:
+//! random operation sequences on random cache geometries, checked against
+//! a simple reference model.
+//!
+//! Invariants:
+//! 1. The *coherent* view always equals the reference (functional
+//!    correctness of caches + MESI under arbitrary interleavings).
+//! 2. After a crash, every durable value is one the program actually
+//!    stored there (or the initial zero) — never garbage or a torn mix
+//!    within one scalar.
+//! 3. A value that was flushed-and-fenced after its last store always
+//!    survives a crash exactly.
+
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::Machine;
+use lp_sim::mem::PArray;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// (core, index, value-tag)
+    Store(usize, usize, u16),
+    /// (core, index)
+    Load(usize, usize),
+    /// (core, index)
+    Flush(usize, usize),
+    /// (core)
+    Fence(usize),
+}
+
+fn op_strategy(cores: usize, len: usize) -> impl Strategy<Value = Op> {
+    let c = 0..cores;
+    let i = 0..len;
+    prop_oneof![
+        4 => (c.clone(), i.clone(), any::<u16>()).prop_map(|(c, i, v)| Op::Store(c, i, v)),
+        3 => (c.clone(), i.clone()).prop_map(|(c, i)| Op::Load(c, i)),
+        2 => (c.clone(), i.clone()).prop_map(|(c, i)| Op::Flush(c, i)),
+        1 => c.prop_map(Op::Fence),
+    ]
+}
+
+/// Encode (index, tag, sequence) into a unique u64 so torn values are
+/// detectable.
+fn encode(i: usize, tag: u16, seq: u32) -> u64 {
+    ((i as u64) << 48) | ((tag as u64) << 32) | seq as u64
+}
+
+fn apply_ops(
+    m: &mut Machine,
+    arr: PArray<u64>,
+    ops: &[Op],
+) -> (Vec<u64>, HashMap<usize, HashSet<u64>>, HashSet<usize>) {
+    // Reference state, the set of values ever stored per index, and the
+    // indexes whose last store was later flushed + fenced by its core.
+    let mut reference = vec![0u64; arr.len()];
+    let mut ever: HashMap<usize, HashSet<u64>> = HashMap::new();
+    let mut unfenced_flush: Vec<HashSet<usize>> = vec![HashSet::new(); m.cores()];
+    let mut durable_certain: HashSet<usize> = HashSet::new();
+    let mut dirty_since_flush: HashSet<usize> = HashSet::new();
+    let mut seq = 0u32;
+    for op in ops {
+        match *op {
+            Op::Store(core, i, tag) => {
+                seq += 1;
+                let v = encode(i, tag, seq);
+                m.ctx(core).store(arr, i, v);
+                reference[i] = v;
+                ever.entry(i).or_default().insert(v);
+                durable_certain.remove(&i);
+                dirty_since_flush.insert(i);
+            }
+            Op::Load(core, i) => {
+                let v: u64 = m.ctx(core).load(arr, i);
+                assert_eq!(v, reference[i], "coherent load of index {i}");
+            }
+            Op::Flush(core, i) => {
+                m.ctx(core).clflushopt(arr.addr(i));
+                // The flush covers the whole line; track just this index.
+                if dirty_since_flush.remove(&i) {
+                    unfenced_flush[core].insert(i);
+                }
+            }
+            Op::Fence(core) => {
+                m.ctx(core).sfence();
+                for i in unfenced_flush[core].drain() {
+                    durable_certain.insert(i);
+                }
+            }
+        }
+    }
+    // ADR: a flush is durable on acceptance, fence or not.
+    for set in unfenced_flush {
+        for i in set {
+            durable_certain.insert(i);
+        }
+    }
+    (
+        reference,
+        ever,
+        durable_certain
+            .into_iter()
+            .filter(|i| !dirty_since_flush.contains(i))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_ops_preserve_coherence_and_crash_semantics(
+        ops in prop::collection::vec(op_strategy(3, 48), 1..300),
+        l1_pow in 1usize..5,
+        l2_pow in 3usize..7,
+    ) {
+        let cfg = MachineConfig::default()
+            .with_cores(3)
+            .with_l1_bytes((1 << l1_pow) * 512)
+            .with_l2_bytes((1 << l2_pow) * 1024)
+            .with_nvmm_bytes(1 << 20);
+        prop_assume!(cfg.validate().is_ok());
+        let mut m = Machine::new(cfg);
+        let arr = m.alloc::<u64>(48).unwrap();
+        let (reference, ever, durable_certain) = apply_ops(&mut m, arr, &ops);
+
+        // (0) Structural MESI invariants hold after any op sequence.
+        prop_assert_eq!(m.mem().check_invariants(), Ok(()));
+
+        // (1) Coherent view equals the reference everywhere.
+        for i in 0..arr.len() {
+            prop_assert_eq!(m.peek_coherent(arr, i), reference[i], "coherent {}", i);
+        }
+
+        // Crash: caches discarded.
+        m.mem_mut().force_crash();
+        m.mem_mut().acknowledge_crash();
+        prop_assert_eq!(m.mem().check_invariants(), Ok(()));
+
+        for i in 0..arr.len() {
+            let v = m.peek(arr, i);
+            // (2) Durable value is something the program stored (or 0).
+            if v != 0 {
+                prop_assert!(
+                    ever.get(&i).is_some_and(|s| s.contains(&v)),
+                    "index {} holds garbage {:#x}",
+                    i,
+                    v
+                );
+            }
+            // (3) Flushed-after-last-store values survive exactly.
+            if durable_certain.contains(&i) {
+                prop_assert_eq!(v, reference[i], "persisted index {} lost", i);
+            }
+        }
+    }
+
+    /// Drains never change the coherent view, and make it durable.
+    #[test]
+    fn drain_is_transparent_and_durable(
+        ops in prop::collection::vec(op_strategy(2, 32), 1..150),
+    ) {
+        let cfg = MachineConfig::default()
+            .with_cores(2)
+            .with_nvmm_bytes(1 << 20);
+        let mut m = Machine::new(cfg);
+        let arr = m.alloc::<u64>(32).unwrap();
+        let (reference, _, _) = apply_ops(&mut m, arr, &ops);
+        m.drain_caches();
+        for i in 0..arr.len() {
+            prop_assert_eq!(m.peek_coherent(arr, i), reference[i]);
+            prop_assert_eq!(m.peek(arr, i), reference[i]);
+        }
+        // After a drain, even a crash loses nothing.
+        m.mem_mut().force_crash();
+        m.mem_mut().acknowledge_crash();
+        for i in 0..arr.len() {
+            prop_assert_eq!(m.peek(arr, i), reference[i]);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration tests for the simulator substrate's durability semantics:
+//! what a crash keeps, what a drain guarantees, what the cleaner bounds.
+
+use lp_sim::cleaner::CleanerConfig;
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(
+        MachineConfig::default()
+            .with_cores(cores)
+            .with_nvmm_bytes(8 << 20),
+    )
+}
+
+#[test]
+fn drain_makes_coherent_and_durable_views_agree() {
+    let mut m = machine(2);
+    let arr = m.alloc::<f64>(2048).unwrap();
+    let mut plans = m.plans();
+    for (t, plan) in plans.iter_mut().enumerate() {
+        plan.region(move |ctx| {
+            for i in (t * 1024)..((t + 1) * 1024) {
+                ctx.store(arr, i, (i as f64).sin());
+            }
+        });
+    }
+    assert_eq!(m.run(plans), Outcome::Completed);
+    m.drain_caches();
+    for i in 0..2048 {
+        assert_eq!(m.peek(arr, i), m.peek_coherent(arr, i), "element {i}");
+        assert_eq!(m.peek(arr, i), (i as f64).sin());
+    }
+}
+
+#[test]
+fn crash_preserves_exactly_the_written_back_prefix_semantics() {
+    // Everything observable in the durable image after a crash must be a
+    // value that was actually stored (never garbage), and flushed values
+    // must always survive.
+    let mut m = machine(1);
+    let arr = m.alloc::<u64>(512).unwrap();
+    {
+        let mut ctx = m.ctx(0);
+        for i in 0..512 {
+            ctx.store(arr, i, i as u64 + 1);
+        }
+        // Explicitly persist a scattering of lines.
+        for i in (0..512).step_by(64) {
+            ctx.clflushopt(arr.addr(i));
+        }
+        ctx.sfence();
+    }
+    m.mem_mut().force_crash();
+    m.mem_mut().acknowledge_crash();
+    for i in 0..512 {
+        let v = m.peek(arr, i);
+        assert!(v == 0 || v == i as u64 + 1, "element {i} = {v} is garbage");
+        if i % 64 == 0 {
+            // Flushed lines cover elements i..i+8.
+            assert_eq!(v, i as u64 + 1, "flushed element {i} lost");
+        }
+    }
+}
+
+#[test]
+fn cleaner_bounds_dirty_lifetime() {
+    // With a periodic cleaner, no volatility sample may (materially)
+    // exceed the cleaning interval.
+    let interval = 50_000u64;
+    let mut m = Machine::new(
+        MachineConfig::default()
+            .with_cores(1)
+            .with_nvmm_bytes(8 << 20)
+            .with_cleaner(CleanerConfig::every_cycles(interval)),
+    );
+    let arr = m.alloc::<f64>(4096).unwrap();
+    let mut plans = m.plans();
+    plans[0].region(move |ctx| {
+        for round in 0..8 {
+            for i in 0..4096 {
+                ctx.store(arr, i, (round * 4096 + i) as f64);
+                ctx.compute(20);
+            }
+        }
+    });
+    assert_eq!(m.run(plans), Outcome::Completed);
+    m.drain_caches();
+    let stats = m.stats();
+    assert!(stats.mem.nvmm_writes_cleaner > 0, "cleaner ran");
+    assert!(
+        stats.mem.max_volatility <= 2 * interval,
+        "maxvdur {} exceeds twice the cleaning interval {}",
+        stats.mem.max_volatility,
+        interval
+    );
+    assert!(m.mem().cleaner_sweeps() > 0);
+}
+
+#[test]
+fn cleaner_increases_writes_monotonically_with_frequency() {
+    let mut writes = Vec::new();
+    for interval in [10_000u64, 100_000, 1_000_000] {
+        let mut m = Machine::new(
+            MachineConfig::default()
+                .with_cores(1)
+                .with_nvmm_bytes(8 << 20)
+                .with_cleaner(CleanerConfig::every_cycles(interval)),
+        );
+        let arr = m.alloc::<f64>(4096).unwrap();
+        let mut plans = m.plans();
+        plans[0].region(move |ctx| {
+            for round in 0..4 {
+                for i in 0..4096 {
+                    ctx.store(arr, i, (round * 4096 + i) as f64);
+                    ctx.compute(30);
+                }
+            }
+        });
+        m.run(plans);
+        writes.push(m.stats().nvmm_writes());
+    }
+    assert!(
+        writes[0] >= writes[1] && writes[1] >= writes[2],
+        "more frequent cleaning must not reduce writes: {writes:?}"
+    );
+}
+
+#[test]
+fn coherence_keeps_values_exact_under_heavy_sharing() {
+    // Interleaved cross-core read-modify-writes to adjacent elements
+    // (false sharing) must still produce exact values.
+    let mut m = machine(4);
+    let arr = m.alloc::<u64>(64).unwrap();
+    // Each core increments its own element 100 times; elements share lines.
+    let mut plans = m.plans();
+    for (t, plan) in plans.iter_mut().enumerate() {
+        for _round in 0..100 {
+            plan.region(move |ctx| {
+                let v: u64 = ctx.load(arr, t);
+                ctx.store(arr, t, v + 1);
+            });
+        }
+    }
+    assert_eq!(m.run(plans), Outcome::Completed);
+    m.drain_caches();
+    for t in 0..4 {
+        assert_eq!(m.peek(arr, t), 100, "core {t}'s counter");
+    }
+    let s = m.stats();
+    assert!(s.mem.coherence_invalidations > 0 || s.mem.coherence_recalls > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Functional correctness is independent of cache geometry: any legal
+    /// L1/L2 size produces the same durable values after a drain.
+    #[test]
+    fn geometry_independence(l1_kb in 1usize..9, l2_kb in 2usize..17) {
+        let l1 = (1 << l1_kb).min(64) * 1024;
+        let l2 = (1 << l2_kb).max(8) * 1024;
+        let cfg = MachineConfig::default()
+            .with_cores(2)
+            .with_l1_bytes(l1)
+            .with_l2_bytes(l2.max(l1))
+            .with_nvmm_bytes(8 << 20);
+        if cfg.validate().is_err() {
+            return Ok(());
+        }
+        let mut m = Machine::new(cfg);
+        let arr = m.alloc::<u64>(1024).unwrap();
+        let mut plans = m.plans();
+        for (t, plan) in plans.iter_mut().enumerate() {
+            plan.region(move |ctx| {
+                for i in (t * 512)..((t + 1) * 512) {
+                    ctx.store(arr, i, (i as u64).wrapping_mul(2654435761));
+                }
+            });
+        }
+        m.run(plans);
+        m.drain_caches();
+        for i in 0..1024 {
+            prop_assert_eq!(m.peek(arr, i), (i as u64).wrapping_mul(2654435761));
+        }
+    }
+
+    /// Poke/peek round-trips bit patterns exactly through the image.
+    #[test]
+    fn poke_peek_bit_exact(seed in any::<u64>()) {
+        let mut m = machine(1);
+        let arr = m.alloc::<f64>(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals: Vec<f64> = (0..64).map(|_| f64::from_bits(rng.gen())).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            m.poke(arr, i, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            let got = m.peek(arr, i);
+            prop_assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+}
