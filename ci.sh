@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests, and the persistency
+# mutation suite. Run from the repo root before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== lp-check mutation suite =="
+cargo run --release -q -p lp-check -- --mutations
+
+echo "ci.sh: all gates passed"

@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks of the simulator's memory system: simulated
-//! operations per second for L1-hit loads/stores, L2 hits, NVMM misses,
-//! and flush+fence pairs. These bound how large a workload the experiment
-//! binaries can simulate per wall-clock second.
+//! Micro-benchmarks of the simulator's memory system: simulated operations
+//! per second for L1-hit loads/stores, streaming misses, and flush+fence
+//! pairs. These bound how large a workload the experiment binaries can
+//! simulate per wall-clock second.
+//!
+//! Run: `cargo bench -p lp-bench --bench cache`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::Machine;
+use std::hint::black_box;
+use std::time::Instant;
+
+const OPS_PER_ITER: u64 = 1024;
 
 fn machine() -> Machine {
     Machine::new(
@@ -15,68 +20,83 @@ fn machine() -> Machine {
     )
 }
 
-fn bench_cache_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_ops");
-    group.throughput(Throughput::Elements(1024));
+/// Time `body` (issuing [`OPS_PER_ITER`] simulated ops per call) for about
+/// half a second and report ns per simulated op.
+fn bench(name: &str, mut body: impl FnMut()) {
+    for _ in 0..10 {
+        body(); // warm
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 500 {
+        body();
+        iters += 1;
+    }
+    let per_op = start.elapsed().as_nanos() as f64 / (iters * OPS_PER_ITER) as f64;
+    println!(
+        "  {:20} {:8.1} ns/op  ({:.2} Mops/s)",
+        name,
+        per_op,
+        1e3 / per_op
+    );
+}
 
-    group.bench_function("l1_hit_load", |b| {
+fn main() {
+    println!("sim_ops: {OPS_PER_ITER} simulated ops per iteration");
+
+    {
         let mut m = machine();
         let arr = m.alloc::<f64>(8).unwrap();
         let mut ctx = m.ctx(0);
-        let _: f64 = ctx.load(arr, 0); // warm
-        b.iter(|| {
-            for _ in 0..1024 {
+        let _: f64 = ctx.load(arr, 0); // warm the line
+        bench("l1_hit_load", || {
+            for _ in 0..OPS_PER_ITER {
                 let v: f64 = ctx.load(arr, 0);
                 black_box(v);
             }
-        })
-    });
+        });
+    }
 
-    group.bench_function("l1_hit_store", |b| {
+    {
         let mut m = machine();
         let arr = m.alloc::<f64>(8).unwrap();
         let mut ctx = m.ctx(0);
-        ctx.store(arr, 0, 0.0); // warm
-        b.iter(|| {
-            for i in 0..1024 {
+        ctx.store(arr, 0, 0.0); // warm the line
+        bench("l1_hit_store", || {
+            for i in 0..OPS_PER_ITER {
                 ctx.store(arr, 0, i as f64);
             }
-        })
-    });
+        });
+    }
 
-    group.bench_function("streaming_miss_load", |b| {
+    {
         // Each iteration streams over 1024 distinct lines (mostly L2/NVMM
         // traffic after the working set exceeds the caches).
         let mut m = machine();
         let arr = m.alloc::<f64>(1024 * 8 * 64).unwrap();
         let mut ctx = m.ctx(0);
         let mut pos = 0usize;
-        b.iter(|| {
-            for _ in 0..1024 {
+        bench("streaming_miss_load", || {
+            for _ in 0..OPS_PER_ITER {
                 let v: f64 = ctx.load(arr, pos);
                 black_box(v);
                 pos = (pos + 8) % arr.len();
             }
-        })
-    });
+        });
+    }
 
-    group.bench_function("flush_fence_pair", |b| {
+    {
         let mut m = machine();
         let arr = m.alloc::<f64>(1024 * 8).unwrap();
         let mut ctx = m.ctx(0);
         let mut i = 0usize;
-        b.iter(|| {
-            for _ in 0..1024 {
+        bench("flush_fence_pair", || {
+            for _ in 0..OPS_PER_ITER {
                 ctx.store(arr, i, 1.0);
                 ctx.clflushopt(arr.addr(i));
                 ctx.sfence();
                 i = (i + 8) % arr.len();
             }
-        })
-    });
-
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_cache_ops);
-criterion_main!(benches);

@@ -1,30 +1,44 @@
-//! Criterion micro-benchmarks of the checksum engines: throughput of
-//! `update` over a region's worth of doubles, per kind. This is the hot
-//! path LP adds to every kernel inner loop, so its relative cost explains
-//! Figure 15(b)'s ordering (parity ≈ modular < modular∥parity ≪ Adler-32).
+//! Micro-benchmark of the checksum engines: throughput of `update` over a
+//! region's worth of doubles, per kind. This is the hot path LP adds to
+//! every kernel inner loop, so its relative cost explains Figure 15(b)'s
+//! ordering (parity ≈ modular < modular∥parity ≪ Adler-32).
+//!
+//! Run: `cargo bench -p lp-bench --bench checksum`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_checksums(c: &mut Criterion) {
-    let values: Vec<u64> = (0..4096u64)
-        .map(|i| (i as f64 * 1.618).to_bits())
-        .collect();
-    let mut group = c.benchmark_group("checksum_update");
-    group.throughput(Throughput::Elements(values.len() as u64));
+fn main() {
+    let values: Vec<u64> = (0..4096u64).map(|i| (i as f64 * 1.618).to_bits()).collect();
+    println!("checksum_update: {} values per iteration", values.len());
     for kind in ChecksumKind::ALL {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut ck = RunningChecksum::new(kind);
-                for &v in &values {
-                    ck.update(black_box(v));
-                }
-                black_box(ck.value())
-            })
-        });
+        // Warm up, then time.
+        let mut iters = 0u64;
+        let mut sink = 0u64;
+        for _ in 0..20 {
+            let mut ck = RunningChecksum::new(kind);
+            for &v in &values {
+                ck.update(black_box(v));
+            }
+            sink ^= black_box(ck.value());
+        }
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 500 {
+            let mut ck = RunningChecksum::new(kind);
+            for &v in &values {
+                ck.update(black_box(v));
+            }
+            sink ^= black_box(ck.value());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        let per_elem = elapsed.as_nanos() as f64 / (iters * values.len() as u64) as f64;
+        println!(
+            "  {:16} {:8.2} ns/elem  ({:.1} Melem/s)  [{iters} iters, sink {sink:#x}]",
+            kind.name(),
+            per_elem,
+            1e3 / per_elem,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_checksums);
-criterion_main!(benches);

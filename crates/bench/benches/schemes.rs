@@ -1,14 +1,16 @@
-//! Criterion end-to-end benchmarks: one small tmm window under each
-//! persistency scheme. Wall-clock here tracks simulated work (ops), so
-//! the relative host times mirror the schemes' instruction-count
-//! overheads (WAL ≫ EP > LP ≈ base).
+//! End-to-end benchmark: one small tmm window under each persistency
+//! scheme. Wall-clock here tracks simulated work (ops), so the relative
+//! host times mirror the schemes' instruction-count overheads
+//! (WAL ≫ EP > LP ≈ base).
+//!
+//! Run: `cargo bench -p lp-bench --bench schemes`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 use lp_sim::config::MachineConfig;
+use std::time::Instant;
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let params = TmmParams {
         n: 64,
         bsize: 8,
@@ -17,24 +19,34 @@ fn bench_schemes(c: &mut Criterion) {
         seed: 42,
     };
     let cfg = MachineConfig::default().with_nvmm_bytes(16 << 20);
-    let mut group = c.benchmark_group("tmm_end_to_end");
-    group.sample_size(10);
+    println!(
+        "tmm_end_to_end: n={} bsize={} threads={} kk_window={}",
+        params.n, params.bsize, params.threads, params.kk_window
+    );
     for scheme in [
         Scheme::Base,
         Scheme::lazy_default(),
         Scheme::Eager,
         Scheme::Wal,
     ] {
-        group.bench_function(scheme.name(), |b| {
-            b.iter_batched(
-                || (cfg.clone(), params),
-                |(cfg, params)| tmm::run(&cfg, params, scheme),
-                BatchSize::LargeInput,
-            )
-        });
+        let samples = 10;
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut verified = true;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let run = tmm::run(&cfg, params, scheme);
+            let secs = start.elapsed().as_secs_f64();
+            verified &= run.verified;
+            best = best.min(secs);
+            total += secs;
+        }
+        println!(
+            "  {:12} best {:8.1} ms   mean {:8.1} ms   [{} samples, verified={verified}]",
+            scheme.name(),
+            best * 1e3,
+            total / samples as f64 * 1e3,
+            samples,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

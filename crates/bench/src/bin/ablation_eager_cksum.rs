@@ -64,7 +64,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, scheme) in [
         ("LP (lazy checksum)", Scheme::Lazy(ChecksumKind::Modular)),
-        ("LP (eager checksum)", Scheme::LazyEagerCk(ChecksumKind::Modular)),
+        (
+            "LP (eager checksum)",
+            Scheme::LazyEagerCk(ChecksumKind::Modular),
+        ),
     ] {
         let quick_params = TmmParams::bench_default();
         let mut machine = Machine::new(
@@ -90,7 +93,13 @@ fn main() {
     }
     print_table(
         "Ablation §III-D — recovery after an identical mid-run crash",
-        &["Variant", "checked", "inconsistent", "recomputed", "recovery cycles"],
+        &[
+            "Variant",
+            "checked",
+            "inconsistent",
+            "recomputed",
+            "recovery cycles",
+        ],
         &rows,
     );
     println!("\npaper: chooses the lazy checksum — failures are rare, so paying\nflush+fence per region in the common case is the wrong trade.");

@@ -10,8 +10,7 @@
 use lp_bench::print_table;
 use lp_core::checksum::accuracy::{run_injection_campaign, ErrorModel};
 use lp_core::checksum::ChecksumKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lp_sim::rng::Rng64;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -26,7 +25,7 @@ fn main() {
     let mut rows = Vec::new();
     for kind in ChecksumKind::ALL {
         for (mname, model) in models {
-            let mut rng = StdRng::seed_from_u64(0xacc + kind.cost_ops());
+            let mut rng = Rng64::new(0xacc + kind.cost_ops());
             let r = run_injection_campaign(kind, region_len, trials, model, &mut rng);
             rows.push(vec![
                 kind.name().to_string(),
@@ -44,7 +43,13 @@ fn main() {
     }
     print_table(
         "Section III-D — checksum false-negative rates under injected persistency errors",
-        &["Checksum", "Error model", "Injections", "Undetected", "Miss rate"],
+        &[
+            "Checksum",
+            "Error model",
+            "Injections",
+            "Undetected",
+            "Miss rate",
+        ],
         &rows,
     );
     println!("\npaper: modular & adler32 < 2e-9 misses; parity cheapest/weakest");

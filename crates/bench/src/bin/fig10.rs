@@ -60,12 +60,21 @@ fn main() {
     }
     print_table(
         "Figure 10 — tmm execution time & NVMM writes (normalized to base)",
-        &["Scheme", "Exe Time", "Num Writes", "cycles", "writes", "host time"],
+        &[
+            "Scheme",
+            "Exe Time",
+            "Num Writes",
+            "cycles",
+            "writes",
+            "host time",
+        ],
         &rows,
     );
-    print_bars("Normalized execution time", &time_bars, |v| format!("{v:.3}x"));
-    print_bars("Normalized NVMM writes", &write_bars, |v| format!("{v:.3}x"));
-    println!(
-        "\npaper: base 1.00/1.00 | LP 1.002/1.003 | EP 1.12/1.36 | WAL 5.97/3.83"
-    );
+    print_bars("Normalized execution time", &time_bars, |v| {
+        format!("{v:.3}x")
+    });
+    print_bars("Normalized NVMM writes", &write_bars, |v| {
+        format!("{v:.3}x")
+    });
+    println!("\npaper: base 1.00/1.00 | LP 1.002/1.003 | EP 1.12/1.36 | WAL 5.97/3.83");
 }

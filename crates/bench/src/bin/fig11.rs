@@ -49,7 +49,9 @@ fn main() {
     ]];
     for frac in fractions {
         let interval = ((base_cycles as f64 * frac) as u64).max(1);
-        let cfg_clean = cfg.clone().with_cleaner(CleanerConfig::every_cycles(interval));
+        let cfg_clean = cfg
+            .clone()
+            .with_cleaner(CleanerConfig::every_cycles(interval));
         let run = tmm::run(&cfg_clean, params, Scheme::lazy_default());
         assert!(run.verified, "fraction {frac}");
         rows.push(vec![
@@ -68,7 +70,12 @@ fn main() {
     ]);
     print_table(
         "Figure 11 — extra NVMM writes vs time-between-cleanings (fraction of exec time)",
-        &["Config", "interval (cycles)", "write overhead vs base", "cleaner writes"],
+        &[
+            "Config",
+            "interval (cycles)",
+            "write overhead vs base",
+            "cleaner writes",
+        ],
         &rows,
     );
     println!("\npaper: 0.08% interval -> +32% (below EP's +36%); 33% interval -> < +2%");

@@ -15,7 +15,11 @@ use lp_kernels::driver::{run_kernel, KernelId, Scale};
 
 fn main() {
     let args = BenchArgs::parse();
-    let scale = if args.quick { Scale::Bench } else { Scale::Paper };
+    let scale = if args.quick {
+        Scale::Bench
+    } else {
+        Scale::Paper
+    };
     let cfg = args.base_config();
 
     let mut time_rows = Vec::new();
@@ -78,7 +82,9 @@ fn main() {
                 .map(|(k, f)| (format!("{k} EP"), (f - 1.0) * 100.0)),
         )
         .collect();
-    print_bars("Execution-time overhead (%)", &bars, |v| format!("{v:+.1}%"));
+    print_bars("Execution-time overhead (%)", &bars, |v| {
+        format!("{v:+.1}%")
+    });
     println!("paper: LP 0.1%..3.5% (avg 1.1%) | EP 4.4%..17.9% (avg 9%)");
 
     print_table(

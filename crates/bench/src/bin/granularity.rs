@@ -44,17 +44,16 @@ fn main() {
         machine.set_crash_trigger(CrashTrigger::AfterMemOps(
             (base.stats.instructions() / 16).max(1_000),
         ));
-        let (inconsistent, recovery_cycles) =
-            if machine.run(tmm_work.plans()) == Outcome::Crashed {
-                machine.clear_crash_trigger();
-                machine.take_stats();
-                let r = tmm_work.recover(&mut machine);
-                machine.drain_caches();
-                assert!(tmm_work.verify(&machine), "bsize={bsize}");
-                (r.regions_inconsistent, r.cycles)
-            } else {
-                (0, 0)
-            };
+        let (inconsistent, recovery_cycles) = if machine.run(tmm_work.plans()) == Outcome::Crashed {
+            machine.clear_crash_trigger();
+            machine.take_stats();
+            let r = tmm_work.recover(&mut machine);
+            machine.drain_caches();
+            assert!(tmm_work.verify(&machine), "bsize={bsize}");
+            (r.regions_inconsistent, r.cycles)
+        } else {
+            (0, 0)
+        };
 
         rows.push(vec![
             format!("{bsize} ({} regions)", regions),

@@ -67,7 +67,8 @@ fn parse_cli() -> Cli {
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        args.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -93,7 +94,7 @@ fn parse_cli() -> Cli {
             "--n" => cli.n = Some(next(&mut args, "--n").parse().expect("--n number")),
             "--threads" => cli.threads = next(&mut args, "--threads").parse().expect("number"),
             "--crash-ops" => {
-                cli.crash_ops = Some(next(&mut args, "--crash-ops").parse().expect("number"))
+                cli.crash_ops = Some(next(&mut args, "--crash-ops").parse().expect("number"));
             }
             "--l2-kb" => cli.l2_kb = next(&mut args, "--l2-kb").parse().expect("number"),
             "--read-ns" => cli.read_ns = next(&mut args, "--read-ns").parse().expect("number"),

@@ -17,11 +17,7 @@ use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, Outcome};
 use lp_sim::prelude::CrashTrigger;
 
-fn run_case(
-    cfg: &MachineConfig,
-    params: TmmParams,
-    crash_ops: u64,
-) -> (u64, u64, u64, u64, u64) {
+fn run_case(cfg: &MachineConfig, params: TmmParams, crash_ops: u64) -> (u64, u64, u64, u64, u64) {
     let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
     let tmm = Tmm::setup(&mut machine, params, Scheme::lazy_default()).unwrap();
     machine.set_crash_trigger(CrashTrigger::AfterMemOps(crash_ops));
@@ -75,8 +71,13 @@ fn main() {
     ]);
     for frac in [0.01f64, 0.05, 0.20] {
         let interval = ((probe_cycles as f64 * frac) as u64).max(1);
-        eprintln!("recovery_time: cleaner @ {:.0}% of exec ({interval} cycles)...", frac * 100.0);
-        let cfg_clean = cfg.clone().with_cleaner(CleanerConfig::every_cycles(interval));
+        eprintln!(
+            "recovery_time: cleaner @ {:.0}% of exec ({interval} cycles)...",
+            frac * 100.0
+        );
+        let cfg_clean = cfg
+            .clone()
+            .with_cleaner(CleanerConfig::every_cycles(interval));
         let (inc, rep, cyc, writes, cleaner_writes) = run_case(&cfg_clean, params, crash_ops);
         rows.push(vec![
             format!("cleaner @ {:.0}% of exec", frac * 100.0),

@@ -15,11 +15,9 @@ use lp_kernels::native::{run_native, NativeKernel};
 
 fn main() {
     let args = BenchArgs::parse();
-    let threads = args.threads.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4)
-    });
+    let threads = args
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get().min(8)));
     let reps = if args.quick { 2 } else { 3 };
 
     let mut rows = Vec::new();
@@ -34,7 +32,10 @@ fn main() {
             (NativeKernel::Tmm, false) => 512,
             (_, true) => 192,
         };
-        eprintln!("table7: {} (n={n}, {threads} threads, {reps} reps)...", kernel.name());
+        eprintln!(
+            "table7: {} (n={n}, {threads} threads, {reps} reps)...",
+            kernel.name()
+        );
         let r = run_native(kernel, n, threads, reps);
         assert!(r.outputs_match, "{}: variants disagree", kernel.name());
         factors.push(1.0 + r.overhead().max(0.0));
@@ -56,5 +57,7 @@ fn main() {
         &["Benchmark", "LP overhead", "base time", "LP time"],
         &rows,
     );
-    println!("\npaper: TMM 0.8% | Cholesky 1.1% | 2D-conv 0.9% | Gauss 2.1% | FFT 1.1% | gmean 1.1%");
+    println!(
+        "\npaper: TMM 0.8% | Cholesky 1.1% | 2D-conv 0.9% | Gauss 2.1% | FFT 1.1% | gmean 1.1%"
+    );
 }

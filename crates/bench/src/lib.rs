@@ -93,9 +93,15 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -154,11 +160,9 @@ mod tests {
     #[test]
     fn bars_do_not_panic_on_edge_cases() {
         print_bars("empty", &[], |v| format!("{v}"));
-        print_bars(
-            "zeros",
-            &[("a".into(), 0.0), ("b".into(), 0.0)],
-            |v| format!("{v:.1}"),
-        );
+        print_bars("zeros", &[("a".into(), 0.0), ("b".into(), 0.0)], |v| {
+            format!("{v:.1}")
+        });
         print_bars(
             "normal",
             &[("base".into(), 1.0), ("wal".into(), 3.1)],

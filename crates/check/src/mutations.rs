@@ -1,0 +1,433 @@
+//! Mutation tests: deliberately broken persistency disciplines the checker
+//! must flag, proving each rule has teeth.
+//!
+//! Each mutation builds a tiny synthetic workload straight from the
+//! `lp-sim`/`lp-core` primitives, breaks the discipline in exactly one way
+//! (skip a fold, skip a fence, reorder WAL, …), runs it under the checker,
+//! and records which rule it expects to fire. Under the simulator's ADR
+//! model several of these mutants still produce correct *simulated* output
+//! — the point is that the checker catches the latent discipline bug that
+//! real hardware would punish.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lp_core::checksum::{ChecksumKind, RunningChecksum};
+use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_core::track::{RangeRole, TrackedRange};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, ThreadPlan};
+use lp_sim::mem::PArray;
+
+use crate::checker::Checker;
+use crate::report::{Rule, ViolationReport};
+
+/// One mutation's outcome.
+#[derive(Debug)]
+pub struct MutationOutcome {
+    /// Mutation name (stable identifier).
+    pub name: &'static str,
+    /// The rule the mutation is designed to violate.
+    pub expected: Rule,
+    /// The checker's verdict over the mutated run.
+    pub report: ViolationReport,
+}
+
+impl MutationOutcome {
+    /// Whether the checker flagged the expected rule.
+    pub fn flagged(&self) -> bool {
+        self.report.flags(self.expected)
+    }
+}
+
+/// The synthetic rig every mutation runs on: a 64-element protected array
+/// plus the scheme's own structures, all tracked.
+struct Rig {
+    machine: Machine,
+    arr: PArray<f64>,
+    handles: SchemeHandles,
+    ranges: Vec<TrackedRange>,
+}
+
+fn rig(scheme: Scheme, cores: usize) -> Rig {
+    let mut machine = Machine::new(
+        MachineConfig::default()
+            .with_cores(cores)
+            .with_nvmm_bytes(1 << 20),
+    );
+    let arr = machine.alloc::<f64>(64).expect("rig array");
+    let handles = SchemeHandles::alloc(&mut machine, scheme, 16, cores, 64).expect("rig handles");
+    let mut ranges = vec![TrackedRange::of("data", arr, RangeRole::Protected)];
+    ranges.extend(handles.ranges());
+    Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    }
+}
+
+/// Run `plans` on `machine` with a fresh checker installed; return the
+/// verdict.
+fn audit(
+    mut machine: Machine,
+    scheme: Scheme,
+    ranges: Vec<TrackedRange>,
+    plans: Vec<ThreadPlan<'static>>,
+    label: &str,
+) -> ViolationReport {
+    let checker = Rc::new(RefCell::new(Checker::new(scheme, ranges, label)));
+    machine.set_observer(checker.clone());
+    machine.run(plans);
+    machine.clear_observer();
+    let report = checker.borrow().report();
+    report
+}
+
+/// A Lazy region that "forgets" to fold one store into its running
+/// checksum before persisting it (rule R2).
+pub fn lp_skip_fold() -> MutationOutcome {
+    let kind = ChecksumKind::Modular;
+    let scheme = Scheme::Lazy(kind);
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let table = handles.table;
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(7);
+        let mut ck = RunningChecksum::new(kind);
+        for i in 0..8 {
+            let v = (i + 1) as f64;
+            ctx.store(arr, i, v);
+            if i != 3 {
+                // The forgotten UpdateCheckSum() of Figure 8.
+                ck.update(v.to_bits());
+            }
+        }
+        table.store(ctx, 7, ck.value());
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "lp_skip_fold",
+        expected: Rule::R2,
+        report: audit(machine, scheme, ranges, plans, "mutation lp_skip_fold"),
+    }
+}
+
+/// A store to protected memory issued before any region is opened
+/// (rule R1).
+pub fn store_outside_region() -> MutationOutcome {
+    let kind = ChecksumKind::Modular;
+    let scheme = Scheme::Lazy(kind);
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let table = handles.table;
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        // The stray store: protected data touched with no region open.
+        ctx.store(arr, 0, 1.0);
+        // Followed by a perfectly disciplined region elsewhere.
+        ctx.region_begin(1);
+        let mut ck = RunningChecksum::new(kind);
+        for i in 8..16 {
+            let v = i as f64;
+            ctx.store(arr, i, v);
+            ck.update(v.to_bits());
+        }
+        table.store(ctx, 1, ck.value());
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "store_outside_region",
+        expected: Rule::R1,
+        report: audit(
+            machine,
+            scheme,
+            ranges,
+            plans,
+            "mutation store_outside_region",
+        ),
+    }
+}
+
+/// An EagerRecompute region that flushes every line but advances its
+/// durable marker without the covering `sfence` (rule R3).
+pub fn ep_skip_fence() -> MutationOutcome {
+    let scheme = Scheme::Eager;
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let markers = handles.markers;
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(2);
+        for i in 0..8 {
+            ctx.store(arr, i, (i + 1) as f64);
+            ctx.clflushopt(arr.addr(i));
+        }
+        // Missing: ctx.sfence() — nothing orders the flushes before the
+        // marker below.
+        ctx.store(markers, 0, 3);
+        ctx.clflushopt(markers.addr(0));
+        ctx.sfence();
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "ep_skip_fence",
+        expected: Rule::R3,
+        report: audit(machine, scheme, ranges, plans, "mutation ep_skip_fence"),
+    }
+}
+
+/// An EagerRecompute region that fences but skipped the flush of one dirty
+/// line (rule R3).
+pub fn ep_skip_flush() -> MutationOutcome {
+    let scheme = Scheme::Eager;
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let markers = handles.markers;
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(5);
+        // One store per cache line (8 f64s per 64-byte line).
+        for i in [0usize, 8, 16, 24] {
+            ctx.store(arr, i, (i + 1) as f64);
+            if i != 8 {
+                // Line of arr[8] is left dirty in the cache.
+                ctx.clflushopt(arr.addr(i));
+            }
+        }
+        ctx.sfence();
+        ctx.store(markers, 0, 6);
+        ctx.clflushopt(markers.addr(0));
+        ctx.sfence();
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "ep_skip_flush",
+        expected: Rule::R3,
+        report: audit(machine, scheme, ranges, plans, "mutation ep_skip_flush"),
+    }
+}
+
+/// A WAL transaction that performs its in-place data store *before* the
+/// undo-log record is durably ordered (rule R4).
+pub fn wal_data_before_log() -> MutationOutcome {
+    let scheme = Scheme::Wal;
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let entries = handles.arenas[0].entries_array();
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(4);
+        let old: f64 = ctx.load(arr, 0);
+        // Reordered: data first…
+        ctx.store(arr, 0, 9.0);
+        // …then the log record, flushed and fenced — too late.
+        ctx.store(entries, 0, arr.addr(0).0);
+        ctx.clflushopt(entries.addr(0));
+        ctx.store(entries, 1, old.to_bits());
+        ctx.clflushopt(entries.addr(1));
+        ctx.sfence();
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "wal_data_before_log",
+        expected: Rule::R4,
+        report: audit(
+            machine,
+            scheme,
+            ranges,
+            plans,
+            "mutation wal_data_before_log",
+        ),
+    }
+}
+
+/// Two regions on different cores, scheduled in the same round, writing
+/// the same protected cache line (rule R5).
+pub fn overlap_write_sets() -> MutationOutcome {
+    let kind = ChecksumKind::Modular;
+    let scheme = Scheme::Lazy(kind);
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 2);
+    let table = handles.table;
+    let mut plans = machine.plans();
+    for (core, plan) in plans.iter_mut().enumerate() {
+        plan.region(move |ctx| {
+            ctx.region_begin(core);
+            let mut ck = RunningChecksum::new(kind);
+            // arr[0] and arr[1] share a cache line: overlapping write sets.
+            let v = (core + 1) as f64;
+            ctx.store(arr, core, v);
+            ck.update(v.to_bits());
+            table.store(ctx, core, ck.value());
+            ctx.region_end();
+        });
+    }
+    MutationOutcome {
+        name: "overlap_write_sets",
+        expected: Rule::R5,
+        report: audit(
+            machine,
+            scheme,
+            ranges,
+            plans,
+            "mutation overlap_write_sets",
+        ),
+    }
+}
+
+/// A later Lazy region rewrites a committed region's line before that
+/// region's checksum reached NVMM — and commits without a fresh checksum
+/// entry of its own (rule R6).
+pub fn torn_rewrite() -> MutationOutcome {
+    let kind = ChecksumKind::Modular;
+    let scheme = Scheme::Lazy(kind);
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let table = handles.table;
+    let mut plans = machine.plans();
+    plans[0]
+        .region(move |ctx| {
+            // Disciplined region: data + checksum, no flush (that is LP).
+            ctx.region_begin(10);
+            let mut ck = RunningChecksum::new(kind);
+            for i in 0..8 {
+                let v = (i + 1) as f64;
+                ctx.store(arr, i, v);
+                ck.update(v.to_bits());
+            }
+            table.store(ctx, 10, ck.value());
+            ctx.region_end();
+        })
+        .region(move |ctx| {
+            // The mutant: rewrites the first region's line while that
+            // checksum is still only in the cache, and records no fresh
+            // checksum for the new bits.
+            ctx.region_begin(11);
+            ctx.store(arr, 0, -1.0);
+            ctx.region_end();
+        });
+    MutationOutcome {
+        name: "torn_rewrite",
+        expected: Rule::R6,
+        report: audit(machine, scheme, ranges, plans, "mutation torn_rewrite"),
+    }
+}
+
+/// Control: the same shape as the mutants but fully disciplined — the
+/// checker must stay silent.
+pub fn disciplined_control(scheme: Scheme) -> ViolationReport {
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 2);
+    let mut plans = machine.plans();
+    for (core, plan) in plans.iter_mut().enumerate() {
+        let tp = handles.thread(core);
+        plan.region(move |ctx| {
+            let mut rs = tp.begin(ctx, core);
+            // 8 f64s per line: cores write disjoint lines.
+            for i in 0..8 {
+                tp.store(ctx, &mut rs, arr, core * 8 + i, (i + 1) as f64);
+            }
+            tp.commit(ctx, rs);
+        });
+    }
+    audit(
+        machine,
+        scheme,
+        ranges,
+        plans,
+        &format!("control under {scheme}"),
+    )
+}
+
+/// Run every mutation.
+pub fn run_all() -> Vec<MutationOutcome> {
+    vec![
+        lp_skip_fold(),
+        store_outside_region(),
+        ep_skip_fence(),
+        ep_skip_flush(),
+        wal_data_before_log(),
+        overlap_write_sets(),
+        torn_rewrite(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mutation_is_flagged_with_its_rule() {
+        for outcome in run_all() {
+            assert!(
+                outcome.flagged(),
+                "{} did not flag {}:\n{}",
+                outcome.name,
+                outcome.expected,
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_cover_all_six_rules() {
+        let covered: std::collections::HashSet<Rule> =
+            run_all().into_iter().map(|o| o.expected).collect();
+        assert_eq!(covered.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn disciplined_controls_are_clean() {
+        for scheme in [
+            Scheme::Base,
+            Scheme::lazy_default(),
+            Scheme::LazyEagerCk(ChecksumKind::Modular),
+            Scheme::Eager,
+            Scheme::Wal,
+        ] {
+            let report = disciplined_control(scheme);
+            assert!(report.is_clean(), "{report}");
+            assert!(report.events_seen > 0, "{scheme}: no events observed");
+        }
+    }
+
+    #[test]
+    fn mutation_names_are_unique() {
+        let names: std::collections::HashSet<&str> = run_all().iter().map(|o| o.name).collect();
+        assert_eq!(names.len(), run_all().len());
+    }
+}

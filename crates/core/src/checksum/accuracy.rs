@@ -11,7 +11,7 @@
 //! or an older result for in-place updates).
 
 use super::{ChecksumKind, RunningChecksum};
-use rand::Rng;
+use lp_sim::rng::Rng64;
 
 /// How injected corruption models the stale data read after a crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,12 +61,12 @@ fn checksum_of(kind: ChecksumKind, values: &[u64]) -> u64 {
 /// corrupted checksum to the clean one. Trials where the corruption
 /// happens to reproduce the original values exactly are re-rolled (no
 /// error was actually injected).
-pub fn run_injection_campaign<R: Rng>(
+pub fn run_injection_campaign(
     kind: ChecksumKind,
     region_len: usize,
     trials: u64,
     model: ErrorModel,
-    rng: &mut R,
+    rng: &mut Rng64,
 ) -> AccuracyReport {
     assert!(region_len > 0, "region must hold at least one value");
     let mut report = AccuracyReport::default();
@@ -74,7 +74,7 @@ pub fn run_injection_campaign<R: Rng>(
     for _ in 0..trials {
         for v in values.iter_mut() {
             // Realistic double values: uniform magnitudes, never exactly 0.
-            let x: f64 = rng.gen_range(1.0e-3..1.0e3) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let x: f64 = rng.range_f64(1.0e-3, 1.0e3) * if rng.chance(0.5) { 1.0 } else { -1.0 };
             *v = x.to_bits();
         }
         let clean = checksum_of(kind, &values);
@@ -82,22 +82,22 @@ pub fn run_injection_campaign<R: Rng>(
         loop {
             match model {
                 ErrorModel::StaleZero => {
-                    let k = rng.gen_range(1..=region_len.min(8));
+                    let k = rng.range_inclusive(1, region_len.min(8));
                     for _ in 0..k {
-                        let i = rng.gen_range(0..region_len);
+                        let i = rng.below(region_len);
                         corrupted[i] = 0;
                     }
                 }
                 ErrorModel::StaleRandom => {
-                    let k = rng.gen_range(1..=region_len.min(8));
+                    let k = rng.range_inclusive(1, region_len.min(8));
                     for _ in 0..k {
-                        let i = rng.gen_range(0..region_len);
-                        corrupted[i] = rng.gen::<u64>();
+                        let i = rng.below(region_len);
+                        corrupted[i] = rng.next_u64();
                     }
                 }
                 ErrorModel::BitFlip => {
-                    let i = rng.gen_range(0..region_len);
-                    let bit = rng.gen_range(0..64);
+                    let i = rng.below(region_len);
+                    let bit = rng.below(64);
                     corrupted[i] ^= 1u64 << bit;
                 }
             }
@@ -117,12 +117,10 @@ pub fn run_injection_campaign<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
 
     #[test]
     fn modular_detects_stale_zero_corruption() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         let r = run_injection_campaign(
             ChecksumKind::Modular,
             64,
@@ -136,7 +134,7 @@ mod tests {
 
     #[test]
     fn adler_detects_bit_flips() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::new(11);
         let r = run_injection_campaign(
             ChecksumKind::Adler32,
             64,
@@ -150,7 +148,7 @@ mod tests {
     #[test]
     fn parity_detects_single_bit_flips_perfectly() {
         // A single bit flip always changes an XOR parity.
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Rng64::new(13);
         let r = run_injection_campaign(
             ChecksumKind::Parity,
             32,
@@ -164,14 +162,9 @@ mod tests {
     #[test]
     fn all_kinds_handle_random_corruption_well() {
         for kind in ChecksumKind::ALL {
-            let mut rng = StdRng::seed_from_u64(kind.cost_ops());
-            let r =
-                run_injection_campaign(kind, 128, 5_000, ErrorModel::StaleRandom, &mut rng);
-            assert!(
-                r.miss_rate() < 1e-3,
-                "{kind}: miss rate {}",
-                r.miss_rate()
-            );
+            let mut rng = Rng64::new(kind.cost_ops());
+            let r = run_injection_campaign(kind, 128, 5_000, ErrorModel::StaleRandom, &mut rng);
+            assert!(r.miss_rate() < 1e-3, "{kind}: miss rate {}", r.miss_rate());
         }
     }
 

@@ -33,7 +33,7 @@
 //! // Run one region, then crash before anything is written back.
 //! let mut plans = m.plans();
 //! plans[0].region(move |ctx| {
-//!     let mut rs = tp.begin(0);
+//!     let mut rs = tp.begin(ctx, 0);
 //!     for i in 0..64 {
 //!         tp.store(ctx, &mut rs, out, i, (i as f64).sqrt());
 //!     }
@@ -49,11 +49,14 @@
 //! assert!(!consistent);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod checksum;
 pub mod ep;
 pub mod recovery;
 pub mod scheme;
 pub mod table;
+pub mod track;
 pub mod wal;
 
 /// Convenient re-exports of the types most users need.
@@ -63,5 +66,6 @@ pub mod prelude {
     pub use crate::recovery::{region_consistent, RecoveryStats};
     pub use crate::scheme::{RegionSession, Scheme, SchemeHandles, ThreadPersist};
     pub use crate::table::ChecksumTable;
+    pub use crate::track::{RangeRole, TrackedRange};
     pub use crate::wal::{WalArena, WalTx};
 }

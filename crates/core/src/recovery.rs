@@ -70,10 +70,7 @@ pub fn region_consistent<T: Scalar>(
 
 /// Recompute a checksum over values produced by a closure (for regions
 /// whose values span several arrays or need address arithmetic).
-pub fn recompute_checksum(
-    kind: ChecksumKind,
-    feed: impl FnOnce(&mut RunningChecksum),
-) -> u64 {
+pub fn recompute_checksum(kind: ChecksumKind, feed: impl FnOnce(&mut RunningChecksum)) -> u64 {
     let mut ck = RunningChecksum::new(kind);
     feed(&mut ck);
     ck.value()
@@ -103,7 +100,7 @@ mod tests {
         let tp = h.thread(0);
         {
             let mut ctx = m.ctx(0);
-            let mut rs = tp.begin(0);
+            let mut rs = tp.begin(&mut ctx, 0);
             for i in 0..32 {
                 tp.store(&mut ctx, &mut rs, arr, i, (i * 3) as f64);
             }
@@ -130,7 +127,7 @@ mod tests {
         m.set_crash_trigger(CrashTrigger::AfterMemOps(10));
         let mut plans = m.plans();
         plans[0].region(move |ctx| {
-            let mut rs = tp.begin(0);
+            let mut rs = tp.begin(ctx, 0);
             for i in 0..32 {
                 tp.store(ctx, &mut rs, arr, i, (i * 3) as f64);
             }
@@ -166,7 +163,7 @@ mod tests {
         let tp = h.thread(0);
         {
             let mut ctx = m.ctx(0);
-            let mut rs = tp.begin(0);
+            let mut rs = tp.begin(&mut ctx, 0);
             for i in 0..4 {
                 tp.store(&mut ctx, &mut rs, arr, i, (i + 1) as f64);
             }

@@ -18,6 +18,7 @@
 use crate::checksum::{ChecksumKind, RunningChecksum};
 use crate::ep::EagerCommitter;
 use crate::table::ChecksumTable;
+use crate::track::{RangeRole, TrackedRange};
 use crate::wal::{WalArena, WalTx};
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::Machine;
@@ -118,6 +119,28 @@ impl SchemeHandles {
         })
     }
 
+    /// Describe the scheme's own persistent allocations for address-range
+    /// tracking (the kernel adds its protected data ranges on top).
+    pub fn ranges(&self) -> Vec<TrackedRange> {
+        let mut out = vec![
+            TrackedRange::of("ck-table", self.table.array(), RangeRole::ChecksumTable),
+            TrackedRange::of("markers", self.markers, RangeRole::Markers),
+        ];
+        for (t, arena) in self.arenas.iter().enumerate() {
+            out.push(TrackedRange::of(
+                format!("wal{t}.entries"),
+                arena.entries_array(),
+                RangeRole::WalEntries,
+            ));
+            out.push(TrackedRange::of(
+                format!("wal{t}.header"),
+                arena.header_array(),
+                RangeRole::WalHeader,
+            ));
+        }
+        out
+    }
+
     /// The per-thread view used inside region closures (cheap, `Copy`).
     ///
     /// # Panics
@@ -171,13 +194,15 @@ impl RegionSession {
 impl ThreadPersist {
     /// Open a region with collision-free key `key` (indexes the checksum
     /// table under `Lazy`; recorded in the marker under `Eager`/`Wal`).
-    pub fn begin(&self, key: usize) -> RegionSession {
+    ///
+    /// The region boundary is announced to any installed event observer
+    /// (see `lp_sim::observe`); with none installed that is a no-op.
+    pub fn begin(&self, ctx: &mut CoreCtx<'_>, key: usize) -> RegionSession {
+        ctx.region_begin(key);
         RegionSession {
             key,
             ck: match self.scheme {
-                Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
-                    Some(RunningChecksum::new(kind))
-                }
+                Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => Some(RunningChecksum::new(kind)),
                 _ => None,
             },
             eager: matches!(self.scheme, Scheme::Eager).then(EagerCommitter::new),
@@ -255,6 +280,9 @@ impl ThreadPersist {
                     .commit(ctx, rs.key as u64 + 1);
             }
         }
+        // Announced after the commit-path stores so the observer counts
+        // them as part of the region.
+        ctx.region_end();
     }
 
     /// This thread's durable progress marker from the durable image
@@ -272,7 +300,7 @@ impl ThreadPersist {
     /// Roll back an interrupted WAL transaction if one exists (no-op for
     /// other schemes). Returns the number of undone stores.
     pub fn wal_recover(&self, ctx: &mut CoreCtx<'_>) -> usize {
-        self.arena.map(|a| a.recover(ctx)).unwrap_or(0)
+        self.arena.map_or(0, |a| a.recover(ctx))
     }
 }
 
@@ -297,7 +325,7 @@ mod tests {
         let tp = h.thread(0);
         {
             let mut ctx = m.ctx(0);
-            let mut rs = tp.begin(3);
+            let mut rs = tp.begin(&mut ctx, 3);
             for i in 0..16 {
                 tp.store(&mut ctx, &mut rs, arr, i, (i + 1) as f64);
             }
@@ -425,7 +453,7 @@ mod tests {
             Scheme::Wal,
         ]
         .iter()
-        .map(|s| s.name())
+        .map(super::Scheme::name)
         .collect();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len(), "{names:?}");

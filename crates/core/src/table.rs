@@ -82,6 +82,18 @@ impl ChecksumTable {
         self.entries.bytes()
     }
 
+    /// The backing persistent array (for address-range tracking).
+    pub fn array(&self) -> PArray<u64> {
+        self.entries
+    }
+
+    /// Remap a checksum value the way [`ChecksumTable::store`] does, so
+    /// external tools can predict the stored bits. Public counterpart of
+    /// the internal sentinel-collision remap.
+    pub fn sanitize_value(value: u64) -> u64 {
+        Self::sanitize(value)
+    }
+
     /// Checksum values can collide with the sentinel; remap that single
     /// value so a stored checksum is never read back as "invalid".
     #[inline]

@@ -179,8 +179,7 @@ mod tests {
     fn distinct_keys_spread_over_slots() {
         let mut m = machine();
         let t = HashedChecksumTable::alloc(&mut m, 64).unwrap();
-        let used: std::collections::HashSet<usize> =
-            (0..64usize).map(|k| t.slot_of(k)).collect();
+        let used: std::collections::HashSet<usize> = (0..64usize).map(|k| t.slot_of(k)).collect();
         assert!(used.len() > 32, "hash should spread keys: {}", used.len());
     }
 

@@ -1,0 +1,134 @@
+//! Descriptions of the persistent address ranges a workload uses, so that
+//! external tools — the `lp-check` sanitizer in particular — can map raw
+//! simulated addresses back to named allocations and classify each store
+//! by its role in the persistency discipline.
+
+use lp_sim::addr::Addr;
+use lp_sim::mem::{PArray, Scalar};
+
+/// What a tracked persistent range holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeRole {
+    /// Kernel data protected by the active persistency scheme (stores to
+    /// it must happen inside begin/commit regions).
+    Protected,
+    /// The checksum table (`Lazy` commit target).
+    ChecksumTable,
+    /// Per-thread durable progress markers (`Eager` commit target).
+    Markers,
+    /// A WAL arena's `(address, old bits)` undo-log entries.
+    WalEntries,
+    /// A WAL arena's `[status, count, marker]` header line.
+    WalHeader,
+    /// Scratch state no persistency rule applies to (read-only inputs,
+    /// padding).
+    Scratch,
+}
+
+impl std::fmt::Display for RangeRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RangeRole::Protected => "protected",
+            RangeRole::ChecksumTable => "checksum-table",
+            RangeRole::Markers => "markers",
+            RangeRole::WalEntries => "wal-entries",
+            RangeRole::WalHeader => "wal-header",
+            RangeRole::Scratch => "scratch",
+        })
+    }
+}
+
+/// One named persistent allocation: a contiguous byte range plus the
+/// element width needed to turn an address back into an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedRange {
+    /// Human-readable allocation name (e.g. `"tmm.c"`, `"ck-table"`).
+    pub name: String,
+    /// First byte of the range.
+    pub base: Addr,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Scalar element width in bytes (for index mapping).
+    pub elem_bytes: usize,
+    /// The range's role in the persistency discipline.
+    pub role: RangeRole,
+}
+
+impl TrackedRange {
+    /// Describe an allocation backed by a [`PArray`].
+    pub fn of<T: Scalar>(name: impl Into<String>, arr: PArray<T>, role: RangeRole) -> Self {
+        TrackedRange {
+            name: name.into(),
+            base: arr.addr(0),
+            bytes: arr.bytes(),
+            elem_bytes: T::SIZE,
+            role,
+        }
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.bytes
+    }
+
+    /// Element index of `addr` within the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the range.
+    pub fn element_of(&self, addr: Addr) -> usize {
+        assert!(self.contains(addr), "{addr:?} outside {}", self.name);
+        ((addr.0 - self.base.0) as usize) / self.elem_bytes
+    }
+}
+
+/// Find the tracked range containing `addr`, if any.
+pub fn find_range(ranges: &[TrackedRange], addr: Addr) -> Option<&TrackedRange> {
+    ranges.iter().find(|r| r.contains(addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::config::MachineConfig;
+    use lp_sim::machine::Machine;
+
+    #[test]
+    fn range_maps_addresses_to_elements() {
+        let mut m = Machine::new(
+            MachineConfig::default()
+                .with_cores(1)
+                .with_nvmm_bytes(1 << 20),
+        );
+        let arr = m.alloc::<f64>(32).unwrap();
+        let r = TrackedRange::of("data", arr, RangeRole::Protected);
+        assert_eq!(r.bytes, 256);
+        assert_eq!(r.elem_bytes, 8);
+        assert!(r.contains(arr.addr(0)));
+        assert!(r.contains(arr.addr(31)));
+        assert_eq!(r.element_of(arr.addr(5)), 5);
+
+        let other = m.alloc::<u64>(8).unwrap();
+        assert!(!r.contains(other.addr(0)));
+        let ranges = vec![r, TrackedRange::of("meta", other, RangeRole::ChecksumTable)];
+        assert_eq!(find_range(&ranges, other.addr(3)).unwrap().name, "meta");
+        assert_eq!(find_range(&ranges, arr.addr(0)).unwrap().name, "data");
+    }
+
+    #[test]
+    fn roles_display_distinctly() {
+        let names: Vec<String> = [
+            RangeRole::Protected,
+            RangeRole::ChecksumTable,
+            RangeRole::Markers,
+            RangeRole::WalEntries,
+            RangeRole::WalHeader,
+            RangeRole::Scratch,
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

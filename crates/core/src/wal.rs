@@ -68,6 +68,18 @@ impl WalArena {
         self.capacity
     }
 
+    /// The backing array of `(address, old bits)` log pairs (for
+    /// address-range tracking).
+    pub fn entries_array(&self) -> PArray<u64> {
+        self.entries
+    }
+
+    /// The backing `[status, count, marker]` header line (for
+    /// address-range tracking).
+    pub fn header_array(&self) -> PArray<u64> {
+        self.header
+    }
+
     /// Begin a transaction.
     pub fn begin(&self) -> WalTx {
         WalTx {
@@ -140,7 +152,13 @@ impl WalTx {
     ///
     /// Panics if the transaction exceeds the arena capacity, if `i` is out
     /// of bounds, or if `T` is not an 8-byte scalar.
-    pub fn log_and_stage<T: Scalar>(&mut self, ctx: &mut CoreCtx<'_>, arr: PArray<T>, i: usize, v: T) {
+    pub fn log_and_stage<T: Scalar>(
+        &mut self,
+        ctx: &mut CoreCtx<'_>,
+        arr: PArray<T>,
+        i: usize,
+        v: T,
+    ) {
         assert_eq!(T::SIZE, 8, "WAL supports 8-byte scalars only");
         assert!(
             self.logged < self.arena.capacity,
@@ -173,7 +191,11 @@ impl WalTx {
         // The marker is transaction data too: log its old value.
         let old_marker: u64 = ctx.load(arena.header, H_MARKER);
         assert!(self.logged < arena.capacity, "no room for marker log entry");
-        ctx.store(arena.entries, 2 * self.logged, arena.header.addr(H_MARKER).0);
+        ctx.store(
+            arena.entries,
+            2 * self.logged,
+            arena.header.addr(H_MARKER).0,
+        );
         ctx.clflushopt(arena.entries.addr(2 * self.logged));
         ctx.store(arena.entries, 2 * self.logged + 1, old_marker);
         ctx.clflushopt(arena.entries.addr(2 * self.logged + 1));
@@ -307,14 +329,15 @@ mod tests {
         let mut m = machine();
         let arr = m.alloc::<u64>(4).unwrap();
         let arena = WalArena::alloc(&mut m, 8).unwrap();
-        let mut ctx = m.ctx(0);
-        let mut tx = arena.begin();
-        tx.log_and_stage(&mut ctx, arr, 0, 1);
-        tx.commit(&mut ctx, 1);
-        let mut tx = arena.begin();
-        tx.log_and_stage(&mut ctx, arr, 0, 2);
-        tx.commit(&mut ctx, 2);
-        drop(ctx);
+        {
+            let mut ctx = m.ctx(0);
+            let mut tx = arena.begin();
+            tx.log_and_stage(&mut ctx, arr, 0, 1);
+            tx.commit(&mut ctx, 1);
+            let mut tx = arena.begin();
+            tx.log_and_stage(&mut ctx, arr, 0, 2);
+            tx.commit(&mut ctx, 2);
+        }
         m.drain_caches();
         assert_eq!(m.peek(arr, 0), 2);
         assert_eq!(arena.peek_marker(&m), 2);

@@ -98,8 +98,11 @@ impl CholeskyParams {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.bsize == 0 || self.n % self.bsize != 0 {
-            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        if self.bsize == 0 || !self.n.is_multiple_of(self.bsize) {
+            return Err(format!(
+                "n={} must be a multiple of bsize={}",
+                self.n, self.bsize
+            ));
         }
         if self.threads == 0 {
             return Err("threads must be >= 1".into());
@@ -194,7 +197,13 @@ impl Cholesky {
     }
 
     /// One region: column `j`'s entries for this block's rows.
-    fn region_body<S: StoreSink>(&self, ctx: &mut CoreCtx<'_>, j: usize, block: usize, sink: &mut S) {
+    fn region_body<S: StoreSink>(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        j: usize,
+        block: usize,
+        sink: &mut S,
+    ) {
         let d = self.diag_value(ctx, j);
         for r in Self::region_rows(&self.params, j, block) {
             if r == j {
@@ -215,10 +224,22 @@ impl Cholesky {
 
     /// Per-thread schedules: per column, each thread's non-empty block
     /// regions, then a barrier.
+    /// Persistent address ranges for the `lp-check` sanitizer.
+    pub fn tracked_ranges(&self) -> Vec<lp_core::track::TrackedRange> {
+        use lp_core::track::{RangeRole, TrackedRange};
+        let mut out = vec![
+            TrackedRange::of("cholesky.l", self.l.array(), RangeRole::Protected),
+            TrackedRange::of("cholesky.a", self.a.array(), RangeRole::Scratch),
+        ];
+        out.extend(self.handles.ranges());
+        out
+    }
+
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
-        let mut plans: Vec<ThreadPlan<'static>> =
-            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
+            .map(|_| ThreadPlan::new())
+            .collect();
         for j in 0..self.params.col_window {
             for (t, owned) in owners.iter().enumerate() {
                 let tp = self.handles.thread(t);
@@ -229,7 +250,7 @@ impl Cholesky {
                     let this = self.clone();
                     plans[t].region(move |ctx| {
                         let key = this.key(j, block);
-                        let mut rs = tp.begin(key);
+                        let mut rs = tp.begin(ctx, key);
                         let mut sink = SchemeSink { tp, rs: &mut rs };
                         this.region_body(ctx, j, block, &mut sink);
                         tp.commit(ctx, rs);
@@ -273,7 +294,13 @@ impl Cholesky {
 
     /// Fold region `(j, block)`'s checksum from current data in store
     /// order (diagonal first when owned, then descending rows in order).
-    fn fold_region(&self, ctx: &mut CoreCtx<'_>, kind: ChecksumKind, j: usize, block: usize) -> u64 {
+    fn fold_region(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        j: usize,
+        block: usize,
+    ) -> u64 {
         let mut values = Vec::new();
         for r in Self::region_rows(&self.params, j, block) {
             values.push(self.l.load(ctx, r, j));

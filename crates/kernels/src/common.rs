@@ -9,9 +9,8 @@ use lp_core::table::ChecksumTable;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome};
 use lp_sim::mem::{OutOfPersistentMemory, PArray};
+use lp_sim::rng::Rng64;
 use lp_sim::stats::SimStats;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Modelled ALU ops for one fused multiply-add in a kernel inner loop.
 pub const MUL_ADD_OPS: u64 = 2;
@@ -129,7 +128,11 @@ impl PMatrix {
     pub fn fill(&self, machine: &mut Machine, values: &[f64]) {
         assert_eq!(values.len(), self.rows * self.cols);
         for i in 0..self.rows {
-            machine.poke_slice(self.data, i * self.stride, &values[i * self.cols..(i + 1) * self.cols]);
+            machine.poke_slice(
+                self.data,
+                i * self.stride,
+                &values[i * self.cols..(i + 1) * self.cols],
+            );
         }
     }
 
@@ -226,8 +229,8 @@ pub fn round_robin_blocks(nblocks: usize, threads: usize) -> Vec<Vec<usize>> {
 
 /// Deterministic matrix data in `[-1, 1)`, seeded per array role.
 pub fn random_values(seed: u64, len: usize) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    let mut rng = Rng64::new(seed);
+    (0..len).map(|_| rng.range_f64(-1.0, 1.0)).collect()
 }
 
 /// Deterministic symmetric-positive-definite matrix for Cholesky:
@@ -341,7 +344,9 @@ mod tests {
     fn random_values_deterministic_per_seed() {
         assert_eq!(random_values(1, 16), random_values(1, 16));
         assert_ne!(random_values(1, 16), random_values(2, 16));
-        assert!(random_values(3, 256).iter().all(|v| (-1.0..1.0).contains(v)));
+        assert!(random_values(3, 256)
+            .iter()
+            .all(|v| (-1.0..1.0).contains(v)));
     }
 
     #[test]
@@ -375,8 +380,7 @@ mod tests {
         for i in 0..16 {
             assert_eq!(m.peek(arr, i), i as f64);
         }
-        let expected =
-            lp_core::checksum::checksum_f64s(ChecksumKind::Modular, &m.peek_vec(arr));
+        let expected = lp_core::checksum::checksum_f64s(ChecksumKind::Modular, &m.peek_vec(arr));
         assert_eq!(table.peek(&m, 2), Some(expected));
     }
 

@@ -83,8 +83,11 @@ impl Conv2dParams {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.bsize == 0 || self.n % self.bsize != 0 {
-            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        if self.bsize == 0 || !self.n.is_multiple_of(self.bsize) {
+            return Err(format!(
+                "n={} must be a multiple of bsize={}",
+                self.n, self.bsize
+            ));
         }
         if self.threads == 0 || self.block_window == 0 {
             return Err("threads and block_window must be >= 1".into());
@@ -178,15 +181,27 @@ impl Conv2d {
     }
 
     /// Per-thread schedules: one region per owned block.
+    /// Persistent address ranges for the `lp-check` sanitizer.
+    pub fn tracked_ranges(&self) -> Vec<lp_core::track::TrackedRange> {
+        use lp_core::track::{RangeRole, TrackedRange};
+        let mut out = vec![
+            TrackedRange::of("conv2d.out", self.output.array(), RangeRole::Protected),
+            TrackedRange::of("conv2d.in", self.input.array(), RangeRole::Scratch),
+        ];
+        out.extend(self.handles.ranges());
+        out
+    }
+
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
-        let mut plans: Vec<ThreadPlan<'static>> =
-            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
+            .map(|_| ThreadPlan::new())
+            .collect();
         for (t, owned) in self.ownership().into_iter().enumerate() {
             let tp = self.handles.thread(t);
             for block in owned {
                 let this = self.clone();
                 plans[t].region(move |ctx| {
-                    let mut rs = tp.begin(block);
+                    let mut rs = tp.begin(ctx, block);
                     let mut sink = SchemeSink { tp, rs: &mut rs };
                     this.region_body(ctx, block, &mut sink);
                     tp.commit(ctx, rs);
@@ -275,8 +290,7 @@ impl Conv2d {
                     owners[t]
                         .iter()
                         .position(|&b| b == (marker - 1) as usize)
-                        .map(|p| p + 1)
-                        .unwrap_or(0)
+                        .map_or(0, |p| p + 1)
                 }
             })
             .collect();
@@ -287,7 +301,7 @@ impl Conv2d {
             tp.wal_recover(&mut ctx);
             stats.regions_checked += owned.len() as u64;
             for &block in &owned[completed[t]..] {
-                let mut rs = tp.begin(block);
+                let mut rs = tp.begin(&mut ctx, block);
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, block, &mut sink);
                 tp.commit(&mut ctx, rs);

@@ -3,7 +3,9 @@
 
 use crate::common::KernelRun;
 use lp_core::scheme::Scheme;
+use lp_core::track::TrackedRange;
 use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, ThreadPlan};
 
 /// Which simulated kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,20 +62,159 @@ pub enum Scale {
     Paper,
 }
 
+/// A kernel set up but not yet run, with everything an external tool (the
+/// `lp-check` sanitizer) needs to drive and audit the run itself: the
+/// configured machine, the scheduled plans, the tracked address ranges,
+/// and a durable-output verifier.
+pub struct PreparedKernel {
+    /// The machine with the kernel's data already initialized.
+    pub machine: Machine,
+    /// One plan per logical core, ready for [`Machine::run`].
+    pub plans: Vec<ThreadPlan<'static>>,
+    /// Named persistent ranges (protected data + scheme structures).
+    pub ranges: Vec<TrackedRange>,
+    /// The scheme the plans were built for.
+    pub scheme: Scheme,
+    /// Checks the durable image against the host golden reference (call
+    /// after the run completed and caches were drained).
+    pub verify: Box<dyn Fn(&Machine) -> bool>,
+}
+
+impl std::fmt::Debug for PreparedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedKernel")
+            .field("scheme", &self.scheme)
+            .field("ranges", &self.ranges.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Set up `kernel` under `scheme` at `scale` without running it, so the
+/// caller can install an observer before driving the machine.
+///
+/// # Panics
+///
+/// Panics if kernel setup fails (e.g. the configured NVMM is too small).
+pub fn prepare_kernel(
+    kernel: KernelId,
+    scale: Scale,
+    cfg: &MachineConfig,
+    scheme: Scheme,
+) -> PreparedKernel {
+    match kernel {
+        KernelId::Tmm => {
+            let params = match scale {
+                Scale::Test => crate::tmm::TmmParams::test_small(),
+                Scale::Bench => crate::tmm::TmmParams::bench_default(),
+                Scale::Paper => crate::tmm::TmmParams::paper_default(),
+            };
+            let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
+            let k = crate::tmm::Tmm::setup(&mut machine, params, scheme).expect("tmm setup");
+            let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            PreparedKernel {
+                machine,
+                plans,
+                ranges,
+                scheme,
+                verify: Box::new(move |m| k.verify(m)),
+            }
+        }
+        KernelId::Cholesky => {
+            let params = match scale {
+                Scale::Test => crate::cholesky::CholeskyParams::test_small(),
+                Scale::Bench => crate::cholesky::CholeskyParams::bench_default(),
+                Scale::Paper => crate::cholesky::CholeskyParams::paper_default(),
+            };
+            let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
+            let k = crate::cholesky::Cholesky::setup(&mut machine, params, scheme)
+                .expect("cholesky setup");
+            let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            PreparedKernel {
+                machine,
+                plans,
+                ranges,
+                scheme,
+                verify: Box::new(move |m| k.verify(m)),
+            }
+        }
+        KernelId::Conv2d => {
+            let params = match scale {
+                Scale::Test => crate::conv2d::Conv2dParams::test_small(),
+                Scale::Bench => crate::conv2d::Conv2dParams::bench_default(),
+                Scale::Paper => crate::conv2d::Conv2dParams::paper_default(),
+            };
+            let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
+            let k =
+                crate::conv2d::Conv2d::setup(&mut machine, params, scheme).expect("conv2d setup");
+            let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            PreparedKernel {
+                machine,
+                plans,
+                ranges,
+                scheme,
+                verify: Box::new(move |m| k.verify(m)),
+            }
+        }
+        KernelId::Gauss => {
+            let params = match scale {
+                Scale::Test => crate::gauss::GaussParams::test_small(),
+                Scale::Bench => crate::gauss::GaussParams::bench_default(),
+                Scale::Paper => crate::gauss::GaussParams::paper_default(),
+            };
+            let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
+            let k = crate::gauss::Gauss::setup(&mut machine, params, scheme).expect("gauss setup");
+            let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            PreparedKernel {
+                machine,
+                plans,
+                ranges,
+                scheme,
+                verify: Box::new(move |m| k.verify(m)),
+            }
+        }
+        KernelId::Fft => {
+            let params = match scale {
+                Scale::Test => crate::fft::FftParams::test_small(),
+                Scale::Bench => crate::fft::FftParams::bench_default(),
+                Scale::Paper => crate::fft::FftParams::paper_default(),
+            };
+            let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
+            let k = crate::fft::Fft::setup(&mut machine, params, scheme).expect("fft setup");
+            let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            PreparedKernel {
+                machine,
+                plans,
+                ranges,
+                scheme,
+                verify: Box::new(move |m| k.verify(m)),
+            }
+        }
+    }
+}
+
 /// Run `kernel` under `scheme` at `scale` on a machine configured by
 /// `cfg` (core count is overridden by the kernel's thread parameter).
-pub fn run_kernel(kernel: KernelId, scale: Scale, cfg: &MachineConfig, scheme: Scheme) -> KernelRun {
+pub fn run_kernel(
+    kernel: KernelId,
+    scale: Scale,
+    cfg: &MachineConfig,
+    scheme: Scheme,
+) -> KernelRun {
     match (kernel, scale) {
-        (KernelId::Tmm, Scale::Test) => crate::tmm::run(cfg, crate::tmm::TmmParams::test_small(), scheme),
+        (KernelId::Tmm, Scale::Test) => {
+            crate::tmm::run(cfg, crate::tmm::TmmParams::test_small(), scheme)
+        }
         (KernelId::Tmm, Scale::Bench) => {
             crate::tmm::run(cfg, crate::tmm::TmmParams::bench_default(), scheme)
         }
         (KernelId::Tmm, Scale::Paper) => {
             crate::tmm::run(cfg, crate::tmm::TmmParams::paper_default(), scheme)
         }
-        (KernelId::Cholesky, Scale::Paper) => {
-            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::paper_default(), scheme)
-        }
+        (KernelId::Cholesky, Scale::Paper) => crate::cholesky::run(
+            cfg,
+            crate::cholesky::CholeskyParams::paper_default(),
+            scheme,
+        ),
         (KernelId::Conv2d, Scale::Paper) => {
             crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::paper_default(), scheme)
         }
@@ -86,9 +227,11 @@ pub fn run_kernel(kernel: KernelId, scale: Scale, cfg: &MachineConfig, scheme: S
         (KernelId::Cholesky, Scale::Test) => {
             crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::test_small(), scheme)
         }
-        (KernelId::Cholesky, Scale::Bench) => {
-            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::bench_default(), scheme)
-        }
+        (KernelId::Cholesky, Scale::Bench) => crate::cholesky::run(
+            cfg,
+            crate::cholesky::CholeskyParams::bench_default(),
+            scheme,
+        ),
         (KernelId::Conv2d, Scale::Test) => {
             crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::test_small(), scheme)
         }

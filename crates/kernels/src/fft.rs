@@ -115,7 +115,7 @@ impl FftParams {
         if !self.n.is_power_of_two() || self.n < 4 {
             return Err(format!("n={} must be a power of two >= 4", self.n));
         }
-        if self.chunks == 0 || self.n % self.chunks != 0 {
+        if self.chunks == 0 || !self.n.is_multiple_of(self.chunks) {
             return Err(format!("chunks={} must divide n={}", self.chunks, self.n));
         }
         if self.threads == 0 || self.stage_window == 0 {
@@ -271,10 +271,29 @@ impl Fft {
 
     /// Per-thread schedules: per stage, each thread's chunks, then a
     /// barrier.
+    /// Persistent address ranges for the `lp-check` sanitizer. The two
+    /// ping-pong buffers are the protected data (regions write into
+    /// whichever is the current stage's destination); the input buffer is
+    /// read-only.
+    pub fn tracked_ranges(&self) -> Vec<lp_core::track::TrackedRange> {
+        use lp_core::track::{RangeRole, TrackedRange};
+        let mut out = vec![
+            TrackedRange::of("fft.buf0.re", self.bufs[0].re, RangeRole::Protected),
+            TrackedRange::of("fft.buf0.im", self.bufs[0].im, RangeRole::Protected),
+            TrackedRange::of("fft.buf1.re", self.bufs[1].re, RangeRole::Protected),
+            TrackedRange::of("fft.buf1.im", self.bufs[1].im, RangeRole::Protected),
+            TrackedRange::of("fft.in.re", self.input.re, RangeRole::Scratch),
+            TrackedRange::of("fft.in.im", self.input.im, RangeRole::Scratch),
+        ];
+        out.extend(self.handles.ranges());
+        out
+    }
+
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
-        let mut plans: Vec<ThreadPlan<'static>> =
-            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
+            .map(|_| ThreadPlan::new())
+            .collect();
         for stage in 0..self.params.window() {
             for (t, owned) in owners.iter().enumerate() {
                 let tp = self.handles.thread(t);
@@ -282,7 +301,7 @@ impl Fft {
                     let this = self.clone();
                     plans[t].region(move |ctx| {
                         let key = this.key(stage, chunk);
-                        let mut rs = tp.begin(key);
+                        let mut rs = tp.begin(ctx, key);
                         let mut sink = SchemeSink { tp, rs: &mut rs };
                         this.region_body(ctx, stage, chunk, &mut sink);
                         tp.commit(ctx, rs);
@@ -372,7 +391,9 @@ impl Fft {
     fn stage_consistent(&self, ctx: &mut CoreCtx<'_>, kind: ChecksumKind, stage: usize) -> bool {
         (0..self.params.chunks).all(|chunk| {
             let folded = self.fold_region(ctx, kind, stage, chunk);
-            self.handles.table.matches(ctx, self.key(stage, chunk), folded)
+            self.handles
+                .table
+                .matches(ctx, self.key(stage, chunk), folded)
         })
     }
 

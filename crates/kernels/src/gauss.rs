@@ -92,8 +92,11 @@ impl GaussParams {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.bsize == 0 || self.n % self.bsize != 0 {
-            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        if self.bsize == 0 || !self.n.is_multiple_of(self.bsize) {
+            return Err(format!(
+                "n={} must be a multiple of bsize={}",
+                self.n, self.bsize
+            ));
         }
         if self.threads == 0 {
             return Err("threads must be >= 1".into());
@@ -139,7 +142,11 @@ impl Gauss {
     /// # Errors
     ///
     /// Returns allocation or validation failures as strings.
-    pub fn setup(machine: &mut Machine, params: GaussParams, scheme: Scheme) -> Result<Self, String> {
+    pub fn setup(
+        machine: &mut Machine,
+        params: GaussParams,
+        scheme: Scheme,
+    ) -> Result<Self, String> {
         params.validate()?;
         let n = params.n;
         let a = PMatrix::alloc(machine, n, n).map_err(|e| e.to_string())?;
@@ -182,7 +189,13 @@ impl Gauss {
     }
 
     /// One region: eliminate column `p` from this block's rows.
-    fn region_body<S: StoreSink>(&self, ctx: &mut CoreCtx<'_>, p: usize, block: usize, sink: &mut S) {
+    fn region_body<S: StoreSink>(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        p: usize,
+        block: usize,
+        sink: &mut S,
+    ) {
         let n = self.params.n;
         let pivot = self.w.load(ctx, p, p);
         for r in Self::region_rows(&self.params, p, block) {
@@ -200,10 +213,22 @@ impl Gauss {
 
     /// Per-thread schedules: for each pivot, each thread runs its non-empty
     /// block regions, then all threads barrier before the next pivot.
+    /// Persistent address ranges for the `lp-check` sanitizer.
+    pub fn tracked_ranges(&self) -> Vec<lp_core::track::TrackedRange> {
+        use lp_core::track::{RangeRole, TrackedRange};
+        let mut out = vec![
+            TrackedRange::of("gauss.w", self.w.array(), RangeRole::Protected),
+            TrackedRange::of("gauss.a", self.a.array(), RangeRole::Scratch),
+        ];
+        out.extend(self.handles.ranges());
+        out
+    }
+
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
-        let mut plans: Vec<ThreadPlan<'static>> =
-            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
+            .map(|_| ThreadPlan::new())
+            .collect();
         for p in 0..self.params.pivot_window {
             for (t, owned) in owners.iter().enumerate() {
                 let tp = self.handles.thread(t);
@@ -214,7 +239,7 @@ impl Gauss {
                     let this = self.clone();
                     plans[t].region(move |ctx| {
                         let key = this.key(p, block);
-                        let mut rs = tp.begin(key);
+                        let mut rs = tp.begin(ctx, key);
                         let mut sink = SchemeSink { tp, rs: &mut rs };
                         this.region_body(ctx, p, block, &mut sink);
                         tp.commit(ctx, rs);
@@ -252,7 +277,13 @@ impl Gauss {
 
     /// Fold the checksum of region `(p, block)` from current data, in the
     /// exact store order of [`Gauss::region_body`].
-    fn fold_region(&self, ctx: &mut CoreCtx<'_>, kind: ChecksumKind, p: usize, block: usize) -> u64 {
+    fn fold_region(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        p: usize,
+        block: usize,
+    ) -> u64 {
         let n = self.params.n;
         let mut values = Vec::new();
         for r in Self::region_rows(&self.params, p, block) {
@@ -478,7 +509,11 @@ mod tests {
                 let mut machine = Machine::new(cfg().with_cores(params.threads));
                 let g = Gauss::setup(&mut machine, params, scheme).unwrap();
                 machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
-                assert_eq!(machine.run(g.plans()), Outcome::Crashed, "{scheme} at {ops}");
+                assert_eq!(
+                    machine.run(g.plans()),
+                    Outcome::Crashed,
+                    "{scheme} at {ops}"
+                );
                 machine.clear_crash_trigger();
                 g.recover(&mut machine);
                 machine.drain_caches();

@@ -134,7 +134,10 @@ fn run_variant(kernel: NativeKernel, n: usize, threads: usize, lp: bool) -> (Dur
 }
 
 fn signature(v: &[f64]) -> f64 {
-    v.iter().enumerate().map(|(i, x)| x * ((i % 97) as f64 + 1.0)).sum()
+    v.iter()
+        .enumerate()
+        .map(|(i, x)| x * ((i % 97) as f64 + 1.0))
+        .sum()
 }
 
 /// Tiled matmul: regions are `(kk, ii)` strips like the simulated kernel.
@@ -287,11 +290,7 @@ fn gauss(n: usize, threads: usize, lp: bool) -> (Duration, f64) {
         let pivot = pivot_row[p];
         let per = (n - p - 1).div_ceil(threads).max(1);
         std::thread::scope(|sc| {
-            for (t, (chunk, table)) in tail
-                .chunks_mut(per * n)
-                .zip(tables.iter_mut())
-                .enumerate()
-            {
+            for (t, (chunk, table)) in tail.chunks_mut(per * n).zip(tables.iter_mut()).enumerate() {
                 sc.spawn(move || {
                     let mut ck = 0u64;
                     for row in chunk.chunks_mut(n) {

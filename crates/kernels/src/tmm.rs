@@ -98,8 +98,11 @@ impl TmmParams {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.bsize == 0 || self.n % self.bsize != 0 {
-            return Err(format!("n={} must be a multiple of bsize={}", self.n, self.bsize));
+        if self.bsize == 0 || !self.n.is_multiple_of(self.bsize) {
+            return Err(format!(
+                "n={} must be a multiple of bsize={}",
+                self.n, self.bsize
+            ));
         }
         if self.threads == 0 {
             return Err("threads must be >= 1".into());
@@ -136,11 +139,7 @@ impl Tmm {
     ///
     /// Returns [`OutOfPersistentMemory`] if the heap is too small, or a
     /// parameter-validation message.
-    pub fn setup(
-        machine: &mut Machine,
-        params: TmmParams,
-        scheme: Scheme,
-    ) -> Result<Self, String> {
+    pub fn setup(machine: &mut Machine, params: TmmParams, scheme: Scheme) -> Result<Self, String> {
         params.validate()?;
         let alloc = |e: OutOfPersistentMemory| e.to_string();
         let n = params.n;
@@ -198,13 +197,7 @@ impl Tmm {
 
     /// One region's computation: accumulate the `kk` strip partial product
     /// into `c`'s `ii` strip, routing stores through `sink`.
-    fn region_body<S: StoreSink>(
-        &self,
-        ctx: &mut CoreCtx<'_>,
-        kb: usize,
-        ib: usize,
-        sink: &mut S,
-    ) {
+    fn region_body<S: StoreSink>(&self, ctx: &mut CoreCtx<'_>, kb: usize, ib: usize, sink: &mut S) {
         let (n, bsize) = (self.params.n, self.params.bsize);
         let kk = kb * bsize;
         let ii = ib * bsize;
@@ -227,10 +220,25 @@ impl Tmm {
 
     /// Build the per-thread schedules: `kk`-major over each thread's owned
     /// strips, one scheduled region per `(kk, ii)` (Figure 8's structure).
+    /// Persistent address ranges for the `lp-check` sanitizer: the
+    /// protected output, the read-only inputs, and the scheme's own
+    /// structures.
+    pub fn tracked_ranges(&self) -> Vec<lp_core::track::TrackedRange> {
+        use lp_core::track::{RangeRole, TrackedRange};
+        let mut out = vec![
+            TrackedRange::of("tmm.c", self.c.array(), RangeRole::Protected),
+            TrackedRange::of("tmm.a", self.a.array(), RangeRole::Scratch),
+            TrackedRange::of("tmm.b", self.b.array(), RangeRole::Scratch),
+        ];
+        out.extend(self.handles.ranges());
+        out
+    }
+
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
-        let mut plans: Vec<ThreadPlan<'static>> =
-            (0..self.params.threads).map(|_| ThreadPlan::new()).collect();
+        let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
+            .map(|_| ThreadPlan::new())
+            .collect();
         for (t, owned) in owners.into_iter().enumerate() {
             let tp = self.handles.thread(t);
             for kb in 0..self.params.window() {
@@ -238,7 +246,7 @@ impl Tmm {
                     let this = self.clone();
                     plans[t].region(move |ctx| {
                         let key = this.key(kb, ib);
-                        let mut rs = tp.begin(key);
+                        let mut rs = tp.begin(ctx, key);
                         let mut sink = SchemeSink { tp, rs: &mut rs };
                         this.region_body(ctx, kb, ib, &mut sink);
                         tp.commit(ctx, rs);
@@ -404,7 +412,7 @@ impl Tmm {
             let tp = self.handles.thread(t);
             for &(kb, ib) in &seq[done..] {
                 let key = self.key(kb, ib);
-                let mut rs = tp.begin(key);
+                let mut rs = tp.begin(&mut ctx, key);
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, kb, ib, &mut sink);
                 tp.commit(&mut ctx, rs);
@@ -445,7 +453,7 @@ impl Tmm {
             stats.regions_checked += seq.len() as u64;
             for &(kb, ib) in &seq[done..] {
                 let key = self.key(kb, ib);
-                let mut rs = tp.begin(key);
+                let mut rs = tp.begin(&mut ctx, key);
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, kb, ib, &mut sink);
                 tp.commit(&mut ctx, rs);
@@ -539,8 +547,18 @@ mod tests {
         // Execution time: base <= LP < EP, WAL (the EP/WAL order at this
         // tiny scale is noise; Figure 10's paper-scale run separates them).
         assert!(lp.cycles() >= base.cycles());
-        assert!(ep.cycles() > lp.cycles(), "EP {} vs LP {}", ep.cycles(), lp.cycles());
-        assert!(wal.cycles() > lp.cycles(), "WAL {} vs LP {}", wal.cycles(), lp.cycles());
+        assert!(
+            ep.cycles() > lp.cycles(),
+            "EP {} vs LP {}",
+            ep.cycles(),
+            lp.cycles()
+        );
+        assert!(
+            wal.cycles() > lp.cycles(),
+            "WAL {} vs LP {}",
+            wal.cycles(),
+            lp.cycles()
+        );
         // Writes: LP close to base, EP and WAL amplified.
         assert!(ep.writes() > lp.writes());
         assert!(wal.writes() > ep.writes());

@@ -7,7 +7,7 @@
 //! inclusive L2 that tracks which cores hold each line (sharer bitmask) and
 //! whether one core holds it exclusively (owner).
 
-use crate::addr::{LINE_BYTES, LineAddr};
+use crate::addr::{LineAddr, LINE_BYTES};
 
 /// MESI coherence state of an L1 line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,7 +363,7 @@ mod tests {
     #[test]
     fn l1_lru_eviction_within_set() {
         let mut c = L1Cache::new(2 * 1024, 2); // 16 sets
-        // Lines 0, 16, 32 map to set 0.
+                                               // Lines 0, 16, 32 map to set 0.
         c.insert(LineAddr(0), data(1), Mesi::Shared, 0);
         c.insert(LineAddr(16), data(2), Mesi::Shared, 0);
         // Touch line 0 so 16 is the LRU victim.

@@ -122,7 +122,7 @@ impl Default for MachineConfig {
 impl MachineConfig {
     /// Set the number of cores.
     pub fn with_cores(mut self, cores: usize) -> Self {
-        assert!(cores >= 1 && cores <= 64, "cores must be in 1..=64");
+        assert!((1..=64).contains(&cores), "cores must be in 1..=64");
         self.cores = cores;
         self
     }
@@ -268,16 +268,24 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_geometry() {
-        let mut c = MachineConfig::default();
-        c.l2_bytes = 100; // not a multiple of assoc*line
+        // 100 bytes: not a multiple of assoc*line.
+        let c = MachineConfig {
+            l2_bytes: 100,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.l2_bytes = 3 * 8 * 64; // 3 sets, not a power of two
+        // 3 sets: not a power of two.
+        let c = MachineConfig {
+            l2_bytes: 3 * 8 * 64,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.mshrs = 0;
+        let c = MachineConfig {
+            mshrs: 0,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -242,7 +242,8 @@ impl<'a> CoreCtx<'a> {
         }
         self.core.stats.loads += 1;
         self.core.stats.instructions += 1;
-        self.core.acquire_lq_slot(self.mem.cfg.load_queue, self.mem.cfg.issue_width);
+        self.core
+            .acquire_lq_slot(self.mem.cfg.load_queue, self.mem.cfg.issue_width);
         let line = addr.line();
         let access = self.access_line(line, false);
         if access.l1_hit {
@@ -263,6 +264,8 @@ impl<'a> CoreCtx<'a> {
         }
         self.core.lq.push_back(self.core.cycles);
         let v = self.mem.l1_read_scalar::<T>(self.core.id, addr);
+        self.mem
+            .observe_load(self.core.id, self.core.cycles, addr, T::SIZE);
         self.mem.after_op(self.core.cycles);
         v
     }
@@ -288,17 +291,20 @@ impl<'a> CoreCtx<'a> {
         }
         self.core.stats.stores += 1;
         self.core.stats.instructions += 1;
-        self.core.acquire_sq_slot(self.mem.cfg.store_queue, self.mem.cfg.issue_width);
+        self.core
+            .acquire_sq_slot(self.mem.cfg.store_queue, self.mem.cfg.issue_width);
         let line = addr.line();
         let access = self.access_line(line, true);
         self.mem.l1_write_scalar::<T>(self.core.id, addr, v);
         self.core.cycles += 1; // issue; completion tracked in the SQ
-        // The store buffer drains in order (x86-TSO): this entry cannot
-        // complete before its elders.
+                               // The store buffer drains in order (x86-TSO): this entry cannot
+                               // complete before its elders.
         let completion = (self.core.cycles + access.cost).max(self.core.sq_chain);
         self.core.sq_chain = completion;
         self.core.sq.push_back(completion);
         self.core.pending_drain = self.core.pending_drain.max(completion);
+        self.mem
+            .observe_store(self.core.id, self.core.cycles, addr, v.to_bits64(), T::SIZE);
         self.mem.after_op(self.core.cycles);
     }
 
@@ -325,7 +331,8 @@ impl<'a> CoreCtx<'a> {
             self.core.stats.flushes += 1;
         }
         self.core.stats.instructions += 1;
-        self.core.acquire_sq_slot(self.mem.cfg.store_queue, self.mem.cfg.issue_width);
+        self.core
+            .acquire_sq_slot(self.mem.cfg.store_queue, self.mem.cfg.issue_width);
         // A flush occupies an MSHR until its writeback completes, like any
         // other request that leaves the core; waiting for one is a
         // write-resource (FUW) hazard on top of the MSHR-full event.
@@ -339,13 +346,12 @@ impl<'a> CoreCtx<'a> {
             .flush_line(addr.line(), self.core.cycles, keep, self.core.id);
         self.core.mshr[mshr] = out.completion.max(self.core.cycles);
         self.core.cycles += out.issue_cost;
-        let completion = out
-            .completion
-            .max(self.core.cycles)
-            .max(self.core.sq_chain);
+        let completion = out.completion.max(self.core.cycles).max(self.core.sq_chain);
         self.core.sq_chain = completion;
         self.core.sq.push_back(completion);
         self.core.pending_drain = self.core.pending_drain.max(completion);
+        self.mem
+            .observe_flush(self.core.id, self.core.cycles, addr.line(), keep);
         self.mem.after_op(self.core.cycles);
     }
 
@@ -378,7 +384,24 @@ impl<'a> CoreCtx<'a> {
             self.core.cycles = self.core.pending_drain;
         }
         self.core.pending_drain = 0;
+        self.mem.observe_sfence(self.core.id, self.core.cycles);
         self.mem.after_op(self.core.cycles);
+    }
+
+    /// Announce the start of a persistency region with checksum-table /
+    /// marker key `key` to any installed observer (see [`crate::observe`]).
+    ///
+    /// Purely observational — no timing or functional effect. The scheme
+    /// layer (`lp-core`) calls this from its `begin`; kernels normally
+    /// never call it directly.
+    pub fn region_begin(&mut self, key: usize) -> crate::observe::RegionId {
+        self.mem
+            .announce_region_begin(self.core.id, self.core.cycles, key)
+    }
+
+    /// Announce the end (commit) of this core's open persistency region.
+    pub fn region_end(&mut self) {
+        self.mem.announce_region_end(self.core.id, self.core.cycles);
     }
 }
 
@@ -481,16 +504,17 @@ mod tests {
     fn flush_range_covers_all_lines() {
         let mut m = machine();
         let arr = m.alloc::<f64>(64).unwrap(); // 8 lines
-        let mut ctx = m.ctx(0);
-        for i in 0..64 {
-            ctx.store(arr, i, i as f64);
+        {
+            let mut ctx = m.ctx(0);
+            for i in 0..64 {
+                ctx.store(arr, i, i as f64);
+            }
+            ctx.flush_range(arr, 0, 64);
+            ctx.sfence();
+            assert_eq!(ctx.core.stats.flushes, 8);
+            assert_eq!(ctx.mem.stats.nvmm_writes_flush, 8);
         }
-        ctx.flush_range(arr, 0, 64);
-        ctx.sfence();
-        assert_eq!(ctx.core.stats.flushes, 8);
-        assert_eq!(ctx.mem.stats.nvmm_writes_flush, 8);
         // All values durable.
-        drop(ctx);
         for i in 0..64 {
             assert_eq!(m.peek(arr, i), i as f64);
         }

@@ -85,11 +85,12 @@ mod tests {
         let arr = m.alloc::<f64>(64).unwrap(); // 8 lines
         let before = l2_occupancy(m.mem());
         assert_eq!(before.resident, 0);
-        let mut ctx = m.ctx(0);
-        for i in 0..64 {
-            ctx.store(arr, i, 1.0);
+        {
+            let mut ctx = m.ctx(0);
+            for i in 0..64 {
+                ctx.store(arr, i, 1.0);
+            }
         }
-        drop(ctx);
         let after = l2_occupancy(m.mem());
         assert_eq!(after.resident, 8);
         assert_eq!(after.dirty, 8);

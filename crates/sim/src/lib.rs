@@ -47,16 +47,20 @@
 //! println!("{}", m.stats().summary());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod cache;
 pub mod cleaner;
 pub mod config;
 pub mod core;
 pub mod debug;
+pub mod machine;
 pub mod mc;
 pub mod mem;
-pub mod machine;
 pub mod memsys;
+pub mod observe;
+pub mod rng;
 pub mod stats;
 
 /// Convenient re-exports of the types most users need.
@@ -68,5 +72,6 @@ pub mod prelude {
     pub use crate::machine::{Machine, Outcome, ThreadPlan, WorkItem};
     pub use crate::mem::{PArray, Scalar};
     pub use crate::memsys::CrashTrigger;
+    pub use crate::observe::{EventSink, MemEvent, RegionId, SharedSink};
     pub use crate::stats::{SimStats, WriteCause};
 }

@@ -297,7 +297,7 @@ impl Machine {
                     .map(|(i, _)| i)
                     .collect();
                 if waiting.is_empty() {
-                    debug_assert!(queues.iter().all(|q| q.is_empty()));
+                    debug_assert!(queues.iter().all(std::collections::VecDeque::is_empty));
                     return Outcome::Completed;
                 }
                 let sync = waiting
@@ -305,6 +305,7 @@ impl Machine {
                     .map(|&i| self.cores[i].cycles)
                     .max()
                     .unwrap_or(0);
+                self.mem.observe_barrier(sync);
                 for &i in &waiting {
                     self.cores[i].cycles = sync;
                     queues[i].pop_front();
@@ -326,6 +327,18 @@ impl Machine {
     pub fn drain_caches(&mut self) -> u64 {
         let t = self.mem.global_time();
         self.mem.writeback_all_dirty(t, WriteCause::Drain)
+    }
+
+    /// Install an event observer (see [`crate::observe`]). The observer
+    /// receives every memory event of subsequent runs; the timing and
+    /// functional behaviour of the machine is unaffected.
+    pub fn set_observer(&mut self, sink: crate::observe::SharedSink) {
+        self.mem.set_observer(sink);
+    }
+
+    /// Remove any installed observer, restoring the zero-overhead default.
+    pub fn clear_observer(&mut self) {
+        self.mem.clear_observer();
     }
 
     /// Arm the crash trigger for the next run.

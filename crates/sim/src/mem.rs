@@ -5,7 +5,7 @@
 //! flushed, cleaned, or drained) lives here; a crash discards all cache
 //! contents and keeps exactly this image.
 
-use crate::addr::{Addr, LINE_BYTES, LineAddr};
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
 
 /// The simulated non-volatile main memory: a flat byte image.
 ///
@@ -38,6 +38,12 @@ impl Nvmm {
     /// Panics if the line is outside the image.
     pub fn read_line(&self, line: LineAddr, buf: &mut [u8; LINE_BYTES]) {
         let base = line.base().0 as usize;
+        debug_assert_eq!(base % LINE_BYTES, 0, "line base must be line-aligned");
+        debug_assert!(
+            base + LINE_BYTES <= self.data.len(),
+            "line {line} outside the NVMM image ({} bytes)",
+            self.data.len()
+        );
         buf.copy_from_slice(&self.data[base..base + LINE_BYTES]);
     }
 
@@ -48,6 +54,12 @@ impl Nvmm {
     /// Panics if the line is outside the image.
     pub fn write_line(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES]) {
         let base = line.base().0 as usize;
+        debug_assert_eq!(base % LINE_BYTES, 0, "line base must be line-aligned");
+        debug_assert!(
+            base + LINE_BYTES <= self.data.len(),
+            "line {line} outside the NVMM image ({} bytes)",
+            self.data.len()
+        );
         self.data[base..base + LINE_BYTES].copy_from_slice(buf);
     }
 
@@ -203,7 +215,11 @@ impl<T: Scalar> PArray<T> {
     /// Panics if `i >= len`.
     #[inline]
     pub fn addr(&self, i: usize) -> Addr {
-        assert!(i < self.len, "PArray index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "PArray index {i} out of bounds (len {})",
+            self.len
+        );
         Addr(self.base.0 + (i * T::SIZE) as u64)
     }
 

@@ -8,12 +8,13 @@
 //! logical cores so no internal locking is needed and runs are fully
 //! deterministic.
 
-use crate::addr::{LINE_BYTES, LineAddr};
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
 use crate::cache::{L1Cache, L2Cache, Mesi};
 use crate::cleaner::CleanerState;
 use crate::config::MachineConfig;
 use crate::mc::MemCtrl;
 use crate::mem::Nvmm;
+use crate::observe::{MemEvent, ObserverSlot, RegionId, SharedSink};
 use crate::stats::{MemStats, WriteCause};
 
 /// When the simulated machine should lose power.
@@ -76,6 +77,11 @@ pub struct MemSystem {
     mem_ops: u64,
     global_time: u64,
     cleaner: Option<CleanerState>,
+    observer: ObserverSlot,
+    /// Per-core open persistency region `(id, key)` announced via
+    /// [`crate::core::CoreCtx::region_begin`].
+    open_regions: Vec<Option<(RegionId, usize)>>,
+    next_region: u64,
 }
 
 impl MemSystem {
@@ -100,6 +106,7 @@ impl MemSystem {
         );
         let nvmm = Nvmm::new(cfg.nvmm_bytes);
         let cleaner = cfg.cleaner.map(CleanerState::new);
+        let open_regions = vec![None; cfg.cores];
         MemSystem {
             cfg,
             l1s,
@@ -112,7 +119,125 @@ impl MemSystem {
             mem_ops: 0,
             global_time: 0,
             cleaner,
+            observer: ObserverSlot::default(),
+            open_regions,
+            next_region: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Event observation (opt-in; zero work when no sink is installed)
+    // ------------------------------------------------------------------
+
+    /// Install an event sink; see [`crate::observe`].
+    pub fn set_observer(&mut self, sink: SharedSink) {
+        self.observer.install(sink);
+    }
+
+    /// Remove the event sink, restoring the zero-overhead default path.
+    pub fn clear_observer(&mut self) {
+        self.observer.clear();
+    }
+
+    /// Whether an event sink is installed.
+    pub fn observer_installed(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// The region `core` currently has open, if any.
+    pub fn open_region(&self, core: usize) -> Option<RegionId> {
+        self.open_regions[core].map(|(id, _)| id)
+    }
+
+    /// Announce that `core` opened a persistency region with table/marker
+    /// key `key`. Returns the region's dynamic identity. Purely
+    /// observational: no timing or functional effect.
+    pub fn announce_region_begin(&mut self, core: usize, cycle: u64, key: usize) -> RegionId {
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        self.open_regions[core] = Some((id, key));
+        self.observer.emit(MemEvent::RegionBegin {
+            core,
+            cycle,
+            region: id,
+            key,
+        });
+        id
+    }
+
+    /// Announce that `core` committed (closed) its open region, if any.
+    pub fn announce_region_end(&mut self, core: usize, cycle: u64) {
+        if let Some((region, key)) = self.open_regions[core].take() {
+            self.observer.emit(MemEvent::RegionCommit {
+                core,
+                cycle,
+                region,
+                key,
+            });
+        }
+    }
+
+    /// Emit a [`MemEvent::Store`] tagged with `core`'s open region.
+    pub(crate) fn observe_store(
+        &self,
+        core: usize,
+        cycle: u64,
+        addr: Addr,
+        bits: u64,
+        size: usize,
+    ) {
+        if self.observer.is_some() {
+            self.observer.emit(MemEvent::Store {
+                core,
+                cycle,
+                addr,
+                bits,
+                size,
+                region: self.open_region(core),
+            });
+        }
+    }
+
+    /// Emit a [`MemEvent::Load`] tagged with `core`'s open region.
+    pub(crate) fn observe_load(&self, core: usize, cycle: u64, addr: Addr, size: usize) {
+        if self.observer.is_some() {
+            self.observer.emit(MemEvent::Load {
+                core,
+                cycle,
+                addr,
+                size,
+                region: self.open_region(core),
+            });
+        }
+    }
+
+    /// Emit a [`MemEvent::Flush`] tagged with `core`'s open region.
+    pub(crate) fn observe_flush(&self, core: usize, cycle: u64, line: LineAddr, keep: bool) {
+        if self.observer.is_some() {
+            self.observer.emit(MemEvent::Flush {
+                core,
+                cycle,
+                line,
+                keep,
+                region: self.open_region(core),
+            });
+        }
+    }
+
+    /// Emit a [`MemEvent::Sfence`] tagged with `core`'s open region.
+    pub(crate) fn observe_sfence(&self, core: usize, cycle: u64) {
+        if self.observer.is_some() {
+            self.observer.emit(MemEvent::Sfence {
+                core,
+                cycle,
+                region: self.open_region(core),
+            });
+        }
+    }
+
+    /// Emit a [`MemEvent::Barrier`] (called by the scheduler).
+    pub(crate) fn observe_barrier(&self, cycle: u64) {
+        self.observer.emit(MemEvent::Barrier { cycle });
     }
 
     /// Whether the machine has crashed (power lost).
@@ -128,6 +253,9 @@ impl MemSystem {
     /// Force an immediate crash.
     pub fn force_crash(&mut self) {
         self.crashed = true;
+        self.observer.emit(MemEvent::Crash {
+            cycle: self.global_time,
+        });
     }
 
     /// Acknowledge a crash: drop all cache state *without writing anything
@@ -202,9 +330,8 @@ impl MemSystem {
                 if let Some(i1) = self.l1s[o].find(w.line) {
                     let w1 = self.l1s[o].way(i1);
                     if w1.state == Mesi::Modified {
-                        let since = entry
-                            .map(|e| e.dirty_since.min(w1.dirty_since))
-                            .unwrap_or(w1.dirty_since);
+                        let since =
+                            entry.map_or(w1.dirty_since, |e| e.dirty_since.min(w1.dirty_since));
                         entry = Some(crate::debug::DirtyLine {
                             line: w.line,
                             owner: Some(o),
@@ -268,7 +395,7 @@ impl MemSystem {
             self.l1s[core].touch(idx);
             let state = self.l1s[core].way(idx).state;
             let cost = match (state, for_write) {
-                (Mesi::Modified, _) | (Mesi::Exclusive, false) | (Mesi::Shared, false) => l1_lat,
+                (Mesi::Modified, _) | (Mesi::Exclusive | Mesi::Shared, false) => l1_lat,
                 (Mesi::Exclusive, true) => {
                     let w = self.l1s[core].way_mut(idx);
                     w.state = Mesi::Modified;
@@ -375,12 +502,9 @@ impl MemSystem {
             // out of the memory controller's write queue if it was just
             // written there).
             self.stats.l2_misses += 1;
-            let (completion, forwarded) = self.mc.schedule_read(
-                line,
-                now + cost,
-                self.cfg.mc_forward_latency,
-                core,
-            );
+            let (completion, forwarded) =
+                self.mc
+                    .schedule_read(line, now + cost, self.cfg.mc_forward_latency, core);
             if !forwarded {
                 self.stats.nvmm_reads += 1;
             }
@@ -473,8 +597,14 @@ impl MemSystem {
             self.nvmm.write_line(line, &data);
             if !w.merged {
                 self.stats.record_write(WriteCause::Eviction);
-                self.stats.record_volatility(now.saturating_sub(dirty_since));
+                self.stats
+                    .record_volatility(now.saturating_sub(dirty_since));
             }
+            self.observer.emit(MemEvent::LineDurable {
+                line,
+                cycle: now,
+                cause: WriteCause::Eviction,
+            });
         }
         let w = self.l2.way_mut(way);
         w.valid = false;
@@ -488,7 +618,13 @@ impl MemSystem {
     /// write queue, invalidating (or retaining clean) the cached copies.
     ///
     /// No-op after a crash.
-    pub fn flush_line(&mut self, line: LineAddr, now: u64, keep: bool, core: usize) -> FlushOutcome {
+    pub fn flush_line(
+        &mut self,
+        line: LineAddr,
+        now: u64,
+        keep: bool,
+        core: usize,
+    ) -> FlushOutcome {
         if self.crashed {
             return FlushOutcome {
                 issue_cost: 0,
@@ -556,6 +692,15 @@ impl MemSystem {
                 self.stats
                     .record_volatility(now.saturating_sub(dirty_since));
             }
+            self.observer.emit(MemEvent::LineDurable {
+                line,
+                cycle: now,
+                cause: if keep {
+                    WriteCause::Clwb
+                } else {
+                    WriteCause::Flush
+                },
+            });
             FlushOutcome {
                 issue_cost,
                 completion: w.completion,
@@ -606,6 +751,11 @@ impl MemSystem {
                 self.stats.record_write(cause);
                 self.stats
                     .record_volatility(now.saturating_sub(dirty_since));
+                self.observer.emit(MemEvent::LineDurable {
+                    line,
+                    cycle: now,
+                    cause,
+                });
                 let w = self.l2.way_mut(way);
                 w.data = data;
                 w.dirty = false;
@@ -633,8 +783,11 @@ impl MemSystem {
                 CrashTrigger::AfterNvmmWrites(n) => self.stats.nvmm_writes() >= n,
                 CrashTrigger::AtCycle(c) => self.global_time >= c,
             };
-            if fire {
+            if fire && !self.crashed {
                 self.crashed = true;
+                self.observer.emit(MemEvent::Crash {
+                    cycle: self.global_time,
+                });
             }
         }
     }
@@ -745,8 +898,7 @@ impl MemSystem {
                         w1.line
                     ));
                 }
-                if matches!(w1.state, Mesi::Exclusive | Mesi::Modified)
-                    && w2.owner != Some(c as u8)
+                if matches!(w1.state, Mesi::Exclusive | Mesi::Modified) && w2.owner != Some(c as u8)
                 {
                     return Err(format!(
                         "owner: core {c} has {} in {:?} but directory owner is {:?}",

@@ -42,7 +42,7 @@ fn main() {
         let tp = handles.thread(t);
         for r in (t..regions).step_by(2) {
             plan.region(move |ctx| {
-                let mut rs = tp.begin(r);
+                let mut rs = tp.begin(ctx, r);
                 for i in r * per..(r + 1) * per {
                     let av: f64 = ctx.load(a, i);
                     let bv: f64 = ctx.load(b, i);

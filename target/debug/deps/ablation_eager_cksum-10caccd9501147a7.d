@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_eager_cksum-10caccd9501147a7.d: crates/bench/src/bin/ablation_eager_cksum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_eager_cksum-10caccd9501147a7.rmeta: crates/bench/src/bin/ablation_eager_cksum.rs Cargo.toml
+
+crates/bench/src/bin/ablation_eager_cksum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eager_cksum-ab04bd5910b808e6.d: crates/bench/src/bin/ablation_eager_cksum.rs
+
+/root/repo/target/debug/deps/ablation_eager_cksum-ab04bd5910b808e6: crates/bench/src/bin/ablation_eager_cksum.rs
+
+crates/bench/src/bin/ablation_eager_cksum.rs:

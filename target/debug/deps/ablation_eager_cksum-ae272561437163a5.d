@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_eager_cksum-ae272561437163a5.d: crates/bench/src/bin/ablation_eager_cksum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_eager_cksum-ae272561437163a5.rmeta: crates/bench/src/bin/ablation_eager_cksum.rs Cargo.toml
+
+crates/bench/src/bin/ablation_eager_cksum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_properties-66d7ff39d8610fd3.d: tests/check_properties.rs
+
+/root/repo/target/debug/deps/check_properties-66d7ff39d8610fd3: tests/check_properties.rs
+
+tests/check_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_properties-7afab10ec814650b.d: tests/check_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_properties-7afab10ec814650b.rmeta: tests/check_properties.rs Cargo.toml
+
+tests/check_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checksum-56b0bd99d8a21bbb.d: crates/bench/benches/checksum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecksum-56b0bd99d8a21bbb.rmeta: crates/bench/benches/checksum.rs Cargo.toml
+
+crates/bench/benches/checksum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cksum_accuracy-65d097b3074f51d7.d: crates/bench/src/bin/cksum_accuracy.rs
+
+/root/repo/target/debug/deps/cksum_accuracy-65d097b3074f51d7: crates/bench/src/bin/cksum_accuracy.rs
+
+crates/bench/src/bin/cksum_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cksum_accuracy-e7d284b88b113129.d: crates/bench/src/bin/cksum_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcksum_accuracy-e7d284b88b113129.rmeta: crates/bench/src/bin/cksum_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/cksum_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

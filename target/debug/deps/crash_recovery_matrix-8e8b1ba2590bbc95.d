@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery_matrix-8e8b1ba2590bbc95.d: tests/crash_recovery_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery_matrix-8e8b1ba2590bbc95.rmeta: tests/crash_recovery_matrix.rs Cargo.toml
+
+tests/crash_recovery_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery_matrix-d58e263c036d9407.d: tests/crash_recovery_matrix.rs
+
+/root/repo/target/debug/deps/crash_recovery_matrix-d58e263c036d9407: tests/crash_recovery_matrix.rs
+
+tests/crash_recovery_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-91dcf2cb3c5224d6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-91dcf2cb3c5224d6: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

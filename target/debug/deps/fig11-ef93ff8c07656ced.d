@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-ef93ff8c07656ced.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-ef93ff8c07656ced: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

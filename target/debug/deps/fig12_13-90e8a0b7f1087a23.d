@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_13-90e8a0b7f1087a23.d: crates/bench/src/bin/fig12_13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_13-90e8a0b7f1087a23.rmeta: crates/bench/src/bin/fig12_13.rs Cargo.toml
+
+crates/bench/src/bin/fig12_13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_13-a8b9fb497b5e5c4f.d: crates/bench/src/bin/fig12_13.rs
+
+/root/repo/target/debug/deps/fig12_13-a8b9fb497b5e5c4f: crates/bench/src/bin/fig12_13.rs
+
+crates/bench/src/bin/fig12_13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14a-36415d14154e2c11.d: crates/bench/src/bin/fig14a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14a-36415d14154e2c11.rmeta: crates/bench/src/bin/fig14a.rs Cargo.toml
+
+crates/bench/src/bin/fig14a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14a-5a541f595e0b268d.d: crates/bench/src/bin/fig14a.rs
+
+/root/repo/target/debug/deps/fig14a-5a541f595e0b268d: crates/bench/src/bin/fig14a.rs
+
+crates/bench/src/bin/fig14a.rs:

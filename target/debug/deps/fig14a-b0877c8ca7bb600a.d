@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14a-b0877c8ca7bb600a.d: crates/bench/src/bin/fig14a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14a-b0877c8ca7bb600a.rmeta: crates/bench/src/bin/fig14a.rs Cargo.toml
+
+crates/bench/src/bin/fig14a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14b-890ea441feaa65b6.d: crates/bench/src/bin/fig14b.rs
+
+/root/repo/target/debug/deps/fig14b-890ea441feaa65b6: crates/bench/src/bin/fig14b.rs
+
+crates/bench/src/bin/fig14b.rs:

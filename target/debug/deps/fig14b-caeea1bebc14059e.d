@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14b-caeea1bebc14059e.d: crates/bench/src/bin/fig14b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14b-caeea1bebc14059e.rmeta: crates/bench/src/bin/fig14b.rs Cargo.toml
+
+crates/bench/src/bin/fig14b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15a-768019ecb193b603.d: crates/bench/src/bin/fig15a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15a-768019ecb193b603.rmeta: crates/bench/src/bin/fig15a.rs Cargo.toml
+
+crates/bench/src/bin/fig15a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

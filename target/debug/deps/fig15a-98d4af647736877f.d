@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15a-98d4af647736877f.d: crates/bench/src/bin/fig15a.rs
+
+/root/repo/target/debug/deps/fig15a-98d4af647736877f: crates/bench/src/bin/fig15a.rs
+
+crates/bench/src/bin/fig15a.rs:

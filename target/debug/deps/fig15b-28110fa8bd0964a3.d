@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15b-28110fa8bd0964a3.d: crates/bench/src/bin/fig15b.rs
+
+/root/repo/target/debug/deps/fig15b-28110fa8bd0964a3: crates/bench/src/bin/fig15b.rs
+
+crates/bench/src/bin/fig15b.rs:

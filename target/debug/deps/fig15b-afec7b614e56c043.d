@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15b-afec7b614e56c043.d: crates/bench/src/bin/fig15b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15b-afec7b614e56c043.rmeta: crates/bench/src/bin/fig15b.rs Cargo.toml
+
+crates/bench/src/bin/fig15b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

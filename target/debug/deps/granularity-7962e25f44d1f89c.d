@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-7962e25f44d1f89c.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/debug/deps/granularity-7962e25f44d1f89c: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granularity-a838168f95db87e7.d: crates/bench/src/bin/granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranularity-a838168f95db87e7.rmeta: crates/bench/src/bin/granularity.rs Cargo.toml
+
+crates/bench/src/bin/granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

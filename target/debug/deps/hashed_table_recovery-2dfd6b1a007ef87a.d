@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hashed_table_recovery-2dfd6b1a007ef87a.d: tests/hashed_table_recovery.rs
+
+/root/repo/target/debug/deps/hashed_table_recovery-2dfd6b1a007ef87a: tests/hashed_table_recovery.rs
+
+tests/hashed_table_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashed_table_recovery-8359094444e33c21.d: tests/hashed_table_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashed_table_recovery-8359094444e33c21.rmeta: tests/hashed_table_recovery.rs Cargo.toml
+
+tests/hashed_table_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lazy_persistency-2b49db562a3fc7b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblazy_persistency-2b49db562a3fc7b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblazy_persistency-2b49db562a3fc7b9.rmeta: src/lib.rs
+
+src/lib.rs:

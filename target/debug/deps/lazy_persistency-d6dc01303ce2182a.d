@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lazy_persistency-d6dc01303ce2182a.d: src/lib.rs
+
+/root/repo/target/debug/deps/lazy_persistency-d6dc01303ce2182a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp-3379b6183f98ce9e.d: crates/bench/src/bin/lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp-3379b6183f98ce9e.rmeta: crates/bench/src/bin/lp.rs Cargo.toml
+
+crates/bench/src/bin/lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp-a6d2d4e31c7538a5.d: crates/bench/src/bin/lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp-a6d2d4e31c7538a5.rmeta: crates/bench/src/bin/lp.rs Cargo.toml
+
+crates/bench/src/bin/lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

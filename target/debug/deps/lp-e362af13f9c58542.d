@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp-e362af13f9c58542.d: crates/bench/src/bin/lp.rs
+
+/root/repo/target/debug/deps/lp-e362af13f9c58542: crates/bench/src/bin/lp.rs
+
+crates/bench/src/bin/lp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_bench-03dd01338bd8517b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lp_bench-03dd01338bd8517b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

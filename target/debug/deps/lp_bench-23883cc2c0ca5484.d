@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_bench-23883cc2c0ca5484.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_bench-23883cc2c0ca5484.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

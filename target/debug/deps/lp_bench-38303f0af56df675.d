@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lp_bench-38303f0af56df675.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblp_bench-38303f0af56df675.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblp_bench-38303f0af56df675.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lp_check-0feab45c49f0f12a.d: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+/root/repo/target/debug/deps/lp_check-0feab45c49f0f12a: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+crates/check/src/lib.rs:
+crates/check/src/checker.rs:
+crates/check/src/mutations.rs:
+crates/check/src/report.rs:

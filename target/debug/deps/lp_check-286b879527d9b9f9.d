@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_check-286b879527d9b9f9.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/lp_check-286b879527d9b9f9: crates/check/src/main.rs
+
+crates/check/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_check-4c3efbaaea3c4611.d: crates/check/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_check-4c3efbaaea3c4611.rmeta: crates/check/src/main.rs Cargo.toml
+
+crates/check/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lp_check-5a68e76145c37fb6.d: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_check-5a68e76145c37fb6.rmeta: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/checker.rs:
+crates/check/src/mutations.rs:
+crates/check/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lp_check-a7ce293decdce4ae.d: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+/root/repo/target/debug/deps/liblp_check-a7ce293decdce4ae.rlib: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+/root/repo/target/debug/deps/liblp_check-a7ce293decdce4ae.rmeta: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+crates/check/src/lib.rs:
+crates/check/src/checker.rs:
+crates/check/src/mutations.rs:
+crates/check/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_check-ad9ba47d388dc057.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/lp_check-ad9ba47d388dc057: crates/check/src/main.rs
+
+crates/check/src/main.rs:

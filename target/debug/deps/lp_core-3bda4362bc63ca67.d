@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lp_core-3bda4362bc63ca67.d: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+/root/repo/target/debug/deps/lp_core-3bda4362bc63ca67: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checksum.rs:
+crates/core/src/checksum/accuracy.rs:
+crates/core/src/ep.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/table.rs:
+crates/core/src/table/hashed.rs:
+crates/core/src/track.rs:
+crates/core/src/wal.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lp_core-e45660d81b244897.d: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+/root/repo/target/debug/deps/liblp_core-e45660d81b244897.rlib: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+/root/repo/target/debug/deps/liblp_core-e45660d81b244897.rmeta: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checksum.rs:
+crates/core/src/checksum/accuracy.rs:
+crates/core/src/ep.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/table.rs:
+crates/core/src/table/hashed.rs:
+crates/core/src/track.rs:
+crates/core/src/wal.rs:

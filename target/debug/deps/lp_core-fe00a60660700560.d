@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lp_core-fe00a60660700560.d: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_core-fe00a60660700560.rmeta: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checksum.rs:
+crates/core/src/checksum/accuracy.rs:
+crates/core/src/ep.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/table.rs:
+crates/core/src/table/hashed.rs:
+crates/core/src/track.rs:
+crates/core/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

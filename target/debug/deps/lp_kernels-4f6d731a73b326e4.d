@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lp_kernels-4f6d731a73b326e4.d: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+/root/repo/target/debug/deps/liblp_kernels-4f6d731a73b326e4.rlib: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+/root/repo/target/debug/deps/liblp_kernels-4f6d731a73b326e4.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cholesky.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/conv2d.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/fft.rs:
+crates/kernels/src/gauss.rs:
+crates/kernels/src/native.rs:
+crates/kernels/src/tmm.rs:

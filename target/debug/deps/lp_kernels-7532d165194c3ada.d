@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lp_kernels-7532d165194c3ada.d: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_kernels-7532d165194c3ada.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cholesky.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/conv2d.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/fft.rs:
+crates/kernels/src/gauss.rs:
+crates/kernels/src/native.rs:
+crates/kernels/src/tmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

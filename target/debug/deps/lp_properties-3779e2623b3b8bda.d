@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_properties-3779e2623b3b8bda.d: tests/lp_properties.rs
+
+/root/repo/target/debug/deps/lp_properties-3779e2623b3b8bda: tests/lp_properties.rs
+
+tests/lp_properties.rs:

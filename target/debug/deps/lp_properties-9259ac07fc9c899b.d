@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_properties-9259ac07fc9c899b.d: tests/lp_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_properties-9259ac07fc9c899b.rmeta: tests/lp_properties.rs Cargo.toml
+
+tests/lp_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lp_sim-1d9308c28ce5869f.d: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/cache.rs crates/sim/src/cleaner.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/debug.rs crates/sim/src/machine.rs crates/sim/src/mc.rs crates/sim/src/mem.rs crates/sim/src/memsys.rs crates/sim/src/observe.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/lp_sim-1d9308c28ce5869f: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/cache.rs crates/sim/src/cleaner.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/debug.rs crates/sim/src/machine.rs crates/sim/src/mc.rs crates/sim/src/mem.rs crates/sim/src/memsys.rs crates/sim/src/observe.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/addr.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cleaner.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/debug.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/mc.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/lp_sim-5e2ae9a291c107f4.d: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/cache.rs crates/sim/src/cleaner.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/debug.rs crates/sim/src/machine.rs crates/sim/src/mc.rs crates/sim/src/mem.rs crates/sim/src/memsys.rs crates/sim/src/observe.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_sim-5e2ae9a291c107f4.rmeta: crates/sim/src/lib.rs crates/sim/src/addr.rs crates/sim/src/cache.rs crates/sim/src/cleaner.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/debug.rs crates/sim/src/machine.rs crates/sim/src/mc.rs crates/sim/src/mem.rs crates/sim/src/memsys.rs crates/sim/src/observe.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/addr.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cleaner.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/debug.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/mc.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

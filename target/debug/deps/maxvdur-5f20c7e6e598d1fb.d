@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxvdur-5f20c7e6e598d1fb.d: crates/bench/src/bin/maxvdur.rs
+
+/root/repo/target/debug/deps/maxvdur-5f20c7e6e598d1fb: crates/bench/src/bin/maxvdur.rs
+
+crates/bench/src/bin/maxvdur.rs:

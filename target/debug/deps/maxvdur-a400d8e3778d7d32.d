@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxvdur-a400d8e3778d7d32.d: crates/bench/src/bin/maxvdur.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxvdur-a400d8e3778d7d32.rmeta: crates/bench/src/bin/maxvdur.rs Cargo.toml
+
+crates/bench/src/bin/maxvdur.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

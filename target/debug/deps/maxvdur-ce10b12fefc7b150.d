@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxvdur-ce10b12fefc7b150.d: crates/bench/src/bin/maxvdur.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxvdur-ce10b12fefc7b150.rmeta: crates/bench/src/bin/maxvdur.rs Cargo.toml
+
+crates/bench/src/bin/maxvdur.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_model-5e693193cc67afa8.d: tests/memory_model.rs
+
+/root/repo/target/debug/deps/memory_model-5e693193cc67afa8: tests/memory_model.rs
+
+tests/memory_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_model-ff99508932e9f0d7.d: tests/memory_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_model-ff99508932e9f0d7.rmeta: tests/memory_model.rs Cargo.toml
+
+tests/memory_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_time-08addcab2a641920.d: crates/bench/src/bin/recovery_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_time-08addcab2a641920.rmeta: crates/bench/src/bin/recovery_time.rs Cargo.toml
+
+crates/bench/src/bin/recovery_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

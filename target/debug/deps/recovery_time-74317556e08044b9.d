@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_time-74317556e08044b9.d: crates/bench/src/bin/recovery_time.rs
+
+/root/repo/target/debug/deps/recovery_time-74317556e08044b9: crates/bench/src/bin/recovery_time.rs
+
+crates/bench/src/bin/recovery_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_properties-521a936a3caf3e9d.d: tests/scheme_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_properties-521a936a3caf3e9d.rmeta: tests/scheme_properties.rs Cargo.toml
+
+tests/scheme_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

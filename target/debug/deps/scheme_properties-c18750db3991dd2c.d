@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_properties-c18750db3991dd2c.d: tests/scheme_properties.rs
+
+/root/repo/target/debug/deps/scheme_properties-c18750db3991dd2c: tests/scheme_properties.rs
+
+tests/scheme_properties.rs:

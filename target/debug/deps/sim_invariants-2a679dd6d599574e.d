@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-2a679dd6d599574e.d: tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-2a679dd6d599574e: tests/sim_invariants.rs
+
+tests/sim_invariants.rs:

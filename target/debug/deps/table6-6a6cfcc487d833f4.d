@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-6a6cfcc487d833f4.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-6a6cfcc487d833f4: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-4cfad5d2712d5778.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-4cfad5d2712d5778: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

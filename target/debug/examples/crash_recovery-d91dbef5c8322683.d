@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-d91dbef5c8322683.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-d91dbef5c8322683: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-611a33161744407e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-611a33161744407e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity-742d3bb178cb36f0.d: examples/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity-742d3bb178cb36f0.rmeta: examples/sensitivity.rs Cargo.toml
+
+examples/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

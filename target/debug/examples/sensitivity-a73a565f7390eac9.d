@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity-a73a565f7390eac9.d: examples/sensitivity.rs
+
+/root/repo/target/debug/examples/sensitivity-a73a565f7390eac9: examples/sensitivity.rs
+
+examples/sensitivity.rs:

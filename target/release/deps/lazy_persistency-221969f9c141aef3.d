@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lazy_persistency-221969f9c141aef3.d: src/lib.rs
+
+/root/repo/target/release/deps/liblazy_persistency-221969f9c141aef3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblazy_persistency-221969f9c141aef3.rmeta: src/lib.rs
+
+src/lib.rs:

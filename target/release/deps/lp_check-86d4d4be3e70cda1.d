@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lp_check-86d4d4be3e70cda1.d: crates/check/src/main.rs
+
+/root/repo/target/release/deps/lp_check-86d4d4be3e70cda1: crates/check/src/main.rs
+
+crates/check/src/main.rs:

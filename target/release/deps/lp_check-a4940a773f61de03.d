@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lp_check-a4940a773f61de03.d: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+/root/repo/target/release/deps/liblp_check-a4940a773f61de03.rlib: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+/root/repo/target/release/deps/liblp_check-a4940a773f61de03.rmeta: crates/check/src/lib.rs crates/check/src/checker.rs crates/check/src/mutations.rs crates/check/src/report.rs
+
+crates/check/src/lib.rs:
+crates/check/src/checker.rs:
+crates/check/src/mutations.rs:
+crates/check/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lp_core-111ca22f73e6e272.d: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/liblp_core-111ca22f73e6e272.rlib: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/liblp_core-111ca22f73e6e272.rmeta: crates/core/src/lib.rs crates/core/src/checksum.rs crates/core/src/checksum/accuracy.rs crates/core/src/ep.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/table.rs crates/core/src/table/hashed.rs crates/core/src/track.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checksum.rs:
+crates/core/src/checksum/accuracy.rs:
+crates/core/src/ep.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/table.rs:
+crates/core/src/table/hashed.rs:
+crates/core/src/track.rs:
+crates/core/src/wal.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lp_kernels-69095b6227421cb2.d: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+/root/repo/target/release/deps/liblp_kernels-69095b6227421cb2.rlib: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+/root/repo/target/release/deps/liblp_kernels-69095b6227421cb2.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cholesky.rs crates/kernels/src/common.rs crates/kernels/src/conv2d.rs crates/kernels/src/driver.rs crates/kernels/src/fft.rs crates/kernels/src/gauss.rs crates/kernels/src/native.rs crates/kernels/src/tmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cholesky.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/conv2d.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/fft.rs:
+crates/kernels/src/gauss.rs:
+crates/kernels/src/native.rs:
+crates/kernels/src/tmm.rs:

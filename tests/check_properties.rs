@@ -1,0 +1,53 @@
+//! Property test: every shipped kernel, run under every persistency scheme
+//! at test scale, passes the lp-check sanitizer with zero violations and
+//! verifies its output. This is the "no false positives" half of the
+//! checker contract (the mutation suite in `lp-check` is the "no false
+//! negatives" half).
+
+use lp_check::{check_kernel, default_config, default_schemes};
+use lp_core::checksum::ChecksumKind;
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{KernelId, Scale};
+
+#[test]
+fn all_kernels_are_clean_under_all_schemes() {
+    let cfg = default_config();
+    for kernel in KernelId::ALL {
+        for scheme in default_schemes() {
+            let run = check_kernel(kernel, Scale::Test, &cfg, scheme);
+            assert!(
+                run.report.is_clean(),
+                "{} under {} reported violations:\n{}",
+                kernel.name(),
+                scheme.name(),
+                run.report
+            );
+            assert!(
+                run.verified,
+                "{} under {} failed output verification",
+                kernel.name(),
+                scheme.name()
+            );
+            assert!(
+                run.report.events_seen > 0,
+                "{} under {} produced no events — observer not wired?",
+                kernel.name(),
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_is_clean_for_every_checksum_kind() {
+    let cfg = default_config();
+    for kind in ChecksumKind::ALL {
+        let run = check_kernel(KernelId::Tmm, Scale::Test, &cfg, Scheme::Lazy(kind));
+        assert!(
+            run.report.is_clean(),
+            "tmm under Lazy({kind:?}) reported violations:\n{}",
+            run.report
+        );
+        assert!(run.verified, "tmm under Lazy({kind:?}) failed verification");
+    }
+}

@@ -63,7 +63,11 @@ macro_rules! crash_matrix {
     };
 }
 
-crash_matrix!(tmm_recovers_from_any_crash_point, Tmm, TmmParams::test_small());
+crash_matrix!(
+    tmm_recovers_from_any_crash_point,
+    Tmm,
+    TmmParams::test_small()
+);
 crash_matrix!(
     conv2d_recovers_from_any_crash_point,
     Conv2d,
@@ -79,7 +83,11 @@ crash_matrix!(
     Cholesky,
     CholeskyParams::test_small()
 );
-crash_matrix!(fft_recovers_from_any_crash_point, Fft, FftParams::test_small());
+crash_matrix!(
+    fft_recovers_from_any_crash_point,
+    Fft,
+    FftParams::test_small()
+);
 
 #[test]
 fn tmm_recovers_under_write_triggered_crashes_with_tiny_caches() {
@@ -122,7 +130,10 @@ fn double_crash_during_recovery_still_converges() {
         // Second recovery finishes the job.
         tmm.recover(&mut machine);
         machine.drain_caches();
-        assert!(tmm.verify(&machine), "{scheme}: converged after double crash");
+        assert!(
+            tmm.verify(&machine),
+            "{scheme}: converged after double crash"
+        );
     }
 }
 

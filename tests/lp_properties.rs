@@ -1,6 +1,6 @@
-//! Property-based tests (proptest) on the core Lazy Persistency
-//! invariants: checksum detection, crash-point-independent recovery, and
-//! region associativity.
+//! Property-style tests (deterministic seed sweeps over [`Rng64`]) on the
+//! core Lazy Persistency invariants: checksum detection,
+//! crash-point-independent recovery, and region associativity.
 
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
 use lp_core::scheme::Scheme;
@@ -9,76 +9,95 @@ use lp_kernels::tmm::{Tmm, TmmParams};
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, Outcome};
 use lp_sim::prelude::CrashTrigger;
-use proptest::prelude::*;
+use lp_sim::rng::Rng64;
 
-fn kind_strategy() -> impl Strategy<Value = ChecksumKind> {
-    prop_oneof![
-        Just(ChecksumKind::Parity),
-        Just(ChecksumKind::Modular),
-        Just(ChecksumKind::Adler32),
-        Just(ChecksumKind::ModularParity),
-    ]
+const KINDS: [ChecksumKind; 4] = [
+    ChecksumKind::Parity,
+    ChecksumKind::Modular,
+    ChecksumKind::Adler32,
+    ChecksumKind::ModularParity,
+];
+
+fn random_values(rng: &mut Rng64, max_len: usize, min_len: usize) -> Vec<u64> {
+    let len = rng.range_inclusive(min_len, max_len);
+    (0..len).map(|_| rng.next_u64()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Recomputing a checksum over the same value sequence always matches.
-    #[test]
-    fn checksum_deterministic(kind in kind_strategy(), values in prop::collection::vec(any::<u64>(), 0..128)) {
-        let mut a = RunningChecksum::new(kind);
-        let mut b = RunningChecksum::new(kind);
-        for &v in &values {
-            a.update(v);
-            b.update(v);
+/// Recomputing a checksum over the same value sequence always matches.
+#[test]
+fn checksum_deterministic() {
+    for kind in KINDS {
+        for seed in 0..16u64 {
+            let mut rng = Rng64::new(0xdead_0000 + seed);
+            let values = random_values(&mut rng, 128, 0);
+            let mut a = RunningChecksum::new(kind);
+            let mut b = RunningChecksum::new(kind);
+            for &v in &values {
+                a.update(v);
+                b.update(v);
+            }
+            assert_eq!(a.value(), b.value(), "{kind} seed {seed}");
         }
-        prop_assert_eq!(a.value(), b.value());
-    }
-
-    /// Dropping any single non-zero value to zero (a lost store over a
-    /// fresh output) is detected by every code.
-    #[test]
-    fn checksum_detects_lost_store(
-        kind in kind_strategy(),
-        values in prop::collection::vec(1u64..u64::MAX, 1..96),
-        idx in any::<prop::sample::Index>(),
-    ) {
-        let i = idx.index(values.len());
-        let mut clean = RunningChecksum::new(kind);
-        let mut lost = RunningChecksum::new(kind);
-        for (k, &v) in values.iter().enumerate() {
-            clean.update(v);
-            lost.update(if k == i { 0 } else { v });
-        }
-        prop_assert_ne!(clean.value(), lost.value(), "lost store at {} undetected", i);
-    }
-
-    /// A single bit flip anywhere is detected by every code.
-    #[test]
-    fn checksum_detects_bit_flip(
-        kind in kind_strategy(),
-        values in prop::collection::vec(any::<u64>(), 1..96),
-        idx in any::<prop::sample::Index>(),
-        bit in 0u32..64,
-    ) {
-        let i = idx.index(values.len());
-        let mut clean = RunningChecksum::new(kind);
-        let mut flipped = RunningChecksum::new(kind);
-        for (k, &v) in values.iter().enumerate() {
-            clean.update(v);
-            flipped.update(if k == i { v ^ (1u64 << bit) } else { v });
-        }
-        prop_assert_ne!(clean.value(), flipped.value());
     }
 }
 
-proptest! {
-    // Full simulated crash/recovery runs are slower: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Dropping any single non-zero value to zero (a lost store over a fresh
+/// output) is detected by every code.
+#[test]
+fn checksum_detects_lost_store() {
+    for kind in KINDS {
+        for seed in 0..16u64 {
+            let mut rng = Rng64::new(0xbeef_0000 + seed);
+            let mut values = random_values(&mut rng, 96, 1);
+            for v in values.iter_mut() {
+                *v = (*v).max(1); // non-zero so zeroing is a real corruption
+            }
+            let i = rng.below(values.len());
+            let mut clean = RunningChecksum::new(kind);
+            let mut lost = RunningChecksum::new(kind);
+            for (k, &v) in values.iter().enumerate() {
+                clean.update(v);
+                lost.update(if k == i { 0 } else { v });
+            }
+            assert_ne!(
+                clean.value(),
+                lost.value(),
+                "{kind} seed {seed}: lost store at {i} undetected"
+            );
+        }
+    }
+}
 
-    /// tmm + LP recovers the exact golden product from ANY crash point.
-    #[test]
-    fn tmm_lp_recovery_from_arbitrary_crash(ops in 1u64..40_000) {
+/// A single bit flip anywhere is detected by every code.
+#[test]
+fn checksum_detects_bit_flip() {
+    for kind in KINDS {
+        for seed in 0..16u64 {
+            let mut rng = Rng64::new(0xf11b_0000 + seed);
+            let values = random_values(&mut rng, 96, 1);
+            let i = rng.below(values.len());
+            let bit = rng.below(64);
+            let mut clean = RunningChecksum::new(kind);
+            let mut flipped = RunningChecksum::new(kind);
+            for (k, &v) in values.iter().enumerate() {
+                clean.update(v);
+                flipped.update(if k == i { v ^ (1u64 << bit) } else { v });
+            }
+            assert_ne!(
+                clean.value(),
+                flipped.value(),
+                "{kind} seed {seed}: bit {bit} flip at {i} undetected"
+            );
+        }
+    }
+}
+
+/// tmm + LP recovers the exact golden product from ANY crash point.
+#[test]
+fn tmm_lp_recovery_from_arbitrary_crash() {
+    let mut rng = Rng64::new(0x7711);
+    for case in 0..12 {
+        let ops = 1 + rng.below(40_000) as u64;
         let params = TmmParams::test_small();
         let mut machine = Machine::new(
             MachineConfig::default()
@@ -92,12 +111,16 @@ proptest! {
             tmm.recover(&mut machine);
         }
         machine.drain_caches();
-        prop_assert!(tmm.verify(&machine), "crash at {} ops", ops);
+        assert!(tmm.verify(&machine), "case {case}: crash at {ops} ops");
     }
+}
 
-    /// conv2d (idempotent regions) recovers from any crash point too.
-    #[test]
-    fn conv2d_lp_recovery_from_arbitrary_crash(ops in 1u64..20_000) {
+/// conv2d (idempotent regions) recovers from any crash point too.
+#[test]
+fn conv2d_lp_recovery_from_arbitrary_crash() {
+    let mut rng = Rng64::new(0xc0a2);
+    for case in 0..12 {
+        let ops = 1 + rng.below(20_000) as u64;
         let params = Conv2dParams::test_small();
         let mut machine = Machine::new(
             MachineConfig::default()
@@ -111,20 +134,22 @@ proptest! {
             conv.recover(&mut machine);
         }
         machine.drain_caches();
-        prop_assert!(conv.verify(&machine), "crash at {} ops", ops);
+        assert!(conv.verify(&machine), "case {case}: crash at {ops} ops");
     }
+}
 
-    /// Region associativity (Section III-C): under LP, regions may persist
-    /// in any order. Shuffling which thread owns which strip (a different
-    /// persist/execution order) never changes the final durable output.
-    #[test]
-    fn tmm_output_independent_of_region_order(threads in 1usize..5) {
+/// Region associativity (Section III-C): under LP, regions may persist in
+/// any order. Shuffling which thread owns which strip (a different
+/// persist/execution order) never changes the final durable output.
+#[test]
+fn tmm_output_independent_of_region_order() {
+    for threads in 1usize..5 {
         let mut params = TmmParams::test_small();
         params.threads = threads;
         let cfg = MachineConfig::default()
             .with_cores(threads)
             .with_nvmm_bytes(16 << 20);
         let run = lp_kernels::tmm::run(&cfg, params, Scheme::lazy_default());
-        prop_assert!(run.verified, "threads={}", threads);
+        assert!(run.verified, "threads={threads}");
     }
 }

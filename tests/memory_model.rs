@@ -1,6 +1,6 @@
-//! Golden-model property tests for the simulator's memory semantics:
-//! random operation sequences on random cache geometries, checked against
-//! a simple reference model.
+//! Golden-model tests for the simulator's memory semantics: random
+//! operation sequences (deterministic [`Rng64`] seed sweep) on random
+//! cache geometries, checked against a simple reference model.
 //!
 //! Invariants:
 //! 1. The *coherent* view always equals the reference (functional
@@ -14,7 +14,7 @@
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::Machine;
 use lp_sim::mem::PArray;
-use proptest::prelude::*;
+use lp_sim::rng::Rng64;
 use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone)]
@@ -29,15 +29,21 @@ enum Op {
     Fence(usize),
 }
 
-fn op_strategy(cores: usize, len: usize) -> impl Strategy<Value = Op> {
-    let c = 0..cores;
-    let i = 0..len;
-    prop_oneof![
-        4 => (c.clone(), i.clone(), any::<u16>()).prop_map(|(c, i, v)| Op::Store(c, i, v)),
-        3 => (c.clone(), i.clone()).prop_map(|(c, i)| Op::Load(c, i)),
-        2 => (c.clone(), i.clone()).prop_map(|(c, i)| Op::Flush(c, i)),
-        1 => c.prop_map(Op::Fence),
-    ]
+/// Weighted random op: stores 4, loads 3, flushes 2, fences 1.
+fn random_op(rng: &mut Rng64, cores: usize, len: usize) -> Op {
+    let c = rng.below(cores);
+    let i = rng.below(len);
+    match rng.below(10) {
+        0..=3 => Op::Store(c, i, rng.below(1 << 16) as u16),
+        4..=6 => Op::Load(c, i),
+        7..=8 => Op::Flush(c, i),
+        _ => Op::Fence(c),
+    }
+}
+
+fn random_ops(rng: &mut Rng64, cores: usize, len: usize, max_ops: usize) -> Vec<Op> {
+    let n = rng.range_inclusive(1, max_ops);
+    (0..n).map(|_| random_op(rng, cores, len)).collect()
 }
 
 /// Encode (index, tag, sequence) into a unique u64 so torn values are
@@ -105,61 +111,61 @@ fn apply_ops(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_ops_preserve_coherence_and_crash_semantics(
-        ops in prop::collection::vec(op_strategy(3, 48), 1..300),
-        l1_pow in 1usize..5,
-        l2_pow in 3usize..7,
-    ) {
+#[test]
+fn random_ops_preserve_coherence_and_crash_semantics() {
+    for seed in 0..48u64 {
+        let mut rng = Rng64::new(0x3e3e_0000 + seed);
+        let ops = random_ops(&mut rng, 3, 48, 300);
+        let l1_pow = rng.range_inclusive(1, 4);
+        let l2_pow = rng.range_inclusive(3, 6);
         let cfg = MachineConfig::default()
             .with_cores(3)
             .with_l1_bytes((1 << l1_pow) * 512)
             .with_l2_bytes((1 << l2_pow) * 1024)
             .with_nvmm_bytes(1 << 20);
-        prop_assume!(cfg.validate().is_ok());
+        if cfg.validate().is_err() {
+            continue;
+        }
         let mut m = Machine::new(cfg);
         let arr = m.alloc::<u64>(48).unwrap();
         let (reference, ever, durable_certain) = apply_ops(&mut m, arr, &ops);
 
         // (0) Structural MESI invariants hold after any op sequence.
-        prop_assert_eq!(m.mem().check_invariants(), Ok(()));
+        assert_eq!(m.mem().check_invariants(), Ok(()));
 
         // (1) Coherent view equals the reference everywhere.
-        for i in 0..arr.len() {
-            prop_assert_eq!(m.peek_coherent(arr, i), reference[i], "coherent {}", i);
+        for (i, &want) in reference.iter().enumerate() {
+            assert_eq!(m.peek_coherent(arr, i), want, "seed {seed}: coherent {i}");
         }
 
         // Crash: caches discarded.
         m.mem_mut().force_crash();
         m.mem_mut().acknowledge_crash();
-        prop_assert_eq!(m.mem().check_invariants(), Ok(()));
+        assert_eq!(m.mem().check_invariants(), Ok(()));
 
-        for i in 0..arr.len() {
+        for (i, &want) in reference.iter().enumerate() {
             let v = m.peek(arr, i);
             // (2) Durable value is something the program stored (or 0).
             if v != 0 {
-                prop_assert!(
+                assert!(
                     ever.get(&i).is_some_and(|s| s.contains(&v)),
-                    "index {} holds garbage {:#x}",
-                    i,
-                    v
+                    "seed {seed}: index {i} holds garbage {v:#x}"
                 );
             }
             // (3) Flushed-after-last-store values survive exactly.
             if durable_certain.contains(&i) {
-                prop_assert_eq!(v, reference[i], "persisted index {} lost", i);
+                assert_eq!(v, want, "seed {seed}: persisted index {i} lost");
             }
         }
     }
+}
 
-    /// Drains never change the coherent view, and make it durable.
-    #[test]
-    fn drain_is_transparent_and_durable(
-        ops in prop::collection::vec(op_strategy(2, 32), 1..150),
-    ) {
+/// Drains never change the coherent view, and make it durable.
+#[test]
+fn drain_is_transparent_and_durable() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(0xd4a1_0000 + seed);
+        let ops = random_ops(&mut rng, 2, 32, 150);
         let cfg = MachineConfig::default()
             .with_cores(2)
             .with_nvmm_bytes(1 << 20);
@@ -167,15 +173,15 @@ proptest! {
         let arr = m.alloc::<u64>(32).unwrap();
         let (reference, _, _) = apply_ops(&mut m, arr, &ops);
         m.drain_caches();
-        for i in 0..arr.len() {
-            prop_assert_eq!(m.peek_coherent(arr, i), reference[i]);
-            prop_assert_eq!(m.peek(arr, i), reference[i]);
+        for (i, &want) in reference.iter().enumerate() {
+            assert_eq!(m.peek_coherent(arr, i), want, "seed {seed}");
+            assert_eq!(m.peek(arr, i), want, "seed {seed}");
         }
         // After a drain, even a crash loses nothing.
         m.mem_mut().force_crash();
         m.mem_mut().acknowledge_crash();
-        for i in 0..arr.len() {
-            prop_assert_eq!(m.peek(arr, i), reference[i]);
+        for (i, &want) in reference.iter().enumerate() {
+            assert_eq!(m.peek(arr, i), want, "seed {seed}");
         }
     }
 }

@@ -31,7 +31,10 @@ fn lazy_uses_no_flushes_barriers_or_logs_on_any_kernel() {
         assert_eq!(t.flushes, 0, "{kernel}: LP must not flush");
         assert_eq!(t.writebacks_issued, 0, "{kernel}: LP must not clwb");
         assert_eq!(t.fences, 0, "{kernel}: LP must not fence");
-        assert_eq!(t.fence_stall_cycles, 0, "{kernel}: LP must not stall on barriers");
+        assert_eq!(
+            t.fence_stall_cycles, 0,
+            "{kernel}: LP must not stall on barriers"
+        );
         assert_eq!(run.stats.mem.nvmm_writes_flush, 0, "{kernel}");
     }
 }
@@ -83,7 +86,10 @@ fn lazy_relies_on_natural_evictions_for_durability() {
         "nothing evicted yet: durable image incomplete"
     );
     machine.drain_caches();
-    assert!(tmm.verify(&machine), "after writeback the image is complete");
+    assert!(
+        tmm.verify(&machine),
+        "after writeback the image is complete"
+    );
 }
 
 #[test]

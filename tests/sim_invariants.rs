@@ -4,10 +4,7 @@
 use lp_sim::cleaner::CleanerConfig;
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, Outcome};
-use lp_sim::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lp_sim::rng::Rng64;
 
 fn machine(cores: usize) -> Machine {
     Machine::new(
@@ -155,53 +152,59 @@ fn coherence_keeps_values_exact_under_heavy_sharing() {
     assert!(s.mem.coherence_invalidations > 0 || s.mem.coherence_recalls > 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Functional correctness is independent of cache geometry: any legal
-    /// L1/L2 size produces the same durable values after a drain.
-    #[test]
-    fn geometry_independence(l1_kb in 1usize..9, l2_kb in 2usize..17) {
-        let l1 = (1 << l1_kb).min(64) * 1024;
-        let l2 = (1 << l2_kb).max(8) * 1024;
-        let cfg = MachineConfig::default()
-            .with_cores(2)
-            .with_l1_bytes(l1)
-            .with_l2_bytes(l2.max(l1))
-            .with_nvmm_bytes(8 << 20);
-        if cfg.validate().is_err() {
-            return Ok(());
-        }
-        let mut m = Machine::new(cfg);
-        let arr = m.alloc::<u64>(1024).unwrap();
-        let mut plans = m.plans();
-        for (t, plan) in plans.iter_mut().enumerate() {
-            plan.region(move |ctx| {
-                for i in (t * 512)..((t + 1) * 512) {
-                    ctx.store(arr, i, (i as u64).wrapping_mul(2654435761));
-                }
-            });
-        }
-        m.run(plans);
-        m.drain_caches();
-        for i in 0..1024 {
-            prop_assert_eq!(m.peek(arr, i), (i as u64).wrapping_mul(2654435761));
+/// Functional correctness is independent of cache geometry: any legal
+/// L1/L2 size produces the same durable values after a drain.
+#[test]
+fn geometry_independence() {
+    for l1_kb in 1usize..9 {
+        for l2_kb in 2usize..17 {
+            let l1 = (1 << l1_kb).min(64) * 1024;
+            let l2 = (1 << l2_kb).max(8) * 1024;
+            let cfg = MachineConfig::default()
+                .with_cores(2)
+                .with_l1_bytes(l1)
+                .with_l2_bytes(l2.max(l1))
+                .with_nvmm_bytes(8 << 20);
+            if cfg.validate().is_err() {
+                continue;
+            }
+            let mut m = Machine::new(cfg);
+            let arr = m.alloc::<u64>(1024).unwrap();
+            let mut plans = m.plans();
+            for (t, plan) in plans.iter_mut().enumerate() {
+                plan.region(move |ctx| {
+                    for i in (t * 512)..((t + 1) * 512) {
+                        ctx.store(arr, i, (i as u64).wrapping_mul(2654435761));
+                    }
+                });
+            }
+            m.run(plans);
+            m.drain_caches();
+            for i in 0..1024 {
+                assert_eq!(
+                    m.peek(arr, i),
+                    (i as u64).wrapping_mul(2654435761),
+                    "l1={l1} l2={l2} element {i}"
+                );
+            }
         }
     }
+}
 
-    /// Poke/peek round-trips bit patterns exactly through the image.
-    #[test]
-    fn poke_peek_bit_exact(seed in any::<u64>()) {
+/// Poke/peek round-trips bit patterns exactly through the image.
+#[test]
+fn poke_peek_bit_exact() {
+    for seed in 0..32u64 {
         let mut m = machine(1);
         let arr = m.alloc::<f64>(64).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let vals: Vec<f64> = (0..64).map(|_| f64::from_bits(rng.gen())).collect();
+        let mut rng = Rng64::new(0x9e37_0000 + seed);
+        let vals: Vec<f64> = (0..64).map(|_| f64::from_bits(rng.next_u64())).collect();
         for (i, &v) in vals.iter().enumerate() {
             m.poke(arr, i, v);
         }
         for (i, &v) in vals.iter().enumerate() {
             let got = m.peek(arr, i);
-            prop_assert_eq!(got.to_bits(), v.to_bits());
+            assert_eq!(got.to_bits(), v.to_bits(), "seed {seed} element {i}");
         }
     }
 }
