@@ -11,12 +11,18 @@ echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
-cargo build --release
+cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test -q --workspace
 
 echo "== lp-check mutation suite =="
 cargo run --release -q -p lp-check -- --mutations
+
+echo "== lp-crashmc smoke: kernels recover on every sampled crash state =="
+cargo run --release -q -p lp-crashmc -- --budget smoke
+
+echo "== lp-crashmc smoke: every discipline mutation is flagged =="
+cargo run --release -q -p lp-crashmc -- --mutations --budget exhaustive
 
 echo "ci.sh: all gates passed"

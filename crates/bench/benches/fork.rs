@@ -1,0 +1,89 @@
+//! Micro-benchmarks of copy-on-write NVMM forking — the operation the
+//! `lp-crashmc` model checker performs once per explored crash state.
+//! Reports fork cost against a deep copy of the same image, plus the
+//! overlay-write penalty a forked (shared-base) image pays, so the
+//! checker's per-state overhead stays accountable.
+//!
+//! Run: `cargo bench -p lp-bench --bench fork`.
+
+use lp_sim::addr::{LineAddr, LINE_BYTES};
+use lp_sim::mem::Nvmm;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `body` for about half a second and report ns per call.
+fn bench(name: &str, mut body: impl FnMut()) -> f64 {
+    for _ in 0..10 {
+        body(); // warm
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 500 {
+        body();
+        iters += 1;
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("  {:24} {:10.1} ns/call", name, per_call);
+    per_call
+}
+
+fn image(bytes: usize) -> Nvmm {
+    let mut img = Nvmm::new(bytes);
+    // Touch a spread of lines so the image is not trivially zero.
+    let buf = [0xA5u8; LINE_BYTES];
+    for i in (0..bytes / LINE_BYTES).step_by(64) {
+        img.write_line(LineAddr(i as u64), &buf);
+    }
+    img
+}
+
+fn deep_copy(src: &Nvmm) -> Nvmm {
+    let mut out = Nvmm::new(src.capacity());
+    let mut buf = [0u8; LINE_BYTES];
+    for i in 0..src.capacity() / LINE_BYTES {
+        src.read_line(LineAddr(i as u64), &mut buf);
+        out.write_line(LineAddr(i as u64), &buf);
+    }
+    out
+}
+
+fn main() {
+    for mib in [1usize, 16, 64] {
+        let bytes = mib << 20;
+        println!("nvmm image: {mib} MiB");
+        let src = image(bytes);
+
+        let cow = bench("cow_fork", || {
+            black_box(src.fork());
+        });
+
+        // One fork per crash state plus a census-sized set of line
+        // patches — what `CrashCensus::materialize` actually does.
+        let patch = [0x5Au8; LINE_BYTES];
+        bench("fork_plus_8_patches", || {
+            let mut img = src.fork();
+            for l in 0..8u64 {
+                img.write_line(LineAddr(l * 97), &patch);
+            }
+            black_box(&img);
+        });
+
+        // Writes against a shared base land in the overlay map instead of
+        // the flat image: the price recovery pays on a forked machine.
+        let mut forked = src.fork();
+        let _keep_shared = src.fork();
+        let mut l = 0u64;
+        bench("overlay_write", || {
+            forked.write_line(LineAddr(l % 1024), &patch);
+            l += 1;
+        });
+
+        let deep = bench("deep_copy", || {
+            black_box(deep_copy(&src));
+        });
+        println!(
+            "  cow fork is {:.0}x cheaper than a deep copy at {mib} MiB\n",
+            deep / cow.max(1.0)
+        );
+    }
+}

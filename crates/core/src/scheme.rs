@@ -297,6 +297,22 @@ impl ThreadPersist {
         }
     }
 
+    /// This thread's durable progress marker, read through the timed
+    /// memory system (`Eager` stores it in `markers`, `Wal` inside its
+    /// arena header).
+    ///
+    /// During recovery this must be read *after* [`Self::wal_recover`]:
+    /// `Wal` commits log the marker's undo pair, so rolling back an
+    /// interrupted transaction rewinds the marker too. A marker read
+    /// before the rollback can claim a region whose effects were just
+    /// undone, and recovery would silently skip re-executing it.
+    pub fn marker(&self, ctx: &mut CoreCtx<'_>) -> u64 {
+        match self.scheme {
+            Scheme::Wal => self.arena.map(|a| a.marker(ctx)).unwrap_or_default(),
+            _ => ctx.load(self.markers, self.tid),
+        }
+    }
+
     /// Roll back an interrupted WAL transaction if one exists (no-op for
     /// other schemes). Returns the number of undone stores.
     pub fn wal_recover(&self, ctx: &mut CoreCtx<'_>) -> usize {

@@ -1,0 +1,52 @@
+//! The paper's kernels wired into the model checker.
+
+use lp_core::checksum::ChecksumKind;
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{prepare_kernel, KernelId, Scale};
+use lp_sim::config::MachineConfig;
+
+use crate::mc::{CheckCase, PreparedCase};
+
+/// The recoverable schemes the checker proves (Base has no recovery and
+/// LazyEagerCk is an ablation of Lazy's commit path, already covered).
+pub const CLEAN_SCHEMES: [Scheme; 3] = [
+    Scheme::Lazy(ChecksumKind::Modular),
+    Scheme::Eager,
+    Scheme::Wal,
+];
+
+/// The machine configuration every kernel case runs under.
+pub fn default_config() -> MachineConfig {
+    MachineConfig::default().with_nvmm_bytes(4 << 20)
+}
+
+/// Build the check case for one kernel under one scheme at `scale`.
+///
+/// The factory re-prepares the kernel for every replay: setup is
+/// deterministic (seeded inputs), so each instance traces identically.
+pub fn kernel_case(kernel: KernelId, scheme: Scheme, scale: Scale) -> CheckCase {
+    let cfg = default_config();
+    CheckCase {
+        name: format!("{kernel}/{scheme}"),
+        build: Box::new(move || {
+            let pk = prepare_kernel(kernel, scale, &cfg, scheme);
+            PreparedCase {
+                machine: pk.machine,
+                plans: pk.plans,
+                recover: pk.recover,
+                verify: pk.verify,
+            }
+        }),
+    }
+}
+
+/// Every kernel × clean-scheme case at `scale`, in figure order.
+pub fn all_kernel_cases(scale: Scale) -> Vec<CheckCase> {
+    let mut out = Vec::new();
+    for kernel in KernelId::ALL {
+        for scheme in CLEAN_SCHEMES {
+            out.push(kernel_case(kernel, scheme, scale));
+        }
+    }
+    out
+}

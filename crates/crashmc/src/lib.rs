@@ -1,0 +1,30 @@
+//! # lp-crashmc — the crash-state model checker
+//!
+//! Proves a persistency scheme's recovery correct over *every* NVMM state
+//! reachable from a crash, not just the handful a randomized campaign
+//! happens to visit. For each workload the checker replays execution up
+//! to every crash point (each store, flush, fence, and region commit),
+//! takes the [`lp_sim::memsys::CrashCensus`] of maybe-durable lines at
+//! that point, and forks one machine per reachable subset of the census
+//! (bounded exhaustive up to `K` undetermined lines, deterministic seeded
+//! sampling beyond). The scheme's real recovery then runs on each fork
+//! and the durable output must come back bit-identical to a crash-free
+//! reference — anything else is reported as silent corruption (recovery
+//! "succeeded" on wrong data) or a stuck state (recovery panicked).
+//!
+//! Three layers:
+//!
+//! - [`mc`] — the engine: crash-point discovery, budget selection, census
+//!   subset enumeration, fork/recover/verify classification.
+//! - [`cases`] — the paper's five kernels × {LP, EagerRecompute, WAL}
+//!   wired into the engine through [`lp_kernels::driver::prepare_kernel`].
+//! - [`mutations`] — seven single-discipline-bug workloads (one per
+//!   `lp-check` rule violation) for which the checker must find at least
+//!   one corrupt-or-stuck crash state each, proving the model has teeth.
+//!
+//! See `DESIGN.md` ("Correctness tooling") for the ADR crash model and
+//! the definition of "reachable state".
+#![deny(missing_docs)]
+pub mod cases;
+pub mod mc;
+pub mod mutations;

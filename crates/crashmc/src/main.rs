@@ -1,0 +1,249 @@
+//! `lp-crashmc` — prove recovery correct over every reachable crash
+//! state, or print the states where it is not.
+
+use lp_core::checksum::ChecksumKind;
+use lp_core::scheme::Scheme;
+use lp_crashmc::cases::{all_kernel_cases, kernel_case, CLEAN_SCHEMES};
+use lp_crashmc::mc::{check_case, Budget, BudgetMode, CheckCase, McReport};
+use lp_crashmc::mutations;
+use lp_kernels::driver::{KernelId, Scale};
+
+const USAGE: &str = "\
+lp-crashmc: exhaustive crash-state model checker for the persistency schemes
+
+USAGE:
+  lp-crashmc [OPTIONS]               check kernels x {LP, EP, WAL}
+  lp-crashmc --mutations [OPTIONS]   check the seven discipline mutations
+                                     (each must yield >= 1 corrupt/stuck state)
+
+OPTIONS:
+  --budget MODE     exhaustive | sampled | smoke      [default: sampled]
+  --points N        crash points per case under sampled [default: 48]
+  --k K             census bound: up to 2^K states per crash point [default: 4]
+  --seed S          seed for every sampling decision  [default: 42]
+  --kernel NAME     tmm | cholesky | conv2d | gauss | fft | all [default: all]
+  --scheme NAME     lazy | eager | wal | all          [default: all]
+  --scale NAME      micro | test                      [default: micro]
+  --list            list the cases that would run, then exit
+  --help            this text
+
+EXIT STATUS:
+  0  all explored states recovered consistently (or, with --mutations,
+     every mutation was flagged); 1 otherwise.";
+
+struct Args {
+    budget: Budget,
+    seed: u64,
+    kernel: Option<KernelId>,
+    scheme: Option<Scheme>,
+    scale: Scale,
+    mutations: bool,
+    list: bool,
+}
+
+fn parse_args() -> Args {
+    let mut budget_mode = None;
+    let mut points = 48usize;
+    let mut out = Args {
+        budget: Budget {
+            mode: BudgetMode::Sampled(48),
+            k: 4,
+        },
+        seed: 42,
+        kernel: None,
+        scheme: None,
+        scale: Scale::Micro,
+        mutations: false,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value\n\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget" => {
+                budget_mode = Some(match value(&mut args, "--budget").as_str() {
+                    "exhaustive" => BudgetMode::Exhaustive,
+                    "sampled" => BudgetMode::Sampled(points),
+                    "smoke" => BudgetMode::Smoke,
+                    other => {
+                        eprintln!("unknown budget {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            "--points" => {
+                points = value(&mut args, "--points").parse().unwrap_or_else(|_| {
+                    eprintln!("--points needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--k" => {
+                out.budget.k = value(&mut args, "--k").parse().unwrap_or_else(|_| {
+                    eprintln!("--k needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                out.seed = value(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--kernel" => {
+                out.kernel = match value(&mut args, "--kernel").as_str() {
+                    "all" => None,
+                    "tmm" => Some(KernelId::Tmm),
+                    "cholesky" => Some(KernelId::Cholesky),
+                    "conv2d" => Some(KernelId::Conv2d),
+                    "gauss" => Some(KernelId::Gauss),
+                    "fft" => Some(KernelId::Fft),
+                    other => {
+                        eprintln!("unknown kernel {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scheme" => {
+                out.scheme = match value(&mut args, "--scheme").as_str() {
+                    "all" => None,
+                    "lazy" => Some(Scheme::Lazy(ChecksumKind::Modular)),
+                    "eager" => Some(Scheme::Eager),
+                    "wal" => Some(Scheme::Wal),
+                    other => {
+                        eprintln!("unknown scheme {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scale" => {
+                out.scale = match value(&mut args, "--scale").as_str() {
+                    "micro" => Scale::Micro,
+                    "test" => Scale::Test,
+                    other => {
+                        eprintln!("unknown scale {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--mutations" => out.mutations = true,
+            "--list" => out.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(mode) = budget_mode {
+        out.budget.mode = if let BudgetMode::Sampled(_) = mode {
+            BudgetMode::Sampled(points)
+        } else {
+            mode
+        };
+    } else {
+        out.budget.mode = BudgetMode::Sampled(points);
+    }
+    out
+}
+
+fn select_cases(args: &Args) -> Vec<CheckCase> {
+    if args.mutations {
+        return mutations::all();
+    }
+    match (args.kernel, args.scheme) {
+        (None, None) => all_kernel_cases(args.scale),
+        (k, s) => {
+            let kernels: Vec<_> = k.map_or_else(|| KernelId::ALL.to_vec(), |k| vec![k]);
+            let schemes: Vec<_> = s.map_or_else(|| CLEAN_SCHEMES.to_vec(), |s| vec![s]);
+            let mut out = Vec::new();
+            for &kernel in &kernels {
+                for &scheme in &schemes {
+                    out.push(kernel_case(kernel, scheme, args.scale));
+                }
+            }
+            out
+        }
+    }
+}
+
+fn print_report(r: &McReport, expect_flagged: bool) {
+    let verdict = match (expect_flagged, r.flagged()) {
+        (false, false) => "CLEAN",
+        (false, true) => "FAIL",
+        (true, true) => "FLAGGED",
+        (true, false) => "MISSED",
+    };
+    println!("{}  {}", r.summary_line(), verdict);
+    for ex in &r.examples {
+        println!(
+            "    {:?} at op {} (census {}, subset {})",
+            ex.class, ex.op, ex.census, ex.subset
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cases = select_cases(&args);
+    if args.list {
+        for c in &cases {
+            println!("{}", c.name);
+        }
+        return;
+    }
+    println!(
+        "lp-crashmc: {} case(s), budget {:?}, k {}, seed {}",
+        cases.len(),
+        args.budget.mode,
+        args.budget.k,
+        args.seed
+    );
+
+    // Recovery legitimately panics on some corrupt images ("stuck"
+    // states); the checker catches those unwinds, so keep the default
+    // hook from spamming the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let reports: Vec<McReport> = cases
+        .iter()
+        .map(|c| check_case(c, &args.budget, args.seed))
+        .collect();
+    let _ = std::panic::take_hook();
+
+    let mut failed = false;
+    for r in &reports {
+        print_report(r, args.mutations);
+        failed |= if args.mutations {
+            !r.flagged()
+        } else {
+            r.flagged()
+        };
+    }
+    let states: u64 = reports.iter().map(|r| r.states_checked).sum();
+    if args.mutations {
+        let flagged = reports.iter().filter(|r| r.flagged()).count();
+        println!(
+            "{}/{} mutations flagged across {} crash states",
+            flagged,
+            reports.len(),
+            states
+        );
+    } else {
+        println!(
+            "{} crash states explored, {} corrupt, {} stuck",
+            states,
+            reports.iter().map(|r| r.corrupt).sum::<u64>(),
+            reports.iter().map(|r| r.stuck).sum::<u64>(),
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,427 @@
+//! The model-checking engine: replay to a crash point, enumerate the
+//! reachable NVMM states, run real recovery on each, classify.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use lp_core::recovery::RecoveryStats;
+use lp_sim::machine::{Machine, Outcome, ThreadPlan};
+use lp_sim::memsys::CrashTrigger;
+use lp_sim::observe::{EventSink, MemEvent};
+use lp_sim::rng::Rng64;
+
+/// One freshly-built, never-run instance of a checked workload.
+///
+/// The machine is *not* clonable (plans hold `FnOnce` region closures),
+/// so the checker rebuilds the case from its factory for every replay;
+/// determinism of the simulator guarantees each rebuild behaves
+/// identically.
+pub struct PreparedCase {
+    /// The machine with the workload's data initialized.
+    pub machine: Machine,
+    /// One plan per logical core.
+    pub plans: Vec<ThreadPlan<'static>>,
+    /// The scheme's real crash recovery (run on a forked post-crash
+    /// image before `verify`).
+    pub recover: Box<dyn Fn(&mut Machine) -> RecoveryStats>,
+    /// Checks the durable image against the crash-free expectation.
+    pub verify: Box<dyn Fn(&Machine) -> bool>,
+}
+
+/// A checkable workload: a name plus a factory producing fresh,
+/// identically-behaving instances.
+pub struct CheckCase {
+    /// Display name (`TMM/LP(modular)`, `mut:ep_skip_fence`, ...).
+    pub name: String,
+    /// Builds one fresh instance per replay.
+    pub build: Box<dyn Fn() -> PreparedCase>,
+}
+
+/// How many crash points to visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetMode {
+    /// Every discovered crash point.
+    Exhaustive,
+    /// A deterministic seeded sample of this many points (first and last
+    /// always included).
+    Sampled(usize),
+    /// A fixed tiny sample for CI gates.
+    Smoke,
+}
+
+/// Points visited under [`BudgetMode::Smoke`].
+pub const SMOKE_POINTS: usize = 12;
+
+/// The checker's exploration budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Crash-point selection policy.
+    pub mode: BudgetMode,
+    /// Census-size bound: up to `2^k` subsets per crash point. Censuses
+    /// with at most `k` undetermined lines are enumerated exhaustively;
+    /// larger ones are sampled (empty and full subsets always included).
+    pub k: u32,
+}
+
+impl Budget {
+    fn mode_name(&self) -> String {
+        match self.mode {
+            BudgetMode::Exhaustive => "exhaustive".into(),
+            BudgetMode::Sampled(n) => format!("sampled({n})"),
+            BudgetMode::Smoke => format!("smoke({SMOKE_POINTS})"),
+        }
+    }
+}
+
+/// Verdict for one materialized post-crash state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateClass {
+    /// Recovery restored the crash-free output exactly.
+    Consistent,
+    /// Recovery finished but the durable output is wrong.
+    Corrupt,
+    /// Recovery panicked (could not make progress on this image).
+    Stuck,
+}
+
+/// One bad state, kept as a reproducible example.
+#[derive(Debug, Clone)]
+pub struct BadState {
+    /// The crash point (memory-operation index the crash fired after).
+    pub op: u64,
+    /// Census size at that point.
+    pub census: usize,
+    /// The selected subset, as a bit string (`entries[i]` = char `i`).
+    pub subset: String,
+    /// What went wrong.
+    pub class: StateClass,
+}
+
+/// The outcome of checking one case.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// The case's display name.
+    pub case_name: String,
+    /// Seed every sampling decision derived from.
+    pub seed: u64,
+    /// Census-size bound used.
+    pub k: u32,
+    /// Budget mode description.
+    pub mode: String,
+    /// Crash points discovered in the workload.
+    pub points_total: usize,
+    /// Crash points actually visited (the selected list).
+    pub points: Vec<u64>,
+    /// Largest census met at any visited point.
+    pub max_census: usize,
+    /// Post-crash states materialized and recovered.
+    pub states_checked: u64,
+    /// States whose recovery restored the reference output.
+    pub consistent: u64,
+    /// States with silent corruption after recovery.
+    pub corrupt: u64,
+    /// States on which recovery panicked.
+    pub stuck: u64,
+    /// Up to [`Self::MAX_EXAMPLES`] reproducible bad states.
+    pub examples: Vec<BadState>,
+}
+
+impl McReport {
+    /// How many bad-state examples a report retains.
+    pub const MAX_EXAMPLES: usize = 4;
+
+    /// `true` when every explored state recovered consistently.
+    pub fn clean(&self) -> bool {
+        self.corrupt == 0 && self.stuck == 0
+    }
+
+    /// `true` when at least one corrupt-or-stuck state was found (what a
+    /// mutation run must produce).
+    pub fn flagged(&self) -> bool {
+        !self.clean()
+    }
+
+    /// One summary line for tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<28} points {:>5}/{:<5} states {:>7}  corrupt {:>5}  stuck {:>3}  max-census {:>3}",
+            self.case_name,
+            self.points.len(),
+            self.points_total,
+            self.states_checked,
+            self.corrupt,
+            self.stuck,
+            self.max_census,
+        )
+    }
+}
+
+/// Counts memory operations from the event stream and records which
+/// operation indices are crash-point candidates.
+///
+/// The simulator emits exactly one `Store`/`Load`/`Flush`/`Sfence` event
+/// per timed memory operation (the same call sites that advance the
+/// `mem_ops` crash clock), so the running event count *is* the operation
+/// index `CrashTrigger::AfterMemOps` fires on. Loads advance the clock
+/// but are skipped as candidates: a crash after a load exposes no NVMM
+/// write the preceding candidate did not already expose.
+#[derive(Default)]
+struct CrashPointScout {
+    op: u64,
+    candidates: Vec<u64>,
+}
+
+impl EventSink for CrashPointScout {
+    fn on_event(&mut self, ev: &MemEvent) {
+        match ev {
+            MemEvent::Store { .. } | MemEvent::Flush { .. } | MemEvent::Sfence { .. } => {
+                self.op += 1;
+                self.candidates.push(self.op);
+            }
+            MemEvent::Load { .. } => self.op += 1,
+            // The commit itself is not a timed op; crash right after its
+            // last constituent op (already pushed — kept for clarity and
+            // in case a scheme commits with zero ops).
+            MemEvent::RegionCommit { .. } if self.op > 0 => {
+                self.candidates.push(self.op);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Discover every crash-point candidate of `case` via one observed clean
+/// run.
+fn discover_points(case: &CheckCase) -> Vec<u64> {
+    let mut inst = (case.build)();
+    let scout = Rc::new(RefCell::new(CrashPointScout::default()));
+    inst.machine.set_observer(scout.clone());
+    let plans = std::mem::take(&mut inst.plans);
+    let out = inst.machine.run(plans);
+    inst.machine.clear_observer();
+    assert_eq!(
+        out,
+        Outcome::Completed,
+        "{}: discovery run crashed",
+        case.name
+    );
+    let mut pts = scout.borrow().candidates.clone();
+    pts.dedup();
+    pts
+}
+
+/// Apply the budget to the candidate list (deterministic in `seed`).
+fn select_points(candidates: &[u64], budget: &Budget, seed: u64) -> Vec<u64> {
+    let cap = match budget.mode {
+        BudgetMode::Exhaustive => return candidates.to_vec(),
+        BudgetMode::Sampled(n) => n.max(2),
+        BudgetMode::Smoke => SMOKE_POINTS,
+    };
+    if candidates.len() <= cap {
+        return candidates.to_vec();
+    }
+    // First and last always; the rest via a partial Fisher-Yates shuffle
+    // of the interior indices so the sample is without replacement.
+    let mut idx: Vec<usize> = (1..candidates.len() - 1).collect();
+    let mut rng = Rng64::new_stream(seed, u64::MAX);
+    let take = (cap - 2).min(idx.len());
+    for i in 0..take {
+        let j = i + rng.below(idx.len() - i);
+        idx.swap(i, j);
+    }
+    let mut sel = vec![candidates[0], *candidates.last().expect("nonempty")];
+    sel.extend(idx[..take].iter().map(|&i| candidates[i]));
+    sel.sort_unstable();
+    sel.dedup();
+    sel
+}
+
+/// Enumerate the census subsets to materialize at one crash point:
+/// all `2^m` when `m <= k`, else the empty and full subsets plus
+/// `2^k - 2` seeded random ones (stream = the crash point, so every
+/// point's sample is independent yet reproducible from `seed`).
+fn enumerate_subsets(m: usize, k: u32, seed: u64, point: u64) -> Vec<Vec<bool>> {
+    if (m as u32) <= k {
+        return (0..(1u64 << m))
+            .map(|mask| (0..m).map(|i| mask >> i & 1 == 1).collect())
+            .collect();
+    }
+    let mut out = vec![vec![false; m], vec![true; m]];
+    let mut rng = Rng64::new_stream(seed, point);
+    for _ in 0..(1usize << k).saturating_sub(2) {
+        out.push((0..m).map(|_| rng.chance(0.5)).collect());
+    }
+    out
+}
+
+fn subset_string(sel: &[bool]) -> String {
+    sel.iter().map(|&s| if s { '1' } else { '0' }).collect()
+}
+
+/// Model-check one case under `budget`, deriving every sampling decision
+/// from `seed`.
+///
+/// # Panics
+///
+/// Panics if the crash-free reference run fails to complete and verify —
+/// that means the *workload* is broken, not its recovery.
+pub fn check_case(case: &CheckCase, budget: &Budget, seed: u64) -> McReport {
+    // Crash-free reference: the workload must complete and verify on its
+    // own before any crash state is judged against it.
+    let mut reference = (case.build)();
+    let plans = std::mem::take(&mut reference.plans);
+    assert_eq!(
+        reference.machine.run(plans),
+        Outcome::Completed,
+        "{}: reference run did not complete",
+        case.name
+    );
+    reference.machine.drain_caches();
+    assert!(
+        (reference.verify)(&reference.machine),
+        "{}: crash-free reference run failed verification",
+        case.name
+    );
+
+    let candidates = discover_points(case);
+    let points = select_points(&candidates, budget, seed);
+
+    let mut report = McReport {
+        case_name: case.name.clone(),
+        seed,
+        k: budget.k,
+        mode: budget.mode_name(),
+        points_total: candidates.len(),
+        points: points.clone(),
+        max_census: 0,
+        states_checked: 0,
+        consistent: 0,
+        corrupt: 0,
+        stuck: 0,
+        examples: Vec::new(),
+    };
+
+    for &point in &points {
+        let mut inst = (case.build)();
+        inst.machine.set_adr_tracking(true);
+        inst.machine
+            .set_crash_trigger(CrashTrigger::AfterMemOps(point));
+        let plans = std::mem::take(&mut inst.plans);
+        if inst.machine.run(plans) != Outcome::Crashed {
+            // The candidate list came from an identical replay, so this
+            // only happens for a point past the last op; skip defensively.
+            continue;
+        }
+        let census = inst
+            .machine
+            .take_crash_census()
+            .expect("ADR tracking was enabled");
+        report.max_census = report.max_census.max(census.entries.len());
+
+        for sel in enumerate_subsets(census.entries.len(), budget.k, seed, point) {
+            let image = census.materialize_subset(&sel);
+            let mut post = inst.machine.fork_with_image(image);
+            let recover = &inst.recover;
+            let verify = &inst.verify;
+            let verdict = catch_unwind(AssertUnwindSafe(|| {
+                recover(&mut post);
+                post.drain_caches();
+                verify(&post)
+            }));
+            let class = match verdict {
+                Ok(true) => StateClass::Consistent,
+                Ok(false) => StateClass::Corrupt,
+                Err(_) => StateClass::Stuck,
+            };
+            report.states_checked += 1;
+            match class {
+                StateClass::Consistent => report.consistent += 1,
+                StateClass::Corrupt => report.corrupt += 1,
+                StateClass::Stuck => report.stuck += 1,
+            }
+            if class != StateClass::Consistent && report.examples.len() < McReport::MAX_EXAMPLES {
+                report.examples.push(BadState {
+                    op: point,
+                    census: census.entries.len(),
+                    subset: subset_string(&sel),
+                    class,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_enumeration_is_exhaustive_within_k() {
+        let subs = enumerate_subsets(3, 4, 1, 1);
+        assert_eq!(subs.len(), 8);
+        let distinct: std::collections::BTreeSet<_> = subs.iter().cloned().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn subset_sampling_is_seeded_and_anchored() {
+        let a = enumerate_subsets(10, 3, 7, 42);
+        let b = enumerate_subsets(10, 3, 7, 42);
+        assert_eq!(a, b, "same (seed, point) must sample the same subsets");
+        assert_eq!(a.len(), 8);
+        assert!(a.contains(&vec![false; 10]), "empty subset always present");
+        assert!(a.contains(&vec![true; 10]), "full subset always present");
+        let c = enumerate_subsets(10, 3, 7, 43);
+        assert_ne!(a, c, "a different crash point samples differently");
+    }
+
+    #[test]
+    fn point_selection_keeps_endpoints_and_is_deterministic() {
+        let cands: Vec<u64> = (1..=100).collect();
+        let budget = Budget {
+            mode: BudgetMode::Sampled(10),
+            k: 4,
+        };
+        let a = select_points(&cands, &budget, 5);
+        let b = select_points(&cands, &budget, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[0], 1);
+        assert_eq!(*a.last().unwrap(), 100);
+        let c = select_points(&cands, &budget, 6);
+        assert_ne!(a, c, "seed changes the interior sample");
+        let exhaustive = select_points(
+            &cands,
+            &Budget {
+                mode: BudgetMode::Exhaustive,
+                k: 4,
+            },
+            5,
+        );
+        assert_eq!(exhaustive, cands);
+    }
+
+    #[test]
+    fn sampled_reports_are_deterministic_per_seed() {
+        let case = crate::mutations::lp_skip_fold();
+        let budget = Budget {
+            mode: BudgetMode::Sampled(6),
+            k: 3,
+        };
+        let a = check_case(&case, &budget, 9);
+        let b = check_case(&case, &budget, 9);
+        assert_eq!(a.points, b.points);
+        assert_eq!(
+            (a.states_checked, a.consistent, a.corrupt, a.stuck),
+            (b.states_checked, b.consistent, b.corrupt, b.stuck),
+        );
+        let c = check_case(&case, &budget, 10);
+        assert_eq!(
+            c.points.first(),
+            a.points.first(),
+            "the first crash point is always visited"
+        );
+    }
+}

@@ -51,6 +51,18 @@ pub struct CholeskyParams {
 }
 
 impl CholeskyParams {
+    /// Smallest meaningful parameters, sized for exhaustive crash-state
+    /// model checking (one full replay per crash point).
+    pub fn micro() -> Self {
+        CholeskyParams {
+            n: 16,
+            bsize: 8,
+            threads: 2,
+            col_window: 2,
+            seed: 23,
+        }
+    }
+
     /// Parameters sized for fast unit tests.
     pub fn test_small() -> Self {
         CholeskyParams {
@@ -235,6 +247,7 @@ impl Cholesky {
         out
     }
 
+    /// Build the scheduled per-core work plans for one run.
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
         let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)

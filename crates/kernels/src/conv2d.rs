@@ -34,6 +34,18 @@ pub struct Conv2dParams {
 }
 
 impl Conv2dParams {
+    /// Smallest meaningful parameters, sized for exhaustive crash-state
+    /// model checking (one full replay per crash point).
+    pub fn micro() -> Self {
+        Conv2dParams {
+            n: 16,
+            bsize: 8,
+            threads: 2,
+            block_window: 1,
+            seed: 7,
+        }
+    }
+
     /// Parameters sized for fast unit tests.
     pub fn test_small() -> Self {
         Conv2dParams {
@@ -192,6 +204,7 @@ impl Conv2d {
         out
     }
 
+    /// Build the scheduled per-core work plans for one run.
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
             .map(|_| ThreadPlan::new())
@@ -281,26 +294,25 @@ impl Conv2d {
     fn recover_marker_based(&self, machine: &mut Machine) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
         let owners = self.ownership();
-        let completed: Vec<usize> = (0..self.params.threads)
-            .map(|t| {
-                let marker = self.handles.thread(t).peek_marker(machine);
-                if marker == 0 {
-                    0
-                } else {
-                    owners[t]
-                        .iter()
-                        .position(|&b| b == (marker - 1) as usize)
-                        .map_or(0, |p| p + 1)
-                }
-            })
-            .collect();
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
         for (t, owned) in owners.iter().enumerate() {
             let tp = self.handles.thread(t);
             tp.wal_recover(&mut ctx);
+            // Read the marker only after the rollback: a WAL commit logs
+            // the marker's undo pair, so undoing an interrupted
+            // transaction rewinds the marker with it (no-op under EP).
+            let marker = tp.marker(&mut ctx);
+            let completed = if marker == 0 {
+                0
+            } else {
+                owned
+                    .iter()
+                    .position(|&b| b == (marker - 1) as usize)
+                    .map_or(0, |p| p + 1)
+            };
             stats.regions_checked += owned.len() as u64;
-            for &block in &owned[completed[t]..] {
+            for &block in &owned[completed..] {
                 let mut rs = tp.begin(&mut ctx, block);
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, block, &mut sink);

@@ -53,6 +53,9 @@ impl std::fmt::Display for KernelId {
 /// Problem scale for dispatched runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Smallest meaningful inputs, sized so exhaustive crash-state model
+    /// checking (one replay per crash point) stays tractable.
+    Micro,
     /// Tiny inputs for unit/integration tests (sub-second per run).
     Test,
     /// Bench-default inputs mirroring the paper's simulation windows
@@ -78,6 +81,9 @@ pub struct PreparedKernel {
     /// Checks the durable image against the host golden reference (call
     /// after the run completed and caches were drained).
     pub verify: Box<dyn Fn(&Machine) -> bool>,
+    /// Runs the scheme's real crash recovery on the machine (call after a
+    /// crash, before `verify`); returns the recovery statistics.
+    pub recover: Box<dyn Fn(&mut Machine) -> lp_core::recovery::RecoveryStats>,
 }
 
 impl std::fmt::Debug for PreparedKernel {
@@ -104,6 +110,7 @@ pub fn prepare_kernel(
     match kernel {
         KernelId::Tmm => {
             let params = match scale {
+                Scale::Micro => crate::tmm::TmmParams::micro(),
                 Scale::Test => crate::tmm::TmmParams::test_small(),
                 Scale::Bench => crate::tmm::TmmParams::bench_default(),
                 Scale::Paper => crate::tmm::TmmParams::paper_default(),
@@ -111,16 +118,19 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::tmm::Tmm::setup(&mut machine, params, scheme).expect("tmm setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let k2 = k.clone();
             PreparedKernel {
                 machine,
                 plans,
                 ranges,
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
+                recover: Box::new(move |m| k2.recover(m)),
             }
         }
         KernelId::Cholesky => {
             let params = match scale {
+                Scale::Micro => crate::cholesky::CholeskyParams::micro(),
                 Scale::Test => crate::cholesky::CholeskyParams::test_small(),
                 Scale::Bench => crate::cholesky::CholeskyParams::bench_default(),
                 Scale::Paper => crate::cholesky::CholeskyParams::paper_default(),
@@ -129,16 +139,19 @@ pub fn prepare_kernel(
             let k = crate::cholesky::Cholesky::setup(&mut machine, params, scheme)
                 .expect("cholesky setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let k2 = k.clone();
             PreparedKernel {
                 machine,
                 plans,
                 ranges,
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
+                recover: Box::new(move |m| k2.recover(m)),
             }
         }
         KernelId::Conv2d => {
             let params = match scale {
+                Scale::Micro => crate::conv2d::Conv2dParams::micro(),
                 Scale::Test => crate::conv2d::Conv2dParams::test_small(),
                 Scale::Bench => crate::conv2d::Conv2dParams::bench_default(),
                 Scale::Paper => crate::conv2d::Conv2dParams::paper_default(),
@@ -147,16 +160,19 @@ pub fn prepare_kernel(
             let k =
                 crate::conv2d::Conv2d::setup(&mut machine, params, scheme).expect("conv2d setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let k2 = k.clone();
             PreparedKernel {
                 machine,
                 plans,
                 ranges,
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
+                recover: Box::new(move |m| k2.recover(m)),
             }
         }
         KernelId::Gauss => {
             let params = match scale {
+                Scale::Micro => crate::gauss::GaussParams::micro(),
                 Scale::Test => crate::gauss::GaussParams::test_small(),
                 Scale::Bench => crate::gauss::GaussParams::bench_default(),
                 Scale::Paper => crate::gauss::GaussParams::paper_default(),
@@ -164,16 +180,19 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::gauss::Gauss::setup(&mut machine, params, scheme).expect("gauss setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let k2 = k.clone();
             PreparedKernel {
                 machine,
                 plans,
                 ranges,
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
+                recover: Box::new(move |m| k2.recover(m)),
             }
         }
         KernelId::Fft => {
             let params = match scale {
+                Scale::Micro => crate::fft::FftParams::micro(),
                 Scale::Test => crate::fft::FftParams::test_small(),
                 Scale::Bench => crate::fft::FftParams::bench_default(),
                 Scale::Paper => crate::fft::FftParams::paper_default(),
@@ -181,12 +200,14 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::fft::Fft::setup(&mut machine, params, scheme).expect("fft setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let k2 = k.clone();
             PreparedKernel {
                 machine,
                 plans,
                 ranges,
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
+                recover: Box::new(move |m| k2.recover(m)),
             }
         }
     }
@@ -201,6 +222,21 @@ pub fn run_kernel(
     scheme: Scheme,
 ) -> KernelRun {
     match (kernel, scale) {
+        (KernelId::Tmm, Scale::Micro) => {
+            crate::tmm::run(cfg, crate::tmm::TmmParams::micro(), scheme)
+        }
+        (KernelId::Cholesky, Scale::Micro) => {
+            crate::cholesky::run(cfg, crate::cholesky::CholeskyParams::micro(), scheme)
+        }
+        (KernelId::Conv2d, Scale::Micro) => {
+            crate::conv2d::run(cfg, crate::conv2d::Conv2dParams::micro(), scheme)
+        }
+        (KernelId::Gauss, Scale::Micro) => {
+            crate::gauss::run(cfg, crate::gauss::GaussParams::micro(), scheme)
+        }
+        (KernelId::Fft, Scale::Micro) => {
+            crate::fft::run(cfg, crate::fft::FftParams::micro(), scheme)
+        }
         (KernelId::Tmm, Scale::Test) => {
             crate::tmm::run(cfg, crate::tmm::TmmParams::test_small(), scheme)
         }

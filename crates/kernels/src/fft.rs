@@ -56,6 +56,18 @@ pub struct FftParams {
 }
 
 impl FftParams {
+    /// Smallest meaningful parameters, sized for exhaustive crash-state
+    /// model checking (one full replay per crash point).
+    pub fn micro() -> Self {
+        FftParams {
+            n: 64,
+            chunks: 2,
+            threads: 2,
+            stage_window: 2,
+            seed: 31,
+        }
+    }
+
     /// Parameters sized for fast unit tests.
     pub fn test_small() -> Self {
         FftParams {
@@ -289,6 +301,7 @@ impl Fft {
         out
     }
 
+    /// Build the scheduled per-core work plans for one run.
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
         let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)

@@ -46,6 +46,18 @@ pub struct GaussParams {
 }
 
 impl GaussParams {
+    /// Smallest meaningful parameters, sized for exhaustive crash-state
+    /// model checking (one full replay per crash point).
+    pub fn micro() -> Self {
+        GaussParams {
+            n: 16,
+            bsize: 8,
+            threads: 2,
+            pivot_window: 2,
+            seed: 11,
+        }
+    }
+
     /// Parameters sized for fast unit tests.
     pub fn test_small() -> Self {
         GaussParams {
@@ -224,6 +236,7 @@ impl Gauss {
         out
     }
 
+    /// Build the scheduled per-core work plans for one run.
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
         let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)

@@ -12,6 +12,7 @@
 //! module's `setup`/`plans`/`recover`/`verify` API for crash experiments;
 //! see [`tmm`] for the fully-worked example that mirrors the paper's
 //! Figures 8 and 9.
+#![deny(missing_docs)]
 pub mod cholesky;
 pub mod common;
 pub mod conv2d;

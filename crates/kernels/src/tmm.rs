@@ -47,6 +47,18 @@ pub struct TmmParams {
 }
 
 impl TmmParams {
+    /// Smallest meaningful parameters, sized for exhaustive crash-state
+    /// model checking (one full replay per crash point).
+    pub fn micro() -> Self {
+        TmmParams {
+            n: 16,
+            bsize: 8,
+            threads: 2,
+            kk_window: 1,
+            seed: 42,
+        }
+    }
+
     /// Parameters sized for fast unit tests.
     pub fn test_small() -> Self {
         TmmParams {
@@ -234,6 +246,7 @@ impl Tmm {
         out
     }
 
+    /// Build the scheduled per-core work plans for one run.
     pub fn plans(&self) -> Vec<ThreadPlan<'static>> {
         let owners = self.ownership();
         let mut plans: Vec<ThreadPlan<'static>> = (0..self.params.threads)
@@ -429,9 +442,6 @@ impl Tmm {
         let mut stats = RecoveryStats::default();
         let owners = self.ownership();
         let window = self.params.window();
-        let markers: Vec<u64> = (0..self.params.threads)
-            .map(|t| self.handles.thread(t).peek_marker(machine))
-            .collect();
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
         for (t, owned) in owners.iter().enumerate() {
@@ -440,13 +450,17 @@ impl Tmm {
             if undone > 0 {
                 stats.regions_inconsistent += 1;
             }
+            // The marker must be read after the rollback: the commit logs
+            // the marker's undo pair, so undoing an interrupted
+            // transaction rewinds the marker with it.
+            let marker = tp.marker(&mut ctx);
             let seq: Vec<(usize, usize)> = (0..window)
                 .flat_map(|kb| owned.iter().map(move |&ib| (kb, ib)))
                 .collect();
-            let done = if markers[t] == 0 {
+            let done = if marker == 0 {
                 0
             } else {
-                let (kb, ib) = self.key_to_region((markers[t] - 1) as usize);
+                let (kb, ib) = self.key_to_region((marker - 1) as usize);
                 let pos = owned.iter().position(|&b| b == ib).expect("owned");
                 kb * owned.len() + pos + 1
             };

@@ -384,6 +384,9 @@ impl<'a> CoreCtx<'a> {
             self.core.cycles = self.core.pending_drain;
         }
         self.core.pending_drain = 0;
+        // ADR: every flush this core issued before the fence is now
+        // guaranteed durable (crash-state tracking only).
+        self.mem.retire_pending_flushes(self.core.id);
         self.mem.observe_sfence(self.core.id, self.core.cycles);
         self.mem.after_op(self.core.cycles);
     }

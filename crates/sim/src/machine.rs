@@ -341,6 +341,47 @@ impl Machine {
         self.mem.clear_observer();
     }
 
+    /// Enable or disable ADR crash-state tracking (see
+    /// [`MemSystem::set_adr_tracking`]). While enabled, a crash captures a
+    /// [`crate::memsys::CrashCensus`] retrievable with
+    /// [`Machine::take_crash_census`].
+    pub fn set_adr_tracking(&mut self, on: bool) {
+        self.mem.set_adr_tracking(on);
+    }
+
+    /// Take the census of maybe-durable lines captured by the most recent
+    /// crash (requires ADR tracking to have been enabled when it fired).
+    pub fn take_crash_census(&mut self) -> Option<crate::memsys::CrashCensus> {
+        self.mem.take_crash_census()
+    }
+
+    /// A copy-on-write fork of the current durable image.
+    pub fn nvmm_fork(&self) -> crate::mem::Nvmm {
+        self.mem.nvmm().fork()
+    }
+
+    /// Build a fresh machine (cold caches, zeroed core clocks) over the
+    /// same configuration and heap layout, with `image` installed as its
+    /// durable state. This is how a crash-state explorer materializes one
+    /// candidate post-crash world and runs real recovery on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match the configured NVMM capacity.
+    pub fn fork_with_image(&self, image: crate::mem::Nvmm) -> Machine {
+        let cfg = self.cfg().clone();
+        let cores = (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect();
+        let heap = self.heap.clone();
+        let mut mem = MemSystem::new(cfg);
+        mem.install_nvmm(image);
+        Machine {
+            mem,
+            cores,
+            heap,
+            regions_run: 0,
+        }
+    }
+
     /// Arm the crash trigger for the next run.
     pub fn set_crash_trigger(&mut self, trigger: CrashTrigger) {
         self.mem.set_crash_trigger(Some(trigger));

@@ -5,30 +5,93 @@
 //! flushed, cleaned, or drained) lives here; a crash discards all cache
 //! contents and keeps exactly this image.
 
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use crate::addr::{Addr, LineAddr, LINE_BYTES};
 
-/// The simulated non-volatile main memory: a flat byte image.
+/// The simulated non-volatile main memory: a flat byte image with
+/// copy-on-write forking.
 ///
 /// All contents are durable by definition. The cache hierarchy reads lines
 /// from and writes lines to this image; [`crate::machine::Machine`] exposes
 /// `poke_*`/`peek_*` helpers that bypass the hierarchy for setup and
 /// post-crash inspection.
+///
+/// The image is a shared base (`Rc<Vec<u8>>`) plus a per-handle line
+/// overlay. [`Nvmm::fork`] is O(overlay) — it shares the base and clones
+/// only the overlay — so a crash-state model checker can explore thousands
+/// of candidate post-crash images without deep-copying the heap. A handle
+/// that uniquely owns its base (the common, unforked case) flattens the
+/// overlay back into the base on write, so normal simulation pays no
+/// overlay cost.
 #[derive(Debug, Clone)]
 pub struct Nvmm {
-    data: Vec<u8>,
+    base: Rc<Vec<u8>>,
+    overlay: HashMap<u64, [u8; LINE_BYTES]>,
 }
 
 impl Nvmm {
     /// Create an image of `bytes` capacity, zero-filled.
     pub fn new(bytes: usize) -> Self {
         Nvmm {
-            data: vec![0u8; bytes],
+            base: Rc::new(vec![0u8; bytes]),
+            overlay: HashMap::new(),
         }
     }
 
     /// Capacity in bytes.
     pub fn capacity(&self) -> usize {
-        self.data.len()
+        self.base.len()
+    }
+
+    /// A copy-on-write fork of the current image. The fork shares the
+    /// base bytes with `self`; writes on either side land in that side's
+    /// private overlay (or in a freshly-owned base once the other handles
+    /// are dropped), so forking is O(current overlay size), not O(heap).
+    pub fn fork(&self) -> Nvmm {
+        Nvmm {
+            base: Rc::clone(&self.base),
+            overlay: self.overlay.clone(),
+        }
+    }
+
+    /// Number of lines currently living in this handle's overlay (0 when
+    /// the handle uniquely owns its base). Exposed for fork-cost metrics.
+    pub fn overlay_lines(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether the base image is shared with other forks.
+    pub fn is_shared(&self) -> bool {
+        Rc::strong_count(&self.base) > 1
+    }
+
+    /// If the base is uniquely owned, merge the overlay back into it so
+    /// subsequent writes take the direct path.
+    fn flatten(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        if let Some(data) = Rc::get_mut(&mut self.base) {
+            for (&lineno, buf) in &self.overlay {
+                let base = lineno as usize * LINE_BYTES;
+                data[base..base + LINE_BYTES].copy_from_slice(buf);
+            }
+            self.overlay.clear();
+        }
+    }
+
+    #[inline]
+    fn check_line(&self, line: LineAddr) {
+        let base = line.base().0 as usize;
+        debug_assert_eq!(base % LINE_BYTES, 0, "line base must be line-aligned");
+        debug_assert!(
+            base + LINE_BYTES <= self.base.len(),
+            "line {line} outside the NVMM image ({} bytes)",
+            self.base.len()
+        );
+        let _ = base;
     }
 
     /// Read a full cache line into `buf`.
@@ -37,14 +100,13 @@ impl Nvmm {
     ///
     /// Panics if the line is outside the image.
     pub fn read_line(&self, line: LineAddr, buf: &mut [u8; LINE_BYTES]) {
-        let base = line.base().0 as usize;
-        debug_assert_eq!(base % LINE_BYTES, 0, "line base must be line-aligned");
-        debug_assert!(
-            base + LINE_BYTES <= self.data.len(),
-            "line {line} outside the NVMM image ({} bytes)",
-            self.data.len()
-        );
-        buf.copy_from_slice(&self.data[base..base + LINE_BYTES]);
+        self.check_line(line);
+        if let Some(over) = self.overlay.get(&line.0) {
+            buf.copy_from_slice(over);
+        } else {
+            let base = line.base().0 as usize;
+            buf.copy_from_slice(&self.base[base..base + LINE_BYTES]);
+        }
     }
 
     /// Write a full cache line from `buf`.
@@ -53,27 +115,57 @@ impl Nvmm {
     ///
     /// Panics if the line is outside the image.
     pub fn write_line(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES]) {
-        let base = line.base().0 as usize;
-        debug_assert_eq!(base % LINE_BYTES, 0, "line base must be line-aligned");
-        debug_assert!(
-            base + LINE_BYTES <= self.data.len(),
-            "line {line} outside the NVMM image ({} bytes)",
-            self.data.len()
-        );
-        self.data[base..base + LINE_BYTES].copy_from_slice(buf);
+        self.check_line(line);
+        if Rc::get_mut(&mut self.base).is_some() {
+            self.flatten();
+            let base = line.base().0 as usize;
+            let data = Rc::get_mut(&mut self.base).expect("uniquely owned");
+            data[base..base + LINE_BYTES].copy_from_slice(buf);
+        } else {
+            self.overlay.insert(line.0, *buf);
+        }
     }
 
     /// Read `N` bytes at an arbitrary address (setup/inspection path).
     pub fn peek_bytes(&self, addr: Addr, out: &mut [u8]) {
         let base = addr.0 as usize;
-        out.copy_from_slice(&self.data[base..base + out.len()]);
+        assert!(base + out.len() <= self.base.len(), "peek out of bounds");
+        if self.overlay.is_empty() {
+            out.copy_from_slice(&self.base[base..base + out.len()]);
+            return;
+        }
+        for (k, b) in out.iter_mut().enumerate() {
+            let at = base + k;
+            let lineno = (at / LINE_BYTES) as u64;
+            *b = match self.overlay.get(&lineno) {
+                Some(over) => over[at % LINE_BYTES],
+                None => self.base[at],
+            };
+        }
     }
 
     /// Write bytes at an arbitrary address (setup path; this models data
     /// that is already durable before the measured run begins).
     pub fn poke_bytes(&mut self, addr: Addr, bytes: &[u8]) {
         let base = addr.0 as usize;
-        self.data[base..base + bytes.len()].copy_from_slice(bytes);
+        assert!(base + bytes.len() <= self.base.len(), "poke out of bounds");
+        if Rc::get_mut(&mut self.base).is_some() {
+            self.flatten();
+            let data = Rc::get_mut(&mut self.base).expect("uniquely owned");
+            data[base..base + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (k, &b) in bytes.iter().enumerate() {
+            let at = base + k;
+            let lineno = (at / LINE_BYTES) as u64;
+            let over = self.overlay.entry(lineno).or_insert_with(|| {
+                let lb = lineno as usize * LINE_BYTES;
+                let mut buf = [0u8; LINE_BYTES];
+                buf.copy_from_slice(&self.base[lb..lb + LINE_BYTES]);
+                buf
+            });
+            over[at % LINE_BYTES] = b;
+        }
     }
 }
 
@@ -343,6 +435,52 @@ mod tests {
         let mut out = [0u8; 4];
         n.peek_bytes(Addr(100), &mut out);
         assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fork_is_isolated_and_cheap() {
+        let mut n = Nvmm::new(4096);
+        n.poke_bytes(Addr(64), &[9, 9, 9]);
+        let mut f = n.fork();
+        assert!(n.is_shared() && f.is_shared());
+        assert_eq!(
+            f.overlay_lines(),
+            0,
+            "fork of a flat image carries no overlay"
+        );
+        // Writes on the fork land in its overlay and are invisible to the
+        // original (and vice versa).
+        f.poke_bytes(Addr(64), &[1, 2, 3]);
+        let mut line = [0xabu8; LINE_BYTES];
+        f.write_line(LineAddr(9), &line);
+        let mut out = [0u8; 3];
+        n.peek_bytes(Addr(64), &mut out);
+        assert_eq!(out, [9, 9, 9]);
+        f.peek_bytes(Addr(64), &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        n.read_line(LineAddr(9), &mut line);
+        assert_eq!(line, [0u8; LINE_BYTES]);
+        assert_eq!(f.overlay_lines(), 2);
+        // Dropping the original lets the fork flatten on its next write.
+        drop(n);
+        f.poke_bytes(Addr(0), &[5]);
+        assert_eq!(f.overlay_lines(), 0);
+        assert!(!f.is_shared());
+        f.peek_bytes(Addr(64), &mut out);
+        assert_eq!(out, [1, 2, 3], "overlay contents survive flattening");
+    }
+
+    #[test]
+    fn forked_peek_straddles_overlay_boundary() {
+        let mut n = Nvmm::new(4096);
+        n.poke_bytes(Addr(60), &[1, 1, 1, 1, 2, 2, 2, 2]);
+        let mut f = n.fork();
+        // Overwrite only the second line; a straddling peek must stitch
+        // base and overlay bytes together.
+        f.poke_bytes(Addr(64), &[7, 7, 7, 7]);
+        let mut out = [0u8; 8];
+        f.peek_bytes(Addr(60), &mut out);
+        assert_eq!(out, [1, 1, 1, 1, 7, 7, 7, 7]);
     }
 
     #[test]

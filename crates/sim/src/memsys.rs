@@ -32,6 +32,113 @@ pub enum CrashTrigger {
     AtCycle(u64),
 }
 
+/// A flush-issued NVMM write whose durability is not yet guaranteed.
+///
+/// The simulator applies `clflushopt`/`clwb` writebacks to the NVMM image
+/// at issue time, but under ADR a flush is only *guaranteed* durable once a
+/// subsequent `sfence` retires it (or the line is definitely written back
+/// for another reason). Until then a crash may or may not have persisted
+/// it, so the crash-state model must treat it as a maybe-durable delta:
+/// `pre` is the NVMM content the write replaced, `data` what it wrote.
+#[derive(Debug, Clone)]
+struct PendingFlush {
+    line: LineAddr,
+    pre: [u8; LINE_BYTES],
+    data: [u8; LINE_BYTES],
+    core: usize,
+}
+
+/// Where the freshest maybe-durable copy of a census line lived at crash
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CensusOrigin {
+    /// An un-fenced flush writeback issued by this core.
+    PendingFlush {
+        /// The issuing core.
+        core: usize,
+    },
+    /// A dirty line whose freshest copy was in this core's L1 (Modified).
+    DirtyL1 {
+        /// The owning core.
+        core: usize,
+    },
+    /// A dirty line whose freshest copy was in the shared L2.
+    DirtyL2,
+}
+
+/// One line whose post-crash durability is undetermined under ADR: it may
+/// or may not have reached NVMM before power was lost.
+#[derive(Debug, Clone)]
+pub struct CensusEntry {
+    /// The affected line.
+    pub line: LineAddr,
+    /// The data the line holds if this entry "made it".
+    pub data: [u8; LINE_BYTES],
+    /// Why the line's durability is undetermined.
+    pub origin: CensusOrigin,
+}
+
+/// The set of NVMM states reachable from a crash, captured by
+/// [`MemSystem::acknowledge_crash`] when ADR tracking is enabled.
+///
+/// Every reachable post-crash image is `base` plus some subset of
+/// `entries` applied *in vector order* (entries are ranked oldest-first,
+/// so a later entry for the same line supersedes an earlier one). The
+/// empty subset is the pessimal image (nothing volatile made it); the full
+/// subset equals the crash-free coherent view of those lines.
+#[derive(Debug, Clone)]
+pub struct CrashCensus {
+    /// The guaranteed-durable floor: the NVMM image with every un-fenced
+    /// flush write reverted to its pre-image.
+    pub base: Nvmm,
+    /// Maybe-durable line writes, oldest first.
+    pub entries: Vec<CensusEntry>,
+}
+
+impl CrashCensus {
+    /// Materialize one reachable image: `base` plus the entries selected
+    /// by `mask` (bit `i` selects `entries[i]`), applied in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` selects an entry index `>= 64` that does not exist
+    /// (masks wider than the entry count are rejected).
+    pub fn materialize(&self, mask: u64) -> Nvmm {
+        assert!(
+            self.entries.len() >= 64 || mask < (1u64 << self.entries.len().max(1)) || mask == 0,
+            "mask selects nonexistent census entries"
+        );
+        let mut img = self.base.fork();
+        for (i, e) in self.entries.iter().enumerate() {
+            if i < 64 && mask & (1u64 << i) != 0 {
+                img.write_line(e.line, &e.data);
+            }
+        }
+        img
+    }
+
+    /// Materialize one reachable image from an explicit subset selection
+    /// (`selected[i]` applies `entries[i]`). Unlike [`Self::materialize`]
+    /// this has no 64-entry width limit, so crash points with large dirty
+    /// censuses can still be sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected.len()` differs from the entry count.
+    pub fn materialize_subset(&self, selected: &[bool]) -> Nvmm {
+        assert_eq!(
+            selected.len(),
+            self.entries.len(),
+            "subset selection width must match the census"
+        );
+        let mut img = self.base.fork();
+        for (e, _) in self.entries.iter().zip(selected).filter(|&(_, s)| *s) {
+            img.write_line(e.line, &e.data);
+        }
+        img
+    }
+}
+
 /// Result of a timed cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
@@ -78,6 +185,9 @@ pub struct MemSystem {
     global_time: u64,
     cleaner: Option<CleanerState>,
     observer: ObserverSlot,
+    adr_tracking: bool,
+    pending_flushes: Vec<PendingFlush>,
+    crash_census: Option<CrashCensus>,
     /// Per-core open persistency region `(id, key)` announced via
     /// [`crate::core::CoreCtx::region_begin`].
     open_regions: Vec<Option<(RegionId, usize)>>,
@@ -120,9 +230,107 @@ impl MemSystem {
             global_time: 0,
             cleaner,
             observer: ObserverSlot::default(),
+            adr_tracking: false,
+            pending_flushes: Vec::new(),
+            crash_census: None,
             open_regions,
             next_region: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // ADR crash-state tracking (opt-in; zero work when disabled)
+    // ------------------------------------------------------------------
+
+    /// Enable or disable ADR crash-state tracking. While enabled, flush
+    /// writebacks record maybe-durable deltas and a crash captures a
+    /// [`CrashCensus`]. Disabling clears any pending state.
+    pub fn set_adr_tracking(&mut self, on: bool) {
+        self.adr_tracking = on;
+        if !on {
+            self.pending_flushes.clear();
+            self.crash_census = None;
+        }
+    }
+
+    /// Whether ADR crash-state tracking is enabled.
+    pub fn adr_tracking(&self) -> bool {
+        self.adr_tracking
+    }
+
+    /// Take the census captured by the most recent acknowledged crash, if
+    /// tracking was enabled when it fired.
+    pub fn take_crash_census(&mut self) -> Option<CrashCensus> {
+        self.crash_census.take()
+    }
+
+    /// Retire every pending (maybe-durable) flush issued by `core`: called
+    /// on `sfence`, after which ADR guarantees those writebacks are
+    /// durable.
+    pub(crate) fn retire_pending_flushes(&mut self, core: usize) {
+        if self.adr_tracking {
+            self.pending_flushes.retain(|p| p.core != core);
+        }
+    }
+
+    /// Retire every pending flush of `line`: called when the line is
+    /// definitely written to (or read back from) NVMM, which proves the
+    /// earlier writeback reached the memory controller.
+    fn retire_pending_line(&mut self, line: LineAddr) {
+        if self.adr_tracking {
+            self.pending_flushes.retain(|p| p.line != line);
+        }
+    }
+
+    /// Build the census of maybe-durable lines at crash time. Must run
+    /// before the caches are wiped.
+    fn capture_crash_census(&mut self) {
+        // Floor image: revert un-fenced flush writes, newest first, so the
+        // oldest pre-image of a multiply-flushed line wins.
+        let mut base = self.nvmm.fork();
+        for p in self.pending_flushes.iter().rev() {
+            base.write_line(p.line, &p.pre);
+        }
+        let mut entries: Vec<CensusEntry> = self
+            .pending_flushes
+            .drain(..)
+            .map(|p| CensusEntry {
+                line: p.line,
+                data: p.data,
+                origin: CensusOrigin::PendingFlush { core: p.core },
+            })
+            .collect();
+        // Dirty lines, freshest copy first (L1 Modified owner over L2).
+        // They rank after pending flushes: a line that was flushed and
+        // then re-dirtied holds strictly newer data in the cache.
+        for idx in self.l2.valid_ways().collect::<Vec<_>>() {
+            let w = self.l2.way(idx);
+            let mut entry = if w.dirty {
+                Some(CensusEntry {
+                    line: w.line,
+                    data: w.data,
+                    origin: CensusOrigin::DirtyL2,
+                })
+            } else {
+                None
+            };
+            if let Some(o) = w.owner.map(usize::from) {
+                if let Some(i1) = self.l1s[o].find(w.line) {
+                    let w1 = self.l1s[o].way(i1);
+                    if w1.state == Mesi::Modified {
+                        entry = Some(CensusEntry {
+                            line: w.line,
+                            data: w1.data,
+                            origin: CensusOrigin::DirtyL1 { core: o },
+                        });
+                    }
+                }
+            }
+            if let Some(e) = entry {
+                entries.push(e);
+            }
+        }
+        self.crash_census = Some(CrashCensus { base, entries });
     }
 
     // ------------------------------------------------------------------
@@ -261,6 +469,9 @@ impl MemSystem {
     /// Acknowledge a crash: drop all cache state *without writing anything
     /// back* (volatile contents are lost) and power the machine back on.
     pub fn acknowledge_crash(&mut self) {
+        if self.adr_tracking {
+            self.capture_crash_census();
+        }
         for l1 in &mut self.l1s {
             l1.wipe();
         }
@@ -279,6 +490,20 @@ impl MemSystem {
     /// cached copies.
     pub fn nvmm_mut(&mut self) -> &mut Nvmm {
         &mut self.nvmm
+    }
+
+    /// Replace the durable image wholesale (crash-state exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image capacity does not match the configuration.
+    pub fn install_nvmm(&mut self, image: Nvmm) {
+        assert_eq!(
+            image.capacity(),
+            self.cfg.nvmm_bytes,
+            "installed image capacity must match cfg.nvmm_bytes"
+        );
+        self.nvmm = image;
     }
 
     /// Drop any cached copy of `line` without writeback (used by `poke` so
@@ -514,6 +739,10 @@ impl MemSystem {
             if self.l2.way(way).valid {
                 self.evict_l2_way(way, now + cost, core);
             }
+            // The fetch observes the line's writeback at the memory
+            // controller, so any maybe-durable flush of it is now
+            // definitely durable.
+            self.retire_pending_line(line);
             let mut buf = [0u8; LINE_BYTES];
             self.nvmm.read_line(line, &mut buf);
             self.l2.install(way, line, buf, core, true);
@@ -594,6 +823,7 @@ impl MemSystem {
         };
         if dirty {
             let w = self.mc.schedule_write(line, now, core);
+            self.retire_pending_line(line);
             self.nvmm.write_line(line, &data);
             if !w.merged {
                 self.stats.record_write(WriteCause::Eviction);
@@ -682,6 +912,19 @@ impl MemSystem {
         let issue_cost = 2;
         if dirty {
             let w = self.mc.schedule_write(line, now, core);
+            if self.adr_tracking {
+                // The writeback lands in the image now, but ADR only
+                // guarantees it once the issuing core fences: record the
+                // pre-image so a crash model can revert it.
+                let mut pre = [0u8; LINE_BYTES];
+                self.nvmm.read_line(line, &mut pre);
+                self.pending_flushes.push(PendingFlush {
+                    line,
+                    pre,
+                    data,
+                    core,
+                });
+            }
             self.nvmm.write_line(line, &data);
             if !w.merged {
                 self.stats.record_write(if keep {
@@ -747,6 +990,7 @@ impl MemSystem {
                 }
             }
             if dirty {
+                self.retire_pending_line(line);
                 self.nvmm.write_line(line, &data);
                 self.stats.record_write(cause);
                 self.stats
