@@ -19,10 +19,13 @@ cargo test -q --workspace
 echo "== lp-check mutation suite =="
 cargo run --release -q -p lp-check -- --mutations
 
-echo "== lp-crashmc smoke: kernels recover on every sampled crash state =="
-cargo run --release -q -p lp-crashmc -- --budget smoke
+echo "== lp-crashmc smoke: kernels recover on every sampled crash state (multi-threaded) =="
+cargo run --release -q -p lp-crashmc -- --budget smoke --threads 8
 
-echo "== lp-crashmc smoke: every discipline mutation is flagged =="
-cargo run --release -q -p lp-crashmc -- --mutations --budget exhaustive
+echo "== lp-crashmc smoke: every discipline mutation is flagged (multi-threaded) =="
+cargo run --release -q -p lp-crashmc -- --mutations --budget exhaustive --threads 8
+
+echo "== perf baseline: refresh results/BENCH_4.json =="
+cargo run --release -q -p lp-bench --bin perf_baseline -- --quick > /dev/null
 
 echo "ci.sh: all gates passed"

@@ -4,6 +4,11 @@
 //! overlay-write penalty a forked (shared-base) image pays, so the
 //! checker's per-state overhead stays accountable.
 //!
+//! Also measures (a) the `Arc` refcount cost of the real fork against a
+//! local `Rc`-based replica of the pre-parallel-engine representation,
+//! and (b) the memop hot path: `read_line` on an unforked image, where
+//! the empty-overlay fast path skips the `HashMap` probe entirely.
+//!
 //! Run: `cargo bench -p lp-bench --bench fork`.
 
 use lp_sim::addr::{LineAddr, LINE_BYTES};
@@ -47,7 +52,66 @@ fn deep_copy(src: &Nvmm) -> Nvmm {
     out
 }
 
+/// The old (pre-`Send`) base representation: a non-atomic refcount. Kept
+/// here as a benchmark-local replica so the Rc-vs-Arc fork delta stays
+/// measurable after the switch.
+struct RcImage {
+    base: std::rc::Rc<Vec<u8>>,
+}
+
+impl RcImage {
+    fn new(bytes: usize) -> Self {
+        RcImage {
+            base: std::rc::Rc::new(vec![0u8; bytes]),
+        }
+    }
+    fn fork(&self) -> RcImage {
+        RcImage {
+            base: std::rc::Rc::clone(&self.base),
+        }
+    }
+}
+
 fn main() {
+    // Rc-vs-Arc: the whole cost of making `Nvmm` `Send` is one atomic
+    // refcount bump per fork/drop.
+    println!("fork refcount (1 MiB base, no overlay)");
+    let rc = RcImage::new(1 << 20);
+    bench("rc_fork (old repr)", || {
+        black_box(rc.fork());
+    });
+    let arc = Nvmm::new(1 << 20);
+    bench("arc_fork (current)", || {
+        black_box(arc.fork());
+    });
+
+    // Memop hot path: every simulated line fill calls read_line. On an
+    // unforked image the overlay is empty and the fast path skips the
+    // HashMap probe; a forked image with a populated overlay pays the
+    // probe even when it misses.
+    println!("\nread_line hot path (64 KiB image)");
+    let flat = image(64 << 10);
+    let mut buf = [0u8; LINE_BYTES];
+    let mut l = 0u64;
+    bench("read_line empty overlay", || {
+        flat.read_line(LineAddr(l % 1024), &mut buf);
+        black_box(&buf);
+        l += 1;
+    });
+    let mut overlaid = flat.fork();
+    let _keep = flat.fork();
+    let patch = [0x3Cu8; LINE_BYTES];
+    for i in 0..64u64 {
+        overlaid.write_line(LineAddr(i * 7), &patch);
+    }
+    let mut l = 1u64;
+    bench("read_line overlay probe", || {
+        overlaid.read_line(LineAddr(l % 1024), &mut buf);
+        black_box(&buf);
+        l += 1;
+    });
+    println!();
+
     for mib in [1usize, 16, 64] {
         let bytes = mib << 20;
         println!("nvmm image: {mib} MiB");

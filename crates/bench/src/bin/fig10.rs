@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p lp-bench --bin fig10` (add `--quick` for
 //! a scaled-down smoke run).
 
-use lp_bench::{norm, print_bars, print_table, BenchArgs};
+use lp_bench::{norm, print_bars, print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 
@@ -33,30 +33,30 @@ fn main() {
         ("tmm+EP", Scheme::Eager),
         ("tmm+WAL", Scheme::Wal),
     ];
-    let mut rows = Vec::new();
-    let mut time_bars = Vec::new();
-    let mut write_bars = Vec::new();
-    let mut base: Option<(u64, u64)> = None;
-    for (label, scheme) in schemes {
+    let runs = run_cells(args.host_jobs(), &schemes, |&(label, scheme)| {
         let t0 = std::time::Instant::now();
         let run = tmm::run(&cfg, params, scheme);
         assert!(run.verified, "{label}: output verification failed");
+        eprintln!("  {label}: done");
+        (run, t0.elapsed())
+    });
+
+    let mut rows = Vec::new();
+    let mut time_bars = Vec::new();
+    let mut write_bars = Vec::new();
+    let (bc, bw) = (runs[0].0.cycles(), runs[0].0.writes());
+    for ((label, _), (run, host)) in schemes.iter().zip(&runs) {
         let (cycles, writes) = (run.cycles(), run.writes());
-        if base.is_none() {
-            base = Some((cycles, writes));
-        }
-        let (bc, bw) = base.unwrap();
         rows.push(vec![
-            label.to_string(),
+            (*label).to_string(),
             norm(cycles, bc),
             norm(writes, bw),
             cycles.to_string(),
             writes.to_string(),
-            format!("{:.1?}", t0.elapsed()),
+            format!("{host:.1?}"),
         ]);
-        time_bars.push((label.to_string(), cycles as f64 / bc as f64));
-        write_bars.push((label.to_string(), writes as f64 / bw as f64));
-        eprintln!("  {label}: done");
+        time_bars.push(((*label).to_string(), cycles as f64 / bc as f64));
+        write_bars.push(((*label).to_string(), writes as f64 / bw as f64));
     }
     print_table(
         "Figure 10 — tmm execution time & NVMM writes (normalized to base)",

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin fig12_13 [--quick]`.
 
-use lp_bench::{gmean, overhead_pct, print_bars, print_table, BenchArgs};
+use lp_bench::{gmean, overhead_pct, print_bars, print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::driver::{run_kernel, KernelId, Scale};
 
@@ -22,6 +22,23 @@ fn main() {
     };
     let cfg = args.base_config();
 
+    // The full kernel x scheme matrix, fanned across host threads; the
+    // per-kernel rows are then assembled from the ordered results.
+    let cells: Vec<(KernelId, Scheme)> = KernelId::ALL
+        .iter()
+        .flat_map(|&k| {
+            [Scheme::Base, Scheme::lazy_default(), Scheme::Eager]
+                .into_iter()
+                .map(move |s| (k, s))
+        })
+        .collect();
+    let runs = run_cells(args.host_jobs(), &cells, |&(kernel, scheme)| {
+        eprintln!("fig12/13: {kernel} {scheme}...");
+        let r = run_kernel(kernel, scale, &cfg, scheme);
+        assert!(r.verified, "{kernel} {scheme}");
+        r
+    });
+
     let mut time_rows = Vec::new();
     let mut amp_rows = Vec::new();
     let mut lp_time_factors = Vec::new();
@@ -29,14 +46,10 @@ fn main() {
     let mut lp_amp_factors = Vec::new();
     let mut ep_amp_factors = Vec::new();
 
-    for kernel in KernelId::ALL {
-        eprintln!("fig12/13: {kernel}...");
-        let base = run_kernel(kernel, scale, &cfg, Scheme::Base);
-        assert!(base.verified, "{kernel} base");
-        let lp = run_kernel(kernel, scale, &cfg, Scheme::lazy_default());
-        assert!(lp.verified, "{kernel} LP");
-        let ep = run_kernel(kernel, scale, &cfg, Scheme::Eager);
-        assert!(ep.verified, "{kernel} EP");
+    for (i, kernel) in KernelId::ALL.into_iter().enumerate() {
+        let [base, lp, ep] = &runs[3 * i..3 * i + 3] else {
+            unreachable!()
+        };
 
         let bc = base.cycles().max(1);
         let bw = base.writes().max(1);

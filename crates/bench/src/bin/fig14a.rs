@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin fig14a [--quick]`.
 
-use lp_bench::{overhead_pct, print_table, BenchArgs};
+use lp_bench::{overhead_pct, print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 
@@ -24,16 +24,26 @@ fn main() {
     }
 
     let latencies = [(60u64, 150u64), (100, 200), (150, 300)];
-    let mut rows = Vec::new();
-    for (read_ns, write_ns) in latencies {
-        eprintln!("fig14a: ({read_ns}, {write_ns}) ns...");
+    let cells: Vec<(u64, u64, Scheme)> = latencies
+        .iter()
+        .flat_map(|&(r, w)| {
+            [Scheme::Base, Scheme::lazy_default(), Scheme::Eager]
+                .into_iter()
+                .map(move |s| (r, w, s))
+        })
+        .collect();
+    let runs = run_cells(args.host_jobs(), &cells, |&(read_ns, write_ns, scheme)| {
+        eprintln!("fig14a: ({read_ns}, {write_ns}) ns {scheme}...");
         let cfg = args.base_config().with_nvmm_latency_ns(read_ns, write_ns);
-        let base = tmm::run(&cfg, params, Scheme::Base);
-        assert!(base.verified);
-        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
-        assert!(lp.verified);
-        let ep = tmm::run(&cfg, params, Scheme::Eager);
-        assert!(ep.verified);
+        let run = tmm::run(&cfg, params, scheme);
+        assert!(run.verified, "({read_ns}, {write_ns}) {scheme}");
+        run
+    });
+    let mut rows = Vec::new();
+    for (i, (read_ns, write_ns)) in latencies.into_iter().enumerate() {
+        let [base, lp, ep] = &runs[3 * i..3 * i + 3] else {
+            unreachable!()
+        };
         rows.push(vec![
             format!("({read_ns}, {write_ns}) ns"),
             overhead_pct(lp.cycles(), base.cycles()),

@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin fig14b [--quick]`.
 
-use lp_bench::{print_table, BenchArgs};
+use lp_bench::{print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 
@@ -19,19 +19,29 @@ fn main() {
     };
     let cfg = args.base_config();
 
-    let mut rows = Vec::new();
-    let mut base1 = 0u64;
-    for threads in [1usize, 2, 4, 8, 16] {
-        eprintln!("fig14b: {threads} thread(s)...");
+    let counts = [1usize, 2, 4, 8, 16];
+    let cells: Vec<(usize, Scheme)> = counts
+        .iter()
+        .flat_map(|&t| {
+            [Scheme::Base, Scheme::lazy_default()]
+                .into_iter()
+                .map(move |s| (t, s))
+        })
+        .collect();
+    let runs = run_cells(args.host_jobs(), &cells, |&(threads, scheme)| {
+        eprintln!("fig14b: {threads} thread(s) {scheme}...");
         let mut params = params0;
         params.threads = threads;
-        let base = tmm::run(&cfg, params, Scheme::Base);
-        assert!(base.verified);
-        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
-        assert!(lp.verified);
-        if base1 == 0 {
-            base1 = base.cycles().max(1);
-        }
+        let run = tmm::run(&cfg, params, scheme);
+        assert!(run.verified, "{threads} threads {scheme}");
+        run
+    });
+    let base1 = runs[0].cycles().max(1);
+    let mut rows = Vec::new();
+    for (i, threads) in counts.into_iter().enumerate() {
+        let [base, lp] = &runs[2 * i..2 * i + 2] else {
+            unreachable!()
+        };
         rows.push(vec![
             threads.to_string(),
             format!("{:.3}", base.cycles() as f64 / base1 as f64),

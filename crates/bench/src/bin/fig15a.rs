@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin fig15a [--quick]`.
 
-use lp_bench::{overhead_pct, print_table, BenchArgs};
+use lp_bench::{overhead_pct, print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 
@@ -22,14 +22,27 @@ fn main() {
         params.threads = t;
     }
 
-    let mut rows = Vec::new();
-    for l2_kb in [256usize, 512, 1024] {
-        eprintln!("fig15a: L2 {l2_kb} KB...");
+    let sizes = [256usize, 512, 1024];
+    let cells: Vec<(usize, Scheme)> = sizes
+        .iter()
+        .flat_map(|&kb| {
+            [Scheme::Base, Scheme::lazy_default()]
+                .into_iter()
+                .map(move |s| (kb, s))
+        })
+        .collect();
+    let runs = run_cells(args.host_jobs(), &cells, |&(l2_kb, scheme)| {
+        eprintln!("fig15a: L2 {l2_kb} KB {scheme}...");
         let cfg = args.base_config().with_l2_bytes(l2_kb * 1024);
-        let base = tmm::run(&cfg, params, Scheme::Base);
-        assert!(base.verified);
-        let lp = tmm::run(&cfg, params, Scheme::lazy_default());
-        assert!(lp.verified);
+        let run = tmm::run(&cfg, params, scheme);
+        assert!(run.verified, "L2 {l2_kb} KB {scheme}");
+        run
+    });
+    let mut rows = Vec::new();
+    for (i, l2_kb) in sizes.into_iter().enumerate() {
+        let [base, lp] = &runs[2 * i..2 * i + 2] else {
+            unreachable!()
+        };
         rows.push(vec![
             format!("{l2_kb} KB"),
             overhead_pct(lp.cycles(), base.cycles()),

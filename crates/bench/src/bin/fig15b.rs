@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin fig15b [--quick]`.
 
-use lp_bench::{overhead_pct, print_table, BenchArgs};
+use lp_bench::{overhead_pct, print_table, run_cells, BenchArgs};
 use lp_core::checksum::ChecksumKind;
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
@@ -23,21 +23,26 @@ fn main() {
     }
     let cfg = args.base_config();
 
-    eprintln!("fig15b: base...");
-    let base = tmm::run(&cfg, params, Scheme::Base);
-    assert!(base.verified);
+    let mut cells = vec![Scheme::Base];
+    cells.extend(ChecksumKind::ALL.into_iter().map(Scheme::Lazy));
+    cells.push(Scheme::Eager);
+    let runs = run_cells(args.host_jobs(), &cells, |&scheme| {
+        eprintln!("fig15b: {scheme}...");
+        let run = tmm::run(&cfg, params, scheme);
+        if scheme != Scheme::Eager {
+            assert!(run.verified, "{scheme}");
+        }
+        run
+    });
+    let base = &runs[0];
     let mut rows = Vec::new();
-    for kind in ChecksumKind::ALL {
-        eprintln!("fig15b: {kind}...");
-        let lp = tmm::run(&cfg, params, Scheme::Lazy(kind));
-        assert!(lp.verified, "{kind}");
+    for (kind, lp) in ChecksumKind::ALL.iter().zip(&runs[1..]) {
         rows.push(vec![
             kind.name().to_string(),
             overhead_pct(lp.cycles(), base.cycles()),
         ]);
     }
-    eprintln!("fig15b: EP reference...");
-    let ep = tmm::run(&cfg, params, Scheme::Eager);
+    let ep = runs.last().expect("EP run");
     rows.push(vec![
         "EP (reference)".into(),
         overhead_pct(ep.cycles(), base.cycles()),

@@ -1,0 +1,142 @@
+//! `perf_baseline` — machine-readable performance baseline for the repo's
+//! two heavy consumers: the simulator (memops/sec) and the crash-state
+//! model checker (states/sec), plus thread-scaling of the parallel
+//! exploration engine at 1/2/4/8 host threads.
+//!
+//! Emits `results/BENCH_4.json` (hand-rolled JSON; the workspace carries
+//! no serde) so the perf trajectory is measured, not anecdotal. Run with
+//! `--quick` for the CI-sized workload.
+//!
+//! Run: `cargo run --release -p lp-bench --bin perf_baseline [--quick]`.
+
+use lp_bench::BenchArgs;
+use lp_core::scheme::Scheme;
+use lp_crashmc::cases::all_kernel_cases;
+use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
+use lp_kernels::driver::{run_kernel, KernelId, Scale};
+
+/// One emitted measurement.
+struct Entry {
+    name: String,
+    wall_secs: f64,
+    rate: f64,
+    rate_unit: &'static str,
+    detail: Vec<(String, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(quick: bool, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_4\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&e.name)));
+        out.push_str(&format!("      \"wall_secs\": {:.6},\n", e.wall_secs));
+        out.push_str(&format!("      \"rate\": {:.3},\n", e.rate));
+        out.push_str(&format!("      \"rate_unit\": \"{}\"", e.rate_unit));
+        if !e.detail.is_empty() {
+            out.push_str(",\n");
+            let fields: Vec<String> = e
+                .detail
+                .iter()
+                .map(|(k, v)| format!("      \"{}\": {:.6}", json_escape(k), v))
+                .collect();
+            out.push_str(&fields.join(",\n"));
+        }
+        out.push('\n');
+        out.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut entries = Vec::new();
+
+    // --- Simulator throughput: one representative bench cell per scheme.
+    let scale = if args.quick {
+        Scale::Test
+    } else {
+        Scale::Bench
+    };
+    let cfg = args.base_config();
+    for scheme in [Scheme::Base, Scheme::lazy_default(), Scheme::Eager] {
+        eprintln!("perf_baseline: sim {scheme}...");
+        let t0 = std::time::Instant::now();
+        let run = run_kernel(KernelId::Tmm, scale, &cfg, scheme);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(run.verified, "tmm {scheme}");
+        let t = run.stats.core_totals();
+        let memops = t.loads + t.stores + t.flushes + t.fences;
+        entries.push(Entry {
+            name: format!("sim/tmm/{scheme}"),
+            wall_secs: wall,
+            rate: memops as f64 / wall.max(1e-9),
+            rate_unit: "memops_per_sec",
+            detail: vec![
+                ("memops".into(), memops as f64),
+                ("sim_cycles".into(), run.stats.exec_cycles() as f64),
+            ],
+        });
+    }
+
+    // --- Crashmc throughput and thread scaling over the kernel matrix.
+    let budget = if args.quick {
+        Budget {
+            mode: BudgetMode::Smoke,
+            k: 3,
+        }
+    } else {
+        Budget {
+            mode: BudgetMode::Sampled(24),
+            k: 4,
+        }
+    };
+    let cases = all_kernel_cases(Scale::Micro);
+    // Recovery legitimately panics on some corrupt images; keep the
+    // default hook from spamming the run.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut wall_at_1 = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("perf_baseline: crashmc @ {threads} thread(s)...");
+        let t0 = std::time::Instant::now();
+        let reports = check_cases(&cases, &budget, 42, threads);
+        let wall = t0.elapsed().as_secs_f64();
+        let states: u64 = reports.iter().map(|r| r.states_checked).sum();
+        assert!(
+            reports.iter().all(lp_crashmc::mc::McReport::clean),
+            "clean kernel matrix must stay clean"
+        );
+        if threads == 1 {
+            wall_at_1 = wall;
+        }
+        entries.push(Entry {
+            name: format!("crashmc/kernel-matrix/threads-{threads}"),
+            wall_secs: wall,
+            rate: states as f64 / wall.max(1e-9),
+            rate_unit: "states_per_sec",
+            detail: vec![
+                ("states".into(), states as f64),
+                ("speedup_vs_1".into(), wall_at_1 / wall.max(1e-9)),
+            ],
+        });
+    }
+    let _ = std::panic::take_hook();
+
+    let json = render_json(args.quick, &entries);
+    let path = std::path::Path::new("results").join("BENCH_4.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(&path, &json).expect("write BENCH_4.json");
+    println!("{json}");
+    eprintln!("perf_baseline: wrote {}", path.display());
+}

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p lp-bench --bin table6 [--quick]`.
 
-use lp_bench::{print_table, BenchArgs};
+use lp_bench::{print_table, run_cells, BenchArgs};
 use lp_core::scheme::Scheme;
 use lp_kernels::tmm::{self, TmmParams};
 
@@ -28,10 +28,14 @@ fn main() {
         ("tmm+EP", Scheme::Eager),
         ("tmm+LP", Scheme::lazy_default()),
     ];
-    let mut rows = Vec::new();
-    for (label, scheme) in schemes {
+    let runs = run_cells(args.host_jobs(), &schemes, |&(label, scheme)| {
         let run = tmm::run(&cfg, params, scheme);
         assert!(run.verified, "{label}");
+        eprintln!("  {label}: done");
+        run
+    });
+    let mut rows = Vec::new();
+    for ((label, _), run) in schemes.iter().zip(&runs) {
         let t = run.stats.core_totals();
         // L2MR reported as L2 misses per memory access (the per-access
         // definition under which the paper's base tmm shows 0.01).
@@ -44,7 +48,6 @@ fn main() {
             t.fuw_events.to_string(),
             format!("{:.3}", l2mr),
         ]);
-        eprintln!("  {label}: done");
     }
     print_table(
         "Table VI — structural-hazard event counts (absolute; the paper reports \

@@ -16,8 +16,13 @@ use lp_sim::config::MachineConfig;
 pub struct BenchArgs {
     /// Use scaled-down inputs (`--quick`).
     pub quick: bool,
-    /// Override worker-thread count (`--threads N`).
+    /// Override *simulated* worker-thread count (`--threads N`) — the
+    /// number of logical cores the kernel itself is scheduled across.
     pub threads: Option<usize>,
+    /// Host worker threads for fanning the experiment matrix
+    /// (`--jobs N`, make-style). Defaults to the machine's available
+    /// parallelism; results are identical at any job count.
+    pub jobs: Option<usize>,
 }
 
 impl BenchArgs {
@@ -39,8 +44,16 @@ impl BenchArgs {
                         .expect("--threads needs a number");
                     out.threads = Some(v);
                 }
+                "--jobs" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&v: &usize| v >= 1)
+                        .expect("--jobs needs a number >= 1");
+                    out.jobs = Some(v);
+                }
                 "--help" | "-h" => {
-                    println!("usage: <bin> [--quick] [--threads N]");
+                    println!("usage: <bin> [--quick] [--threads N] [--jobs N]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -54,6 +67,28 @@ impl BenchArgs {
     pub fn base_config(&self) -> MachineConfig {
         MachineConfig::default().with_nvmm_bytes(512 << 20)
     }
+
+    /// Host worker threads to fan the experiment matrix across.
+    pub fn host_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(lp_sim::par::available_threads)
+    }
+}
+
+/// Run every cell of an experiment matrix across `jobs` host threads,
+/// returning results in cell order.
+///
+/// Each cell runs a full, independent simulation (the simulator is
+/// deterministic and machines are `Send`), so the output is identical to
+/// a serial walk of the matrix — only the wall-clock changes. Binaries
+/// collect the cells first, fan out here, then render their tables from
+/// the ordered results.
+pub fn run_cells<T, R, F>(jobs: usize, cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    lp_sim::par::par_map(jobs, cells, |_, cell| run(cell))
 }
 
 /// Format `x / base` as a normalized factor, e.g. `1.002x`.

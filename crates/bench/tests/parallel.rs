@@ -1,0 +1,40 @@
+//! The bench harness's parallel matrix runner must be invisible in the
+//! results: any job count yields the same per-cell statistics, in the
+//! same order, as a serial walk.
+
+use lp_bench::run_cells;
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{run_kernel, KernelId, Scale};
+use lp_sim::config::MachineConfig;
+use lp_sim::stats::MemStats;
+
+#[test]
+fn representative_cell_stats_are_identical_across_jobs() {
+    let cfg = MachineConfig::default().with_nvmm_bytes(16 << 20);
+    let cells: Vec<(KernelId, Scheme)> = [KernelId::Tmm, KernelId::Gauss]
+        .into_iter()
+        .flat_map(|k| {
+            [Scheme::Base, Scheme::lazy_default(), Scheme::Eager]
+                .into_iter()
+                .map(move |s| (k, s))
+        })
+        .collect();
+    let run = |&(kernel, scheme): &(KernelId, Scheme)| -> (bool, u64, MemStats) {
+        let r = run_kernel(kernel, Scale::Test, &cfg, scheme);
+        (r.verified, r.cycles(), r.stats.mem)
+    };
+    let serial = run_cells(1, &cells, run);
+    let parallel = run_cells(8, &cells, run);
+    assert_eq!(serial.len(), parallel.len());
+    for (cell, (s, p)) in cells.iter().zip(serial.iter().zip(&parallel)) {
+        assert!(s.0, "{cell:?} must verify");
+        assert_eq!(s, p, "{cell:?}: stats must not depend on the job count");
+    }
+}
+
+#[test]
+fn run_cells_preserves_cell_order() {
+    let cells: Vec<usize> = (0..50).collect();
+    let out = run_cells(4, &cells, |&c| c * 3);
+    assert_eq!(out, (0..50).map(|c| c * 3).collect::<Vec<_>>());
+}

@@ -116,7 +116,7 @@ struct PendingChecksum {
 /// The persistency-discipline sanitizer.
 ///
 /// Install on a machine via [`lp_sim::machine::Machine::set_observer`]
-/// (wrapped in `Rc<RefCell<…>>`), run the workload, then collect
+/// (wrapped in `Arc<Mutex<…>>`), run the workload, then collect
 /// [`Checker::report`]. See the crate docs for the rules.
 #[derive(Debug)]
 pub struct Checker {

@@ -35,8 +35,7 @@ pub mod checker;
 pub mod mutations;
 pub mod report;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use lp_core::scheme::Scheme;
 use lp_kernels::driver::{prepare_kernel, KernelId, Scale};
@@ -68,7 +67,7 @@ pub fn check_kernel(
 ) -> CheckedRun {
     let mut prepared = prepare_kernel(kernel, scale, cfg, scheme);
     let label = format!("{kernel} under {scheme}");
-    let checker = Rc::new(RefCell::new(Checker::new(
+    let checker = Arc::new(Mutex::new(Checker::new(
         scheme,
         prepared.ranges.clone(),
         label,
@@ -78,7 +77,7 @@ pub fn check_kernel(
     prepared.machine.drain_caches();
     prepared.machine.clear_observer();
     let verified = outcome == Outcome::Completed && (prepared.verify)(&prepared.machine);
-    let report = checker.borrow().report();
+    let report = checker.lock().unwrap().report();
     CheckedRun {
         report,
         outcome,

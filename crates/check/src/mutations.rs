@@ -9,8 +9,7 @@
 //! — the point is that the checker catches the latent discipline bug that
 //! real hardware would punish.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
 use lp_core::scheme::{Scheme, SchemeHandles};
@@ -76,11 +75,11 @@ fn audit(
     plans: Vec<ThreadPlan<'static>>,
     label: &str,
 ) -> ViolationReport {
-    let checker = Rc::new(RefCell::new(Checker::new(scheme, ranges, label)));
+    let checker = Arc::new(Mutex::new(Checker::new(scheme, ranges, label)));
     machine.set_observer(checker.clone());
     machine.run(plans);
     machine.clear_observer();
-    let report = checker.borrow().report();
+    let report = checker.lock().unwrap().report();
     report
 }
 

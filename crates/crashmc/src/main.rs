@@ -4,9 +4,10 @@
 use lp_core::checksum::ChecksumKind;
 use lp_core::scheme::Scheme;
 use lp_crashmc::cases::{all_kernel_cases, kernel_case, CLEAN_SCHEMES};
-use lp_crashmc::mc::{check_case, Budget, BudgetMode, CheckCase, McReport};
+use lp_crashmc::mc::{check_cases, Budget, BudgetMode, CheckCase, McReport};
 use lp_crashmc::mutations;
 use lp_kernels::driver::{KernelId, Scale};
+use lp_sim::par::available_threads;
 
 const USAGE: &str = "\
 lp-crashmc: exhaustive crash-state model checker for the persistency schemes
@@ -24,6 +25,9 @@ OPTIONS:
   --kernel NAME     tmm | cholesky | conv2d | gauss | fft | all [default: all]
   --scheme NAME     lazy | eager | wal | all          [default: all]
   --scale NAME      micro | test                      [default: micro]
+  --threads N       host worker threads for the exploration
+                    [default: the machine's available parallelism]
+                    Reports are byte-identical at any thread count.
   --list            list the cases that would run, then exit
   --help            this text
 
@@ -37,6 +41,7 @@ struct Args {
     kernel: Option<KernelId>,
     scheme: Option<Scheme>,
     scale: Scale,
+    threads: usize,
     mutations: bool,
     list: bool,
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
         kernel: None,
         scheme: None,
         scale: Scale::Micro,
+        threads: available_threads(),
         mutations: false,
         list: false,
     };
@@ -129,6 +135,16 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 };
+            }
+            "--threads" => {
+                out.threads = value(&mut args, "--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+                if out.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
             }
             "--mutations" => out.mutations = true,
             "--list" => out.list = true,
@@ -211,11 +227,21 @@ fn main() {
     // states); the checker catches those unwinds, so keep the default
     // hook from spamming the report.
     std::panic::set_hook(Box::new(|_| {}));
-    let reports: Vec<McReport> = cases
-        .iter()
-        .map(|c| check_case(c, &args.budget, args.seed))
-        .collect();
+    let started = std::time::Instant::now();
+    let reports: Vec<McReport> = check_cases(&cases, &args.budget, args.seed, args.threads);
+    let elapsed = started.elapsed();
     let _ = std::panic::take_hook();
+
+    // Timing goes to stderr so stdout stays byte-identical across thread
+    // counts (the determinism contract the tests pin down).
+    let explored: u64 = reports.iter().map(|r| r.states_checked).sum();
+    eprintln!(
+        "lp-crashmc: {} states in {:.2}s on {} thread(s) ({:.0} states/sec)",
+        explored,
+        elapsed.as_secs_f64(),
+        args.threads,
+        explored as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
 
     let mut failed = false;
     for r in &reports {

@@ -1,14 +1,25 @@
 //! The model-checking engine: replay to a crash point, enumerate the
 //! reachable NVMM states, run real recovery on each, classify.
+//!
+//! # Parallel exploration
+//!
+//! The engine decomposes a run into independent *work units* — one per
+//! `(case, crash point, subset chunk)` — and fans them across host
+//! threads with [`lp_sim::par::par_map`]. Every unit rebuilds its case
+//! from the (`Send + Sync`) factory, replays to its crash point, and
+//! draws every stochastic choice from an [`Rng64::new_stream`] keyed by
+//! that unit alone, so no state is shared between workers. Results merge
+//! strictly in unit order, which makes the reports byte-identical at any
+//! thread count (see DESIGN.md, "Parallel execution model").
 
-use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use lp_core::recovery::RecoveryStats;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
 use lp_sim::memsys::CrashTrigger;
 use lp_sim::observe::{EventSink, MemEvent};
+use lp_sim::par::par_map;
 use lp_sim::rng::Rng64;
 
 /// One freshly-built, never-run instance of a checked workload.
@@ -24,18 +35,21 @@ pub struct PreparedCase {
     pub plans: Vec<ThreadPlan<'static>>,
     /// The scheme's real crash recovery (run on a forked post-crash
     /// image before `verify`).
-    pub recover: Box<dyn Fn(&mut Machine) -> RecoveryStats>,
+    pub recover: Box<dyn Fn(&mut Machine) -> RecoveryStats + Send + Sync>,
     /// Checks the durable image against the crash-free expectation.
-    pub verify: Box<dyn Fn(&Machine) -> bool>,
+    pub verify: Box<dyn Fn(&Machine) -> bool + Send + Sync>,
 }
 
 /// A checkable workload: a name plus a factory producing fresh,
 /// identically-behaving instances.
+///
+/// The factory is `Send + Sync` so any worker thread can rebuild the
+/// case; in practice factories capture only plain configuration data.
 pub struct CheckCase {
     /// Display name (`TMM/LP(modular)`, `mut:ep_skip_fence`, ...).
     pub name: String,
     /// Builds one fresh instance per replay.
-    pub build: Box<dyn Fn() -> PreparedCase>,
+    pub build: Box<dyn Fn() -> PreparedCase + Send + Sync>,
 }
 
 /// How many crash points to visit.
@@ -86,7 +100,7 @@ pub enum StateClass {
 }
 
 /// One bad state, kept as a reproducible example.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BadState {
     /// The crash point (memory-operation index the crash fired after).
     pub op: u64,
@@ -99,7 +113,7 @@ pub struct BadState {
 }
 
 /// The outcome of checking one case.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct McReport {
     /// The case's display name.
     pub case_name: String,
@@ -195,7 +209,7 @@ impl EventSink for CrashPointScout {
 /// run.
 fn discover_points(case: &CheckCase) -> Vec<u64> {
     let mut inst = (case.build)();
-    let scout = Rc::new(RefCell::new(CrashPointScout::default()));
+    let scout = Arc::new(Mutex::new(CrashPointScout::default()));
     inst.machine.set_observer(scout.clone());
     let plans = std::mem::take(&mut inst.plans);
     let out = inst.machine.run(plans);
@@ -206,7 +220,7 @@ fn discover_points(case: &CheckCase) -> Vec<u64> {
         "{}: discovery run crashed",
         case.name
     );
-    let mut pts = scout.borrow().candidates.clone();
+    let mut pts = scout.lock().unwrap().candidates.clone();
     pts.dedup();
     pts
 }
@@ -259,14 +273,45 @@ fn subset_string(sel: &[bool]) -> String {
     sel.iter().map(|&s| if s { '1' } else { '0' }).collect()
 }
 
-/// Model-check one case under `budget`, deriving every sampling decision
-/// from `seed`.
-///
-/// # Panics
-///
-/// Panics if the crash-free reference run fails to complete and verify —
-/// that means the *workload* is broken, not its recovery.
-pub fn check_case(case: &CheckCase, budget: &Budget, seed: u64) -> McReport {
+/// One case's exploration plan (reference verified, points selected).
+struct CasePlan {
+    points_total: usize,
+    points: Vec<u64>,
+}
+
+/// One flattened unit of exploration work, independent of all others.
+#[derive(Debug, Clone, Copy)]
+struct WorkUnit {
+    case: usize,
+    point: u64,
+    chunk: usize,
+}
+
+/// The counts and examples one work unit contributes to its case report.
+#[derive(Debug, Default)]
+struct UnitResult {
+    census: usize,
+    states_checked: u64,
+    consistent: u64,
+    corrupt: u64,
+    stuck: u64,
+    examples: Vec<BadState>,
+}
+
+/// Subset-list slices per crash point. With the default census bound
+/// (`k = 4` ⇒ at most 16 subsets) every point is a single unit, exactly
+/// mirroring the sequential walk; a large `k` splits one heavy point's
+/// subset list across several units so its recovery replays can
+/// themselves fan out. Capped so the unit list stays small even for
+/// extreme `k`.
+fn chunks_per_point(k: u32) -> usize {
+    const SUBSETS_PER_UNIT: usize = 64;
+    (1usize << k.min(16)).div_ceil(SUBSETS_PER_UNIT).max(1)
+}
+
+/// Verify the crash-free reference run and select this case's crash
+/// points (phase 1 of the engine; parallel over cases).
+fn plan_case(case: &CheckCase, budget: &Budget, seed: u64) -> CasePlan {
     // Crash-free reference: the workload must complete and verify on its
     // own before any crash state is judged against it.
     let mut reference = (case.build)();
@@ -286,71 +331,155 @@ pub fn check_case(case: &CheckCase, budget: &Budget, seed: u64) -> McReport {
 
     let candidates = discover_points(case);
     let points = select_points(&candidates, budget, seed);
-
-    let mut report = McReport {
-        case_name: case.name.clone(),
-        seed,
-        k: budget.k,
-        mode: budget.mode_name(),
+    CasePlan {
         points_total: candidates.len(),
-        points: points.clone(),
-        max_census: 0,
-        states_checked: 0,
-        consistent: 0,
-        corrupt: 0,
-        stuck: 0,
-        examples: Vec::new(),
-    };
+        points,
+    }
+}
 
-    for &point in &points {
-        let mut inst = (case.build)();
-        inst.machine.set_adr_tracking(true);
-        inst.machine
-            .set_crash_trigger(CrashTrigger::AfterMemOps(point));
-        let plans = std::mem::take(&mut inst.plans);
-        if inst.machine.run(plans) != Outcome::Crashed {
-            // The candidate list came from an identical replay, so this
-            // only happens for a point past the last op; skip defensively.
-            continue;
+/// Execute one work unit: rebuild the case, replay to the crash point,
+/// materialize this unit's slice of the census subsets, run real
+/// recovery on each, classify (phase 2; parallel over units).
+fn run_unit(case: &CheckCase, budget: &Budget, seed: u64, unit: WorkUnit) -> UnitResult {
+    let mut out = UnitResult::default();
+    let mut inst = (case.build)();
+    inst.machine.set_adr_tracking(true);
+    inst.machine
+        .set_crash_trigger(CrashTrigger::AfterMemOps(unit.point));
+    let plans = std::mem::take(&mut inst.plans);
+    if inst.machine.run(plans) != Outcome::Crashed {
+        // The candidate list came from an identical replay, so this
+        // only happens for a point past the last op; skip defensively.
+        return out;
+    }
+    let census = inst
+        .machine
+        .take_crash_census()
+        .expect("ADR tracking was enabled");
+    out.census = census.entries.len();
+
+    let subsets = enumerate_subsets(census.entries.len(), budget.k, seed, unit.point);
+    let per = subsets.len().div_ceil(chunks_per_point(budget.k));
+    let start = (unit.chunk * per).min(subsets.len());
+    let end = (start + per).min(subsets.len());
+    for sel in &subsets[start..end] {
+        let image = census.materialize_subset(sel);
+        let mut post = inst.machine.fork_with_image(image);
+        let recover = &inst.recover;
+        let verify = &inst.verify;
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            recover(&mut post);
+            post.drain_caches();
+            verify(&post)
+        }));
+        let class = match verdict {
+            Ok(true) => StateClass::Consistent,
+            Ok(false) => StateClass::Corrupt,
+            Err(_) => StateClass::Stuck,
+        };
+        out.states_checked += 1;
+        match class {
+            StateClass::Consistent => out.consistent += 1,
+            StateClass::Corrupt => out.corrupt += 1,
+            StateClass::Stuck => out.stuck += 1,
         }
-        let census = inst
-            .machine
-            .take_crash_census()
-            .expect("ADR tracking was enabled");
-        report.max_census = report.max_census.max(census.entries.len());
+        if class != StateClass::Consistent && out.examples.len() < McReport::MAX_EXAMPLES {
+            out.examples.push(BadState {
+                op: unit.point,
+                census: census.entries.len(),
+                subset: subset_string(sel),
+                class,
+            });
+        }
+    }
+    out
+}
 
-        for sel in enumerate_subsets(census.entries.len(), budget.k, seed, point) {
-            let image = census.materialize_subset(&sel);
-            let mut post = inst.machine.fork_with_image(image);
-            let recover = &inst.recover;
-            let verify = &inst.verify;
-            let verdict = catch_unwind(AssertUnwindSafe(|| {
-                recover(&mut post);
-                post.drain_caches();
-                verify(&post)
-            }));
-            let class = match verdict {
-                Ok(true) => StateClass::Consistent,
-                Ok(false) => StateClass::Corrupt,
-                Err(_) => StateClass::Stuck,
-            };
-            report.states_checked += 1;
-            match class {
-                StateClass::Consistent => report.consistent += 1,
-                StateClass::Corrupt => report.corrupt += 1,
-                StateClass::Stuck => report.stuck += 1,
-            }
-            if class != StateClass::Consistent && report.examples.len() < McReport::MAX_EXAMPLES {
-                report.examples.push(BadState {
-                    op: point,
-                    census: census.entries.len(),
-                    subset: subset_string(&sel),
-                    class,
+/// Model-check every case under `budget` across up to `threads` host
+/// threads, deriving every sampling decision from `seed`.
+///
+/// Reports are byte-identical at any thread count: work units draw from
+/// per-unit RNG streams and merge strictly in `(case, point, chunk)`
+/// order, so parallelism changes only the wall-clock.
+///
+/// # Panics
+///
+/// Panics if any crash-free reference run fails to complete and verify —
+/// that means the *workload* is broken, not its recovery.
+pub fn check_cases(
+    cases: &[CheckCase],
+    budget: &Budget,
+    seed: u64,
+    threads: usize,
+) -> Vec<McReport> {
+    // Phase 1: reference + crash-point discovery, parallel over cases.
+    let plans = par_map(threads, cases, |_, case| plan_case(case, budget, seed));
+
+    // Phase 2: flatten the exploration into independent (case, point,
+    // chunk) units and fan them across workers. Dynamic claiming in
+    // `par_map` load-balances the heavy points.
+    let mut units = Vec::new();
+    for (ci, plan) in plans.iter().enumerate() {
+        for &point in &plan.points {
+            for chunk in 0..chunks_per_point(budget.k) {
+                units.push(WorkUnit {
+                    case: ci,
+                    point,
+                    chunk,
                 });
             }
         }
     }
-    report
+    let results = par_map(threads, &units, |_, &u| {
+        run_unit(&cases[u.case], budget, seed, u)
+    });
+
+    // Phase 3: deterministic merge, strictly in unit order.
+    let mut reports: Vec<McReport> = plans
+        .iter()
+        .zip(cases)
+        .map(|(plan, case)| McReport {
+            case_name: case.name.clone(),
+            seed,
+            k: budget.k,
+            mode: budget.mode_name(),
+            points_total: plan.points_total,
+            points: plan.points.clone(),
+            max_census: 0,
+            states_checked: 0,
+            consistent: 0,
+            corrupt: 0,
+            stuck: 0,
+            examples: Vec::new(),
+        })
+        .collect();
+    for (u, r) in units.iter().zip(results) {
+        let rep = &mut reports[u.case];
+        rep.max_census = rep.max_census.max(r.census);
+        rep.states_checked += r.states_checked;
+        rep.consistent += r.consistent;
+        rep.corrupt += r.corrupt;
+        rep.stuck += r.stuck;
+        for ex in r.examples {
+            if rep.examples.len() < McReport::MAX_EXAMPLES {
+                rep.examples.push(ex);
+            }
+        }
+    }
+    reports
+}
+
+/// Model-check one case under `budget` on the calling thread, deriving
+/// every sampling decision from `seed`.
+///
+/// # Panics
+///
+/// Panics if the crash-free reference run fails to complete and verify —
+/// that means the *workload* is broken, not its recovery.
+pub fn check_case(case: &CheckCase, budget: &Budget, seed: u64) -> McReport {
+    check_cases(std::slice::from_ref(case), budget, seed, 1)
+        .pop()
+        .expect("one case in, one report out")
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! The parallel exploration engine's determinism contract: the same
+//! `--seed` produces identical reports at any thread count.
+
+use lp_crashmc::cases::kernel_case;
+use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
+use lp_crashmc::mutations;
+use lp_kernels::driver::{KernelId, Scale};
+
+fn budget() -> Budget {
+    Budget {
+        mode: BudgetMode::Sampled(8),
+        k: 3,
+    }
+}
+
+/// Render a report set the way `lp-crashmc` prints it, so the comparison
+/// covers exactly what a user would diff.
+fn render(reports: &[lp_crashmc::mc::McReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&r.summary_line());
+        out.push('\n');
+        for ex in &r.examples {
+            out.push_str(&format!(
+                "    {:?} at op {} (census {}, subset {})\n",
+                ex.class, ex.op, ex.census, ex.subset
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn kernel_reports_are_byte_identical_across_thread_counts() {
+    let cases = vec![
+        kernel_case(
+            KernelId::Tmm,
+            lp_core::scheme::Scheme::lazy_default(),
+            Scale::Micro,
+        ),
+        kernel_case(
+            KernelId::Gauss,
+            lp_core::scheme::Scheme::Eager,
+            Scale::Micro,
+        ),
+    ];
+    let seq = check_cases(&cases, &budget(), 42, 1);
+    let par = check_cases(&cases, &budget(), 42, 8);
+    assert_eq!(seq, par, "structured reports must match exactly");
+    assert_eq!(render(&seq), render(&par), "rendered reports must match");
+}
+
+#[test]
+fn mutation_reports_are_byte_identical_and_still_flagged() {
+    // Recovery legitimately panics on some corrupt images; silence the
+    // default hook as the binary does.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cases = mutations::all();
+    let seq = check_cases(&cases, &budget(), 7, 1);
+    let par = check_cases(&cases, &budget(), 7, 8);
+    std::panic::set_hook(prev);
+    assert_eq!(seq, par);
+    for r in &par {
+        assert!(r.flagged(), "{} must stay flagged in parallel", r.case_name);
+    }
+}
+
+#[test]
+fn chunked_subset_exploration_matches_unchunked_counts() {
+    // k = 8 forces multiple subset chunks per crash point; totals and
+    // examples must still match the single-threaded walk.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cases = vec![mutations::all().remove(0)];
+    let b = Budget {
+        mode: BudgetMode::Sampled(4),
+        k: 8,
+    };
+    let seq = check_cases(&cases, &b, 3, 1);
+    let par = check_cases(&cases, &b, 3, 6);
+    std::panic::set_hook(prev);
+    assert_eq!(seq, par);
+}

@@ -79,11 +79,12 @@ pub struct PreparedKernel {
     /// The scheme the plans were built for.
     pub scheme: Scheme,
     /// Checks the durable image against the host golden reference (call
-    /// after the run completed and caches were drained).
-    pub verify: Box<dyn Fn(&Machine) -> bool>,
+    /// after the run completed and caches were drained). `Send + Sync` so
+    /// prepared cases can be rebuilt and driven from worker threads.
+    pub verify: Box<dyn Fn(&Machine) -> bool + Send + Sync>,
     /// Runs the scheme's real crash recovery on the machine (call after a
     /// crash, before `verify`); returns the recovery statistics.
-    pub recover: Box<dyn Fn(&mut Machine) -> lp_core::recovery::RecoveryStats>,
+    pub recover: Box<dyn Fn(&mut Machine) -> lp_core::recovery::RecoveryStats + Send + Sync>,
 }
 
 impl std::fmt::Debug for PreparedKernel {

@@ -60,6 +60,7 @@ pub mod mc;
 pub mod mem;
 pub mod memsys;
 pub mod observe;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

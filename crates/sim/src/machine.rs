@@ -20,9 +20,13 @@ use crate::memsys::{CrashTrigger, MemSystem};
 use crate::stats::{SimStats, WriteCause};
 
 /// A unit of scheduled work: one region closure or a barrier.
+///
+/// Region closures are `Send` so a whole prepared plan set (and the
+/// machine it targets) can be handed to a worker thread by the parallel
+/// exploration engine.
 pub enum WorkItem<'w> {
     /// A region of computation executed on one core without interleaving.
-    Region(Box<dyn FnOnce(&mut CoreCtx<'_>) + 'w>),
+    Region(Box<dyn FnOnce(&mut CoreCtx<'_>) + Send + 'w>),
     /// Wait until every unfinished core reaches its barrier, then align
     /// all their clocks to the maximum (models a synchronization barrier).
     Barrier,
@@ -50,7 +54,7 @@ impl<'w> ThreadPlan<'w> {
     }
 
     /// Append a region closure.
-    pub fn region(&mut self, f: impl FnOnce(&mut CoreCtx<'_>) + 'w) -> &mut Self {
+    pub fn region(&mut self, f: impl FnOnce(&mut CoreCtx<'_>) + Send + 'w) -> &mut Self {
         self.items.push_back(WorkItem::Region(Box::new(f)));
         self
     }
@@ -552,6 +556,17 @@ mod tests {
         let s2 = m.stats();
         assert_eq!(s2.core_totals().stores, 0);
         assert_eq!(s2.exec_cycles(), 0);
+    }
+
+    #[test]
+    fn machine_and_plans_are_send() {
+        // Compile-time contract for the parallel exploration engine: a
+        // complete simulation case (machine + plans) can cross threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<ThreadPlan<'static>>();
+        assert_send::<crate::mem::Nvmm>();
+        assert_send::<crate::memsys::MemSystem>();
     }
 
     #[test]

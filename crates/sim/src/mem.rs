@@ -6,7 +6,7 @@
 //! contents and keeps exactly this image.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::addr::{Addr, LineAddr, LINE_BYTES};
 
@@ -18,16 +18,20 @@ use crate::addr::{Addr, LineAddr, LINE_BYTES};
 /// `poke_*`/`peek_*` helpers that bypass the hierarchy for setup and
 /// post-crash inspection.
 ///
-/// The image is a shared base (`Rc<Vec<u8>>`) plus a per-handle line
+/// The image is a shared base (`Arc<Vec<u8>>`) plus a per-handle line
 /// overlay. [`Nvmm::fork`] is O(overlay) — it shares the base and clones
 /// only the overlay — so a crash-state model checker can explore thousands
 /// of candidate post-crash images without deep-copying the heap. A handle
 /// that uniquely owns its base (the common, unforked case) flattens the
 /// overlay back into the base on write, so normal simulation pays no
 /// overlay cost.
+///
+/// The base is atomically reference-counted so a whole image (and hence a
+/// machine) can move across host threads: the parallel exploration engine
+/// forks images on one worker and recovers them on another.
 #[derive(Debug, Clone)]
 pub struct Nvmm {
-    base: Rc<Vec<u8>>,
+    base: Arc<Vec<u8>>,
     overlay: HashMap<u64, [u8; LINE_BYTES]>,
 }
 
@@ -35,7 +39,7 @@ impl Nvmm {
     /// Create an image of `bytes` capacity, zero-filled.
     pub fn new(bytes: usize) -> Self {
         Nvmm {
-            base: Rc::new(vec![0u8; bytes]),
+            base: Arc::new(vec![0u8; bytes]),
             overlay: HashMap::new(),
         }
     }
@@ -51,7 +55,7 @@ impl Nvmm {
     /// are dropped), so forking is O(current overlay size), not O(heap).
     pub fn fork(&self) -> Nvmm {
         Nvmm {
-            base: Rc::clone(&self.base),
+            base: Arc::clone(&self.base),
             overlay: self.overlay.clone(),
         }
     }
@@ -64,16 +68,17 @@ impl Nvmm {
 
     /// Whether the base image is shared with other forks.
     pub fn is_shared(&self) -> bool {
-        Rc::strong_count(&self.base) > 1
+        Arc::strong_count(&self.base) > 1
     }
 
     /// If the base is uniquely owned, merge the overlay back into it so
-    /// subsequent writes take the direct path.
+    /// subsequent writes take the direct path. Early-outs on an empty
+    /// overlay (the common unforked case) before touching the refcount.
     fn flatten(&mut self) {
         if self.overlay.is_empty() {
             return;
         }
-        if let Some(data) = Rc::get_mut(&mut self.base) {
+        if let Some(data) = Arc::get_mut(&mut self.base) {
             for (&lineno, buf) in &self.overlay {
                 let base = lineno as usize * LINE_BYTES;
                 data[base..base + LINE_BYTES].copy_from_slice(buf);
@@ -101,12 +106,16 @@ impl Nvmm {
     /// Panics if the line is outside the image.
     pub fn read_line(&self, line: LineAddr, buf: &mut [u8; LINE_BYTES]) {
         self.check_line(line);
-        if let Some(over) = self.overlay.get(&line.0) {
-            buf.copy_from_slice(over);
-        } else {
-            let base = line.base().0 as usize;
-            buf.copy_from_slice(&self.base[base..base + LINE_BYTES]);
+        // Fast path: an unforked image has no overlay, so skip the hash
+        // probe entirely (this runs on every simulated line fill).
+        if !self.overlay.is_empty() {
+            if let Some(over) = self.overlay.get(&line.0) {
+                buf.copy_from_slice(over);
+                return;
+            }
         }
+        let base = line.base().0 as usize;
+        buf.copy_from_slice(&self.base[base..base + LINE_BYTES]);
     }
 
     /// Write a full cache line from `buf`.
@@ -116,10 +125,10 @@ impl Nvmm {
     /// Panics if the line is outside the image.
     pub fn write_line(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES]) {
         self.check_line(line);
-        if Rc::get_mut(&mut self.base).is_some() {
+        if Arc::get_mut(&mut self.base).is_some() {
             self.flatten();
             let base = line.base().0 as usize;
-            let data = Rc::get_mut(&mut self.base).expect("uniquely owned");
+            let data = Arc::get_mut(&mut self.base).expect("uniquely owned");
             data[base..base + LINE_BYTES].copy_from_slice(buf);
         } else {
             self.overlay.insert(line.0, *buf);
@@ -149,9 +158,9 @@ impl Nvmm {
     pub fn poke_bytes(&mut self, addr: Addr, bytes: &[u8]) {
         let base = addr.0 as usize;
         assert!(base + bytes.len() <= self.base.len(), "poke out of bounds");
-        if Rc::get_mut(&mut self.base).is_some() {
+        if Arc::get_mut(&mut self.base).is_some() {
             self.flatten();
-            let data = Rc::get_mut(&mut self.base).expect("uniquely owned");
+            let data = Arc::get_mut(&mut self.base).expect("uniquely owned");
             data[base..base + bytes.len()].copy_from_slice(bytes);
             return;
         }

@@ -12,9 +12,14 @@
 //! receives events by reference and has no channel back into the timing or
 //! functional model, so instrumented runs report bit-identical cycle
 //! counts and statistics.
+//!
+//! Sinks are held behind `Arc<Mutex<…>>` and must be `Send` so that a
+//! fully-instrumented machine remains `Send` and can be driven by the
+//! parallel exploration engine. The mutex is uncontended in practice —
+//! each machine runs on exactly one host thread at a time — so the lock
+//! is a cheap formality, not a synchronization point.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::addr::{Addr, LineAddr};
 use crate::stats::WriteCause;
@@ -149,7 +154,7 @@ pub trait EventSink {
 
 /// Shared handle to an installed sink (the machine and the caller both
 /// keep one so the caller can inspect accumulated state after a run).
-pub type SharedSink = Rc<RefCell<dyn EventSink>>;
+pub type SharedSink = Arc<Mutex<dyn EventSink + Send>>;
 
 /// The memory system's (optional) observer.
 ///
@@ -190,7 +195,7 @@ impl ObserverSlot {
     #[inline]
     pub fn emit(&self, ev: MemEvent) {
         if let Some(sink) = &self.0 {
-            sink.borrow_mut().on_event(&ev);
+            sink.lock().unwrap().on_event(&ev);
         }
     }
 }
@@ -216,19 +221,19 @@ mod tests {
 
     #[test]
     fn installed_slot_delivers_in_order() {
-        let sink = Rc::new(RefCell::new(Collector::default()));
+        let sink = Arc::new(Mutex::new(Collector::default()));
         let mut slot = ObserverSlot::default();
         slot.install(sink.clone());
         assert!(slot.is_some());
         slot.emit(MemEvent::Barrier { cycle: 1 });
         slot.emit(MemEvent::Crash { cycle: 2 });
         assert_eq!(
-            sink.borrow().0,
+            sink.lock().unwrap().0,
             vec![MemEvent::Barrier { cycle: 1 }, MemEvent::Crash { cycle: 2 }]
         );
         slot.clear();
         slot.emit(MemEvent::Barrier { cycle: 3 });
-        assert_eq!(sink.borrow().0.len(), 2);
+        assert_eq!(sink.lock().unwrap().0.len(), 2);
     }
 
     #[test]

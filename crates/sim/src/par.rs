@@ -1,0 +1,145 @@
+//! A minimal deterministic fork-join pool for the exploration engines.
+//!
+//! The crash-state model checker and the bench harness both fan an
+//! embarrassingly parallel matrix of independent simulation cases across
+//! host threads. This module provides the one primitive they need —
+//! an *ordered* parallel map — built purely on [`std::thread::scope`], so
+//! the workspace stays dependency-free (the container image carries no
+//! crates.io registry).
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] returns results in input order regardless of which worker
+//! processed which item or in what real-time order items completed. As
+//! long as `f(i, item)` is itself a pure function of its inputs (the
+//! simulator is deterministic and every stochastic choice draws from a
+//! [`crate::rng::Rng64::new_stream`] keyed by the item, never from shared
+//! state), the output of `par_map` is byte-identical at any thread count,
+//! including the sequential `threads <= 1` fallback.
+//!
+//! # Scheduling
+//!
+//! Work is distributed dynamically: workers claim the next unclaimed index
+//! from a shared atomic counter, so a few slow items (e.g. exhaustive
+//! crash-point replays of the FFT kernel) do not idle the remaining
+//! workers the way static chunking would. Each result lands in its own
+//! pre-allocated slot; no locks are held while computing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Map `f` over `items` using up to `threads` host threads, returning the
+/// results in input order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or one item) the
+/// map runs sequentially on the calling thread — the result is identical
+/// either way, only wall-clock differs.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller once
+/// all workers have stopped, matching the sequential behaviour closely
+/// enough for `should_panic`-style callers.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                })
+            })
+            .collect();
+        // Re-raise the first worker panic with its original payload (a
+        // bare scope exit would replace it with "a scoped thread
+        // panicked").
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(8, &items, |i, &x| {
+            // Make later items finish first to exercise the ordered merge.
+            std::thread::sleep(std::time::Duration::from_micros(100 - x));
+            (i as u64) * 10 + x
+        });
+        let expect: Vec<u64> = (0..100).map(|x| x * 11).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u32> = (0..257).collect();
+        let f = |i: usize, x: &u32| (i as u32).wrapping_mul(31).wrapping_add(*x);
+        assert_eq!(par_map(1, &items, f), par_map(7, &items, f));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[42u8], |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u8, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(4, &items, |_, &x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}
