@@ -25,7 +25,17 @@ cargo run --release -q -p lp-crashmc -- --budget smoke --threads 8
 echo "== lp-crashmc smoke: every discipline mutation is flagged (multi-threaded) =="
 cargo run --release -q -p lp-crashmc -- --mutations --budget exhaustive --threads 8
 
-echo "== perf baseline: refresh results/BENCH_4.json =="
+echo "== lp-crashmc smoke: seeded fault campaign (torn+media+nested), deterministic across thread counts =="
+cargo run --release -q -p lp-crashmc -- --budget smoke --faults torn,media,nested --seed 42 --threads 2 > /tmp/lp_faults_t2.txt
+cargo run --release -q -p lp-crashmc -- --budget smoke --faults torn,media,nested --seed 42 --threads 4 > /tmp/lp_faults_t4.txt
+cmp /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt \
+  || { echo "fault campaign reports differ across thread counts"; exit 1; }
+rm -f /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt
+
+echo "== lp-crashmc smoke: every fault mutation is flagged =="
+cargo run --release -q -p lp-crashmc -- --fault-mutations --threads 2
+
+echo "== perf baseline: refresh results/BENCH_5.json =="
 cargo run --release -q -p lp-bench --bin perf_baseline -- --quick > /dev/null
 
 echo "ci.sh: all gates passed"

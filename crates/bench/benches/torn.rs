@@ -1,0 +1,105 @@
+//! Micro-benchmarks of word-granular (torn) NVMM writes — the operation
+//! `CrashCensus::materialize_subset_torn` performs once per selected
+//! census entry when the fault campaign runs with `--faults torn`.
+//!
+//! `write_words` merges at write time (read line, splice words, store
+//! line) precisely so `read_line` needs no per-word bookkeeping. This
+//! bench guards that contract twice over:
+//!
+//! - functionally: torn writes on a uniquely-owned image must never
+//!   populate the overlay, so the empty-overlay `read_line` fast path
+//!   survives a torn campaign (hard assert, not a timing);
+//! - economically: the masked merge and the read hot path are timed
+//!   against their full-line baselines so a regression shows up as a
+//!   ratio, stored alongside the other bench baselines.
+//!
+//! Run: `cargo bench -p lp-bench --bench torn`.
+
+use lp_sim::addr::{LineAddr, LINE_BYTES};
+use lp_sim::mem::Nvmm;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `body` for about half a second and report ns per call.
+fn bench(name: &str, mut body: impl FnMut()) -> f64 {
+    for _ in 0..10 {
+        body(); // warm
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 500 {
+        body();
+        iters += 1;
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("  {:28} {:10.1} ns/call", name, per_call);
+    per_call
+}
+
+fn main() {
+    let lines = 1024u64;
+    let mut img = Nvmm::new(lines as usize * LINE_BYTES);
+    let buf = [0xA5u8; LINE_BYTES];
+
+    println!("torn write path (64 KiB image, unique base)");
+    let mut l = 0u64;
+    let full = bench("write_line", || {
+        img.write_line(LineAddr(l % lines), &buf);
+        l += 1;
+    });
+    let mut l = 0u64;
+    bench("write_words mask=0xFF", || {
+        img.write_words(LineAddr(l % lines), &buf, 0xFF);
+        l += 1;
+    });
+    let mut l = 0u64;
+    let torn = bench("write_words mask=0x5A", || {
+        img.write_words(LineAddr(l % lines), &buf, 0x5A);
+        l += 1;
+    });
+    println!(
+        "  masked merge costs {:.1}x a full-line write",
+        torn / full.max(1.0)
+    );
+
+    // The contract the fault campaign leans on: torn writes on a
+    // uniquely-owned image go straight to the base, so the overlay stays
+    // empty and every subsequent line fill keeps the fast path.
+    assert_eq!(
+        img.overlay_lines(),
+        0,
+        "write_words populated the overlay on a unique base — \
+         the empty-overlay read_line fast path has regressed"
+    );
+
+    println!("\nread_line after a torn campaign");
+    let mut out = [0u8; LINE_BYTES];
+    let mut l = 0u64;
+    let fast = bench("read_line empty overlay", || {
+        img.read_line(LineAddr(l % lines), &mut out);
+        black_box(&out);
+        l += 1;
+    });
+
+    // A forked image pays the overlay probe on reads and buffers torn
+    // writes in the overlay; keep the delta visible.
+    let mut forked = img.fork();
+    let _keep = img.fork();
+    for i in 0..64u64 {
+        forked.write_words(LineAddr(i * 7 % lines), &buf, 0x33);
+    }
+    assert!(
+        forked.overlay_lines() > 0,
+        "torn writes on a shared base must land in the overlay"
+    );
+    let mut l = 1u64;
+    let probed = bench("read_line overlay probe", || {
+        forked.read_line(LineAddr(l % lines), &mut out);
+        black_box(&out);
+        l += 1;
+    });
+    println!(
+        "  overlay probe costs {:.1}x the fast path",
+        probed / fast.max(1.0)
+    );
+}

@@ -1,9 +1,10 @@
 //! `perf_baseline` — machine-readable performance baseline for the repo's
 //! two heavy consumers: the simulator (memops/sec) and the crash-state
 //! model checker (states/sec), plus thread-scaling of the parallel
-//! exploration engine at 1/2/4/8 host threads.
+//! exploration engine at 1/2/4/8 host threads and the fault campaign's
+//! states/sec (torn + media + nested enabled).
 //!
-//! Emits `results/BENCH_4.json` (hand-rolled JSON; the workspace carries
+//! Emits `results/BENCH_5.json` (hand-rolled JSON; the workspace carries
 //! no serde) so the perf trajectory is measured, not anecdotal. Run with
 //! `--quick` for the CI-sized workload.
 //!
@@ -14,6 +15,7 @@ use lp_core::scheme::Scheme;
 use lp_crashmc::cases::all_kernel_cases;
 use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
 use lp_kernels::driver::{run_kernel, KernelId, Scale};
+use lp_sim::fault::FaultConfig;
 
 /// One emitted measurement.
 struct Entry {
@@ -30,7 +32,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_4\",\n");
+    out.push_str("  \"bench\": \"BENCH_5\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -95,11 +97,13 @@ fn main() {
         Budget {
             mode: BudgetMode::Smoke,
             k: 3,
+            faults: FaultConfig::none(),
         }
     } else {
         Budget {
             mode: BudgetMode::Sampled(24),
             k: 4,
+            faults: FaultConfig::none(),
         }
     };
     let cases = all_kernel_cases(Scale::Micro);
@@ -131,12 +135,45 @@ fn main() {
             ],
         });
     }
+    // --- Fault-campaign throughput: the same matrix with every fault
+    // class armed, so the injection layer's overhead is a measured ratio
+    // (faulted states/sec vs the clean matrix above), not a guess.
+    let faulted = Budget {
+        faults: FaultConfig::parse("torn,media,nested").expect("fault list"),
+        ..budget
+    };
+    for threads in [1usize, 4] {
+        eprintln!("perf_baseline: fault campaign @ {threads} thread(s)...");
+        let t0 = std::time::Instant::now();
+        let reports = check_cases(&cases, &faulted, 42, threads);
+        let wall = t0.elapsed().as_secs_f64();
+        let states: u64 = reports.iter().map(|r| r.states_checked).sum();
+        let torn: u64 = reports.iter().map(|r| r.tally.torn_states).sum();
+        let poisons: u64 = reports.iter().map(|r| r.tally.poisons).sum();
+        let nested: u64 = reports.iter().map(|r| r.tally.nested_crashes).sum();
+        assert!(
+            reports.iter().all(lp_crashmc::mc::McReport::clean),
+            "hardened kernel matrix must survive the fault campaign"
+        );
+        entries.push(Entry {
+            name: format!("crashmc/fault-campaign/threads-{threads}"),
+            wall_secs: wall,
+            rate: states as f64 / wall.max(1e-9),
+            rate_unit: "states_per_sec",
+            detail: vec![
+                ("states".into(), states as f64),
+                ("torn_states".into(), torn as f64),
+                ("poisons".into(), poisons as f64),
+                ("nested_crashes".into(), nested as f64),
+            ],
+        });
+    }
     let _ = std::panic::take_hook();
 
     let json = render_json(args.quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_4.json");
+    let path = std::path::Path::new("results").join("BENCH_5.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_4.json");
+    std::fs::write(&path, &json).expect("write BENCH_5.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
 }

@@ -134,6 +134,10 @@ pub struct Checker {
     epoch_reported: HashSet<u64>,
     /// Committed Lazy regions awaiting checksum durability (R6).
     pending: Vec<PendingChecksum>,
+    /// Protected lines stored by post-crash *recovery* code and their
+    /// flush progress (drives R7). Cleared at every crash: unfenced
+    /// recovery stores die with the caches, so a re-entry starts clean.
+    rec_lines: HashMap<u64, LineStage>,
 }
 
 impl Checker {
@@ -151,6 +155,7 @@ impl Checker {
             epoch_writers: HashMap::new(),
             epoch_reported: HashSet::new(),
             pending: Vec::new(),
+            rec_lines: HashMap::new(),
         }
     }
 
@@ -444,22 +449,88 @@ impl Checker {
                 key,
             } => self.on_commit(core, cycle, region, key),
             MemEvent::Crash { .. } => {
-                // Post-crash state is the recovery tests' concern; stop
-                // auditing the stream (caches are gone, regions torn by
-                // design).
+                // The run's forward rules stop here (caches are gone,
+                // regions torn by design); the stream re-arms in
+                // recovery-audit mode, where only R7 applies.
                 self.crashed = true;
             }
+        }
+    }
+
+    /// Recovery-audit mode: every event after a crash is audited against
+    /// R7 alone. Recovery must converge under a nested crash, so a
+    /// *progress* store — a marker, WAL header, or checksum-table entry a
+    /// re-entry would trust — may only be issued once every protected
+    /// line recovery has stored is flushed and fenced; otherwise the
+    /// promise can become durable before the data it vouches for and the
+    /// re-entry skips the repair.
+    fn on_recovery_event(&mut self, ev: &MemEvent) {
+        match *ev {
+            MemEvent::Store {
+                core,
+                cycle,
+                addr,
+                bits,
+                region,
+                ..
+            } => match self.role_of(addr).map(|(role, _)| role) {
+                Some(RangeRole::Protected) => {
+                    self.rec_lines.insert(addr.line().0, LineStage::Dirty);
+                }
+                Some(RangeRole::Markers | RangeRole::WalHeader | RangeRole::ChecksumTable) => {
+                    let mut unfenced: Vec<u64> = self
+                        .rec_lines
+                        .iter()
+                        .filter(|&(_, stage)| *stage != LineStage::Fenced)
+                        .map(|(&l, _)| l)
+                        .collect();
+                    if !unfenced.is_empty() {
+                        unfenced.sort_unstable();
+                        self.flag(
+                            Rule::R7,
+                            core,
+                            cycle,
+                            Some(addr),
+                            region,
+                            None,
+                            format!(
+                                "recovery progress value {bits:#018x} stored while                                  {} protected recovery line(s) lack a covering                                  flush+sfence, e.g. L{:#x}",
+                                unfenced.len(),
+                                unfenced[0]
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            },
+            MemEvent::Flush { line, .. } => {
+                if let Some(stage) = self.rec_lines.get_mut(&line.0) {
+                    if *stage == LineStage::Dirty {
+                        *stage = LineStage::Flushed;
+                    }
+                }
+            }
+            MemEvent::Sfence { .. } => {
+                for stage in self.rec_lines.values_mut() {
+                    if *stage == LineStage::Flushed {
+                        *stage = LineStage::Fenced;
+                    }
+                }
+            }
+            MemEvent::Crash { .. } => self.rec_lines.clear(),
+            _ => {}
         }
     }
 }
 
 impl EventSink for Checker {
     fn on_event(&mut self, ev: &MemEvent) {
-        if self.crashed {
-            return;
-        }
         self.events_seen += 1;
-        self.handle(ev);
+        if self.crashed {
+            self.on_recovery_event(ev);
+        } else {
+            self.handle(ev);
+        }
     }
 }
 
@@ -486,6 +557,13 @@ mod tests {
                 bytes: 64,
                 elem_bytes: 8,
                 role: RangeRole::ChecksumTable,
+            },
+            TrackedRange {
+                name: "mk".into(),
+                base: Addr(2048),
+                bytes: 64,
+                elem_bytes: 8,
+                role: RangeRole::Markers,
             },
         ]
     }
@@ -631,6 +709,43 @@ mod tests {
                 "durable_first={durable_first}"
             );
         }
+    }
+
+    #[test]
+    fn r7_fires_on_progress_before_fenced_recovery_data() {
+        for disciplined in [false, true] {
+            let mut c = Checker::new(Scheme::Eager, ranges(), "t");
+            c.on_event(&MemEvent::Crash { cycle: 1 });
+            // Recovery repairs protected data…
+            c.on_event(&store(0, 8, 42, None));
+            if disciplined {
+                c.on_event(&MemEvent::Flush {
+                    core: 0,
+                    cycle: 2,
+                    line: LineAddr(0),
+                    keep: false,
+                    region: None,
+                });
+                c.on_event(&MemEvent::Sfence {
+                    core: 0,
+                    cycle: 3,
+                    region: None,
+                });
+            }
+            // …then stores its progress marker.
+            c.on_event(&store(0, 2048, 1, None));
+            assert_eq!(c.report().flags(Rule::R7), !disciplined, "{disciplined}");
+        }
+    }
+
+    #[test]
+    fn r7_rearms_clean_after_a_nested_crash() {
+        let mut c = Checker::new(Scheme::Eager, ranges(), "t");
+        c.on_event(&MemEvent::Crash { cycle: 1 });
+        c.on_event(&store(0, 8, 42, None)); // unfenced, but then…
+        c.on_event(&MemEvent::Crash { cycle: 2 }); // …lost with the caches
+        c.on_event(&store(0, 2048, 1, None));
+        assert!(!c.report().flags(Rule::R7));
     }
 
     #[test]

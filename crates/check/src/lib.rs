@@ -2,7 +2,7 @@
 //!
 //! `lp-check` replays the simulator's memory-event stream (see
 //! `lp_sim::observe`) against the contract of the persistency scheme in
-//! force and reports violations. It enforces six rules:
+//! force and reports violations. It enforces seven rules:
 //!
 //! * **R1** — store to protected persistent memory outside any
 //!   begin/commit region.
@@ -18,6 +18,10 @@
 //! * **R6** — a committed Lazy region's line rewritten by a later region,
 //!   before the earlier checksum reached NVMM, without a fresh checksum
 //!   entry.
+//! * **R7** — post-crash recovery stored a progress value (marker, WAL
+//!   header, or checksum-table entry) while protected recovery stores it
+//!   vouches for still lacked a covering flush + `sfence` — a nested crash
+//!   in that window would trust the promise and skip the repair.
 //!
 //! The checker is an observer: it cannot perturb the timing or functional
 //! model, and a machine without one installed pays nothing. Because the

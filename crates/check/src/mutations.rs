@@ -17,6 +17,7 @@ use lp_core::track::{RangeRole, TrackedRange};
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, ThreadPlan};
 use lp_sim::mem::PArray;
+use lp_sim::prelude::CrashTrigger;
 
 use crate::checker::Checker;
 use crate::report::{Rule, ViolationReport};
@@ -342,6 +343,64 @@ pub fn torn_rewrite() -> MutationOutcome {
     }
 }
 
+/// A crashed Eager run whose recovery persists its done-marker *before*
+/// the data repairs it vouches for are flushed and fenced (rule R7): a
+/// nested crash in that window would make the promise durable without
+/// the repair, and the re-entry would trust it and skip the work.
+pub fn recovery_marker_first() -> MutationOutcome {
+    let scheme = Scheme::Eager;
+    let Rig {
+        mut machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let markers = handles.markers;
+    let checker = Arc::new(Mutex::new(Checker::new(
+        scheme,
+        ranges,
+        "mutation recovery_marker_first",
+    )));
+    machine.set_observer(checker.clone());
+    // A perfectly disciplined forward region, crashed mid-way so the
+    // checker enters recovery-audit mode.
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(0);
+        for i in 0..8 {
+            ctx.store(arr, i, (i + 1) as f64);
+            ctx.clflushopt(arr.addr(i));
+        }
+        ctx.sfence();
+        ctx.store(markers, 0, 1);
+        ctx.clflushopt(markers.addr(0));
+        ctx.sfence();
+        ctx.region_end();
+    });
+    machine.set_crash_trigger(CrashTrigger::AfterMemOps(5));
+    machine.run(plans);
+    {
+        // The mutant recovery: re-stores the data, then persists the
+        // marker while the data lines are still dirty in the cache.
+        let mut ctx = machine.ctx(0);
+        for i in 0..8 {
+            ctx.store(arr, i, (i + 1) as f64);
+        }
+        ctx.store(markers, 0, 1); // R7: the promise outruns the repair.
+        ctx.clflushopt(markers.addr(0));
+        ctx.sfence();
+        ctx.clflushopt(arr.addr(0));
+        ctx.sfence();
+    }
+    machine.clear_observer();
+    let report = checker.lock().unwrap().report();
+    MutationOutcome {
+        name: "recovery_marker_first",
+        expected: Rule::R7,
+        report,
+    }
+}
+
 /// Control: the same shape as the mutants but fully disciplined — the
 /// checker must stay silent.
 pub fn disciplined_control(scheme: Scheme) -> ViolationReport {
@@ -382,6 +441,7 @@ pub fn run_all() -> Vec<MutationOutcome> {
         wal_data_before_log(),
         overlap_write_sets(),
         torn_rewrite(),
+        recovery_marker_first(),
     ]
 }
 
@@ -403,7 +463,7 @@ mod tests {
     }
 
     #[test]
-    fn mutations_cover_all_six_rules() {
+    fn mutations_cover_all_rules() {
         let covered: std::collections::HashSet<Rule> =
             run_all().into_iter().map(|o| o.expected).collect();
         assert_eq!(covered.len(), Rule::ALL.len());

@@ -27,13 +27,27 @@ pub enum Rule {
     /// A committed Lazy region's line rewritten by a later region, before
     /// the earlier checksum reached NVMM, without a fresh checksum entry.
     R6,
+    /// Non-idempotent recovery write: post-crash recovery stored a
+    /// progress value (marker, WAL header, or checksum-table entry) while
+    /// protected recovery stores it vouches for still lacked a covering
+    /// flush + `sfence`, so a nested crash could persist the promise
+    /// without the data and the re-entry would skip the repair.
+    R7,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+    pub const ALL: [Rule; 7] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+    ];
 
-    /// Short identifier (`"R1"` … `"R6"`).
+    /// Short identifier (`"R1"` … `"R7"`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::R1 => "R1",
@@ -42,6 +56,7 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
@@ -54,6 +69,7 @@ impl Rule {
             Rule::R4 => "in-place store before its undo-log entry was durably ordered",
             Rule::R5 => "overlapping write sets between concurrently scheduled regions",
             Rule::R6 => "committed region's line rewritten before its checksum was durable",
+            Rule::R7 => "recovery progress stored before the repairs it vouches for were durable",
         }
     }
 }
@@ -145,7 +161,7 @@ impl ViolationReport {
         self.of_rule(rule).next().is_some()
     }
 
-    /// Per-rule counts, ordered R1..R6, rules with zero hits omitted.
+    /// Per-rule counts, ordered R1..R7, rules with zero hits omitted.
     pub fn counts(&self) -> Vec<(Rule, usize)> {
         Rule::ALL
             .into_iter()
@@ -235,8 +251,8 @@ mod tests {
     #[test]
     fn rule_ids_and_titles_are_distinct() {
         let ids: std::collections::HashSet<_> = Rule::ALL.iter().map(|r| r.id()).collect();
-        assert_eq!(ids.len(), 6);
+        assert_eq!(ids.len(), Rule::ALL.len());
         let titles: std::collections::HashSet<_> = Rule::ALL.iter().map(|r| r.title()).collect();
-        assert_eq!(titles.len(), 6);
+        assert_eq!(titles.len(), Rule::ALL.len());
     }
 }

@@ -28,6 +28,9 @@ pub struct RecoveryStats {
     pub regions_inconsistent: u64,
     /// Regions recomputed/repair work units executed.
     pub regions_repaired: u64,
+    /// Regions rebuilt because their lines intersected poisoned (media
+    /// fault) NVMM — the checksum verdict was never trusted for these.
+    pub regions_quarantined: u64,
     /// Cycles spent in recovery (filled by the kernel harness).
     pub cycles: u64,
 }
@@ -38,8 +41,28 @@ impl RecoveryStats {
         self.regions_checked += other.regions_checked;
         self.regions_inconsistent += other.regions_inconsistent;
         self.regions_repaired += other.regions_repaired;
+        self.regions_quarantined += other.regions_quarantined;
         self.cycles += other.cycles;
     }
+}
+
+/// Whether any line backing elements `[start, start + count)` of `arr` is
+/// in `poisoned` (a sorted list from
+/// [`lp_sim::memsys::MemSystem::poisoned_lines`]). Quarantined ranges must
+/// be rebuilt by recomputation regardless of what their checksums say:
+/// poison reads as a fixed pattern, and a pattern can collide with a weak
+/// code.
+pub fn range_poisoned<T: Scalar>(
+    poisoned: &[lp_sim::addr::LineAddr],
+    arr: PArray<T>,
+    start: usize,
+    count: usize,
+) -> bool {
+    if poisoned.is_empty() || count == 0 {
+        return false;
+    }
+    arr.lines_of_range(start, count)
+        .any(|line| poisoned.binary_search(&line).is_ok())
 }
 
 /// Recompute the checksum of region values read through the timed context
@@ -185,16 +208,19 @@ mod tests {
             regions_checked: 2,
             regions_inconsistent: 1,
             regions_repaired: 1,
+            regions_quarantined: 1,
             cycles: 100,
         };
         let b = RecoveryStats {
             regions_checked: 3,
             regions_inconsistent: 0,
             regions_repaired: 0,
+            regions_quarantined: 2,
             cycles: 50,
         };
         a.merge(&b);
         assert_eq!(a.regions_checked, 5);
+        assert_eq!(a.regions_quarantined, 3);
         assert_eq!(a.cycles, 150);
     }
 

@@ -30,11 +30,22 @@ pub fn kernel_case(kernel: KernelId, scheme: Scheme, scale: Scale) -> CheckCase 
         name: format!("{kernel}/{scheme}"),
         build: Box::new(move || {
             let pk = prepare_kernel(kernel, scale, &cfg, scheme);
+            // Silent bit flips are only meaningful under Lazy schemes:
+            // EP/WAL trust their markers and have no checksum to notice a
+            // flipped committed line (the paper's §III-C detection gap),
+            // so the campaign does not charge them with flips. Poison is
+            // not silent — every scheme must quarantine and rebuild.
+            let flip_lines = match scheme {
+                Scheme::Lazy(_) | Scheme::LazyEagerCk(_) => pk.flip_lines,
+                _ => Vec::new(),
+            };
             PreparedCase {
                 machine: pk.machine,
                 plans: pk.plans,
                 recover: pk.recover,
                 verify: pk.verify,
+                flip_lines,
+                poison_lines: pk.poison_lines,
             }
         }),
     }

@@ -26,5 +26,6 @@
 //! the definition of "reachable state".
 #![deny(missing_docs)]
 pub mod cases;
+pub mod fault_mutations;
 pub mod mc;
 pub mod mutations;

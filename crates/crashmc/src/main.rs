@@ -5,29 +5,40 @@ use lp_core::checksum::ChecksumKind;
 use lp_core::scheme::Scheme;
 use lp_crashmc::cases::{all_kernel_cases, kernel_case, CLEAN_SCHEMES};
 use lp_crashmc::mc::{check_cases, Budget, BudgetMode, CheckCase, McReport};
-use lp_crashmc::mutations;
+use lp_crashmc::{fault_mutations, mutations};
 use lp_kernels::driver::{KernelId, Scale};
+use lp_sim::fault::FaultConfig;
 use lp_sim::par::available_threads;
 
 const USAGE: &str = "\
 lp-crashmc: exhaustive crash-state model checker for the persistency schemes
 
 USAGE:
-  lp-crashmc [OPTIONS]               check kernels x {LP, EP, WAL}
-  lp-crashmc --mutations [OPTIONS]   check the seven discipline mutations
-                                     (each must yield >= 1 corrupt/stuck state)
+  lp-crashmc [OPTIONS]                   check kernels x {LP, EP, WAL}
+  lp-crashmc --mutations [OPTIONS]       check the seven discipline mutations
+                                         (each must yield >= 1 corrupt/stuck state)
+  lp-crashmc --fault-mutations [OPTIONS] check the three fault-model mutations,
+                                         each under the fault class it needs
 
 OPTIONS:
   --budget MODE     exhaustive | sampled | smoke      [default: sampled]
   --points N        crash points per case under sampled [default: 48]
   --k K             census bound: up to 2^K states per crash point [default: 4]
   --seed S          seed for every sampling decision  [default: 42]
+  --faults LIST     comma-separated fault classes injected on top of the
+                    clean ADR crash model: torn, media, nested
+                    (e.g. --faults torn,media,nested)  [default: none]
+  --nested-bound K  crashes injected per recovery before the final
+                    crash-free attempt (with nested)  [default: 2]
   --kernel NAME     tmm | cholesky | conv2d | gauss | fft | all [default: all]
   --scheme NAME     lazy | eager | wal | all          [default: all]
   --scale NAME      micro | test                      [default: micro]
   --threads N       host worker threads for the exploration
                     [default: the machine's available parallelism]
-                    Reports are byte-identical at any thread count.
+                    Reports (stdout and JSON) are byte-identical at any
+                    thread count.
+  --report PATH     write a JSON campaign report (states, verdicts, and
+                    per-class fault tallies) to PATH
   --list            list the cases that would run, then exit
   --help            this text
 
@@ -43,16 +54,20 @@ struct Args {
     scale: Scale,
     threads: usize,
     mutations: bool,
+    fault_mutations: bool,
+    report: Option<String>,
     list: bool,
 }
 
 fn parse_args() -> Args {
     let mut budget_mode = None;
     let mut points = 48usize;
+    let mut nested_bound: Option<u32> = None;
     let mut out = Args {
         budget: Budget {
             mode: BudgetMode::Sampled(48),
             k: 4,
+            faults: FaultConfig::none(),
         },
         seed: 42,
         kernel: None,
@@ -60,6 +75,8 @@ fn parse_args() -> Args {
         scale: Scale::Micro,
         threads: available_threads(),
         mutations: false,
+        fault_mutations: false,
+        report: None,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -146,7 +163,24 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             }
+            "--faults" => {
+                out.budget.faults = FaultConfig::parse(&value(&mut args, "--faults"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}\n\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
+            "--nested-bound" => {
+                nested_bound = Some(value(&mut args, "--nested-bound").parse().unwrap_or_else(
+                    |_| {
+                        eprintln!("--nested-bound needs a number");
+                        std::process::exit(2);
+                    },
+                ));
+            }
+            "--report" => out.report = Some(value(&mut args, "--report")),
             "--mutations" => out.mutations = true,
+            "--fault-mutations" => out.fault_mutations = true,
             "--list" => out.list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -166,6 +200,9 @@ fn parse_args() -> Args {
         };
     } else {
         out.budget.mode = BudgetMode::Sampled(points);
+    }
+    if let Some(b) = nested_bound {
+        out.budget.faults.nested_bound = b;
     }
     out
 }
@@ -198,6 +235,9 @@ fn print_report(r: &McReport, expect_flagged: bool) {
         (true, false) => "MISSED",
     };
     println!("{}  {}", r.summary_line(), verdict);
+    if r.faults != "none" {
+        println!("{}", r.tally.summary_line());
+    }
     for ex in &r.examples {
         println!(
             "    {:?} at op {} (census {}, subset {})",
@@ -206,8 +246,144 @@ fn print_report(r: &McReport, expect_flagged: bool) {
     }
 }
 
+/// Minimal JSON string escaping (the report emits only ASCII names).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn tally_json(t: &lp_crashmc::mc::FaultTally) -> String {
+    format!(
+        concat!(
+            "{{\"torn_states\":{},\"torn_words_dropped\":{},",
+            "\"flips\":{},\"flips_detected\":{},\"flips_benign\":{},\"flips_missed\":{},",
+            "\"poisons\":{},\"poisons_detected\":{},\"poisons_scrubbed\":{},",
+            "\"nested_crashes\":{},\"retries\":{},\"retry_exhausted\":{}}}"
+        ),
+        t.torn_states,
+        t.torn_words_dropped,
+        t.flips,
+        t.flips_detected,
+        t.flips_benign,
+        t.flips_missed,
+        t.poisons,
+        t.poisons_detected,
+        t.poisons_scrubbed,
+        t.nested_crashes,
+        t.retries,
+        t.retry_exhausted,
+    )
+}
+
+/// Serialize the campaign deterministically (no timing, no thread count,
+/// so the file is byte-identical at any parallelism).
+fn campaign_json(reports: &[McReport], seed: u64) -> String {
+    let mut cases = Vec::new();
+    let mut total = lp_crashmc::mc::FaultTally::default();
+    let (mut states, mut consistent, mut corrupt, mut stuck) = (0u64, 0u64, 0u64, 0u64);
+    for r in reports {
+        total.merge(&r.tally);
+        states += r.states_checked;
+        consistent += r.consistent;
+        corrupt += r.corrupt;
+        stuck += r.stuck;
+        cases.push(format!(
+            concat!(
+                "    {{\"case\":\"{}\",\"mode\":\"{}\",\"k\":{},\"faults\":\"{}\",",
+                "\"points_total\":{},\"points_visited\":{},\"max_census\":{},",
+                "\"states\":{},\"consistent\":{},\"corrupt\":{},\"stuck\":{},",
+                "\"tally\":{}}}"
+            ),
+            json_escape(&r.case_name),
+            json_escape(&r.mode),
+            r.k,
+            json_escape(&r.faults),
+            r.points_total,
+            r.points.len(),
+            r.max_census,
+            r.states_checked,
+            r.consistent,
+            r.corrupt,
+            r.stuck,
+            tally_json(&r.tally),
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n  \"tool\": \"lp-crashmc\",\n  \"seed\": {},\n  \"cases\": [\n{}\n  ],\n",
+            "  \"total\": {{\"states\":{},\"consistent\":{},\"corrupt\":{},\"stuck\":{},",
+            "\"tally\":{}}}\n}}\n"
+        ),
+        seed,
+        cases.join(",\n"),
+        states,
+        consistent,
+        corrupt,
+        stuck,
+        tally_json(&total),
+    )
+}
+
 fn main() {
     let args = parse_args();
+    if args.fault_mutations {
+        let rigs = fault_mutations::all();
+        if args.list {
+            for (c, f) in &rigs {
+                println!("{}  [--faults {}]", c.name, f);
+            }
+            return;
+        }
+        println!(
+            "lp-crashmc: {} fault-mutation rig(s), budget {:?}, k {}, seed {}",
+            rigs.len(),
+            args.budget.mode,
+            args.budget.k,
+            args.seed
+        );
+        std::panic::set_hook(Box::new(|_| {}));
+        // Each rig runs under the fault class it was written to need,
+        // with the CLI's --nested-bound honoured where nesting applies.
+        let reports: Vec<McReport> = rigs
+            .into_iter()
+            .map(|(case, mut faults)| {
+                if faults.nested && args.budget.faults.nested_bound > 0 {
+                    faults.nested_bound = args.budget.faults.nested_bound;
+                }
+                let budget = Budget {
+                    faults,
+                    ..args.budget
+                };
+                check_cases(&[case], &budget, args.seed, args.threads).remove(0)
+            })
+            .collect();
+        let _ = std::panic::take_hook();
+        let mut failed = false;
+        for r in &reports {
+            print_report(r, true);
+            failed |= !r.flagged();
+        }
+        let flagged = reports.iter().filter(|r| r.flagged()).count();
+        println!(
+            "{}/{} fault mutations flagged across {} crash states",
+            flagged,
+            reports.len(),
+            reports.iter().map(|r| r.states_checked).sum::<u64>(),
+        );
+        if let Some(path) = &args.report {
+            write_report(path, &campaign_json(&reports, args.seed));
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
     let cases = select_cases(&args);
     if args.list {
         for c in &cases {
@@ -269,7 +445,26 @@ fn main() {
             reports.iter().map(|r| r.stuck).sum::<u64>(),
         );
     }
+    if let Some(path) = &args.report {
+        write_report(path, &campaign_json(&reports, args.seed));
+    }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Write the JSON campaign report, creating parent directories.
+fn write_report(path: &str, json: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("lp-crashmc: campaign report written to {path}"),
+        Err(e) => {
+            eprintln!("lp-crashmc: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
     }
 }

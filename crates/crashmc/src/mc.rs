@@ -16,11 +16,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use lp_core::recovery::RecoveryStats;
+use lp_sim::addr::{LineAddr, LINE_BYTES};
+use lp_sim::fault::{draw_word_masks, flip_bit, FaultConfig};
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
 use lp_sim::memsys::CrashTrigger;
 use lp_sim::observe::{EventSink, MemEvent};
 use lp_sim::par::par_map;
 use lp_sim::rng::Rng64;
+
+/// Salt mixed into the seed for the fault-injection RNG streams, so fault
+/// placement is independent of (but as reproducible as) subset sampling.
+const FAULT_SALT: u64 = 0xFA17_0A75_11EC_7ED5;
 
 /// One freshly-built, never-run instance of a checked workload.
 ///
@@ -38,6 +44,11 @@ pub struct PreparedCase {
     pub recover: Box<dyn Fn(&mut Machine) -> RecoveryStats + Send + Sync>,
     /// Checks the durable image against the crash-free expectation.
     pub verify: Box<dyn Fn(&Machine) -> bool + Send + Sync>,
+    /// Lines the fault campaign may silently bit-flip (empty disables
+    /// flips for this case; only Lazy schemes detect silent corruption).
+    pub flip_lines: Vec<LineAddr>,
+    /// Lines the fault campaign may poison (empty disables poison).
+    pub poison_lines: Vec<LineAddr>,
 }
 
 /// A checkable workload: a name plus a factory producing fresh,
@@ -76,6 +87,8 @@ pub struct Budget {
     /// with at most `k` undetermined lines are enumerated exhaustively;
     /// larger ones are sampled (empty and full subsets always included).
     pub k: u32,
+    /// Fault classes injected on top of the clean ADR crash model.
+    pub faults: FaultConfig,
 }
 
 impl Budget {
@@ -97,6 +110,80 @@ pub enum StateClass {
     Corrupt,
     /// Recovery panicked (could not make progress on this image).
     Stuck,
+}
+
+/// Per-class fault bookkeeping for one campaign (additive across work
+/// units; merged strictly in unit order, so byte-identical at any host
+/// thread count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// States materialized with torn (word-granular) line persists.
+    pub torn_states: u64,
+    /// 8-byte words of selected census entries dropped by torn masks.
+    pub torn_words_dropped: u64,
+    /// Silent single-bit flips injected into post-crash images.
+    pub flips: u64,
+    /// Flip states where recovery reported at least one inconsistent or
+    /// quarantined region (it noticed damage and repaired).
+    pub flips_detected: u64,
+    /// Flip states recovery reported nothing for, yet the output still
+    /// verified (the flipped line was overwritten by replay).
+    pub flips_benign: u64,
+    /// Flip states with neither detection nor a correct output — real
+    /// undetected corruption (must stay zero for a sound scheme).
+    pub flips_missed: u64,
+    /// Poisoned (unreadable) lines injected into post-crash images.
+    pub poisons: u64,
+    /// Poison states recovery quarantined (regions_quarantined > 0).
+    pub poisons_detected: u64,
+    /// Poison states whose image held no poisoned line after recovery —
+    /// every poisoned line was rebuilt and scrubbed.
+    pub poisons_scrubbed: u64,
+    /// Crashes injected *during* recovery that actually fired.
+    pub nested_crashes: u64,
+    /// Recovery re-entries forced by nested crashes.
+    pub retries: u64,
+    /// States that consumed the full nested-crash bound before the final
+    /// crash-free attempt converged.
+    pub retry_exhausted: u64,
+}
+
+impl FaultTally {
+    /// Fold another tally into this one (all counters are additive).
+    pub fn merge(&mut self, o: &FaultTally) {
+        self.torn_states += o.torn_states;
+        self.torn_words_dropped += o.torn_words_dropped;
+        self.flips += o.flips;
+        self.flips_detected += o.flips_detected;
+        self.flips_benign += o.flips_benign;
+        self.flips_missed += o.flips_missed;
+        self.poisons += o.poisons;
+        self.poisons_detected += o.poisons_detected;
+        self.poisons_scrubbed += o.poisons_scrubbed;
+        self.nested_crashes += o.nested_crashes;
+        self.retries += o.retries;
+        self.retry_exhausted += o.retry_exhausted;
+    }
+
+    /// One indented summary line for fault-campaign tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "    faults: torn {} ({} words)  flips {} (det {} benign {} missed {})  \
+             poison {} (det {} scrubbed {})  nested {} (retries {} exhausted {})",
+            self.torn_states,
+            self.torn_words_dropped,
+            self.flips,
+            self.flips_detected,
+            self.flips_benign,
+            self.flips_missed,
+            self.poisons,
+            self.poisons_detected,
+            self.poisons_scrubbed,
+            self.nested_crashes,
+            self.retries,
+            self.retry_exhausted,
+        )
+    }
 }
 
 /// One bad state, kept as a reproducible example.
@@ -137,6 +224,10 @@ pub struct McReport {
     pub corrupt: u64,
     /// States on which recovery panicked.
     pub stuck: u64,
+    /// The fault classes this campaign injected (display form).
+    pub faults: String,
+    /// Per-class fault bookkeeping (all zero when `faults` is "none").
+    pub tally: FaultTally,
     /// Up to [`Self::MAX_EXAMPLES`] reproducible bad states.
     pub examples: Vec<BadState>,
 }
@@ -295,6 +386,7 @@ struct UnitResult {
     consistent: u64,
     corrupt: u64,
     stuck: u64,
+    tally: FaultTally,
     examples: Vec<BadState>,
 }
 
@@ -362,20 +454,123 @@ fn run_unit(case: &CheckCase, budget: &Budget, seed: u64, unit: WorkUnit) -> Uni
     let per = subsets.len().div_ceil(chunks_per_point(budget.k));
     let start = (unit.chunk * per).min(subsets.len());
     let end = (start + per).min(subsets.len());
+    // Every fault decision for this unit comes from one salted stream
+    // keyed by the unit alone, never from shared state, so campaigns stay
+    // byte-identical at any host thread count.
+    let faults = budget.faults;
+    let unit_stream = (unit.case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ unit.point.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        ^ unit.chunk as u64;
+    let mut frng = Rng64::new_stream(seed ^ FAULT_SALT, unit_stream);
     for sel in &subsets[start..end] {
-        let image = census.materialize_subset(sel);
+        let image = if faults.torn {
+            // ADR is word-atomic, not line-atomic: each selected entry
+            // persists only the words its drawn mask keeps.
+            let masks = draw_word_masks(&mut frng, sel.len());
+            out.tally.torn_states += 1;
+            for (i, &s) in sel.iter().enumerate() {
+                if s {
+                    out.tally.torn_words_dropped += u64::from(masks[i].count_zeros());
+                }
+            }
+            census.materialize_subset_torn(sel, &masks)
+        } else {
+            census.materialize_subset(sel)
+        };
         let mut post = inst.machine.fork_with_image(image);
+        let (mut injected_flip, mut injected_poison) = (false, false);
+        if faults.media {
+            if !inst.flip_lines.is_empty() {
+                let line = inst.flip_lines[frng.below(inst.flip_lines.len())];
+                let bit = frng.below(LINE_BYTES * 8);
+                flip_bit(post.mem_mut().nvmm_mut(), line, bit);
+                out.tally.flips += 1;
+                injected_flip = true;
+            }
+            if !inst.poison_lines.is_empty() {
+                let line = inst.poison_lines[frng.below(inst.poison_lines.len())];
+                post.mem_mut().poison_line(line);
+                out.tally.poisons += 1;
+                injected_poison = true;
+            }
+        }
+
+        // Recovery, with up to `nested_bound` crashes injected *during*
+        // it; the attempt after the bound runs crash-free, so a
+        // convergent (idempotent) recovery always terminates the loop.
+        // An injected crash is not a panic: the machine's `crashed` flag
+        // rises and subsequent ops no-op, so `recover` returns normally
+        // and the flag tells the attempts apart from genuine stuckness.
         let recover = &inst.recover;
         let verify = &inst.verify;
-        let verdict = catch_unwind(AssertUnwindSafe(|| {
-            recover(&mut post);
-            post.drain_caches();
-            verify(&post)
-        }));
-        let class = match verdict {
-            Ok(true) => StateClass::Consistent,
-            Ok(false) => StateClass::Corrupt,
-            Err(_) => StateClass::Stuck,
+        let bound = if faults.nested {
+            faults.nested_bound
+        } else {
+            0
+        };
+        let mut state_retries = 0u64;
+        let mut converged: Option<RecoveryStats> = None;
+        let mut stuck = false;
+        for attempt in 0..=bound {
+            if attempt < bound {
+                // Log-uniform offset: dense coverage of the first few
+                // recovery ops (short hardening windows) while still
+                // reaching deep into long kernel replays.
+                let magnitude = frng.below(13);
+                let offset = 1 + frng.below(1usize << magnitude);
+                let at = post.mem().mem_ops() + offset as u64;
+                post.set_crash_trigger(CrashTrigger::AfterMemOps(at));
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| recover(&mut post)));
+            if post.mem().crashed() {
+                out.tally.nested_crashes += 1;
+                out.tally.retries += 1;
+                state_retries += 1;
+                post.mem_mut().acknowledge_crash();
+                continue;
+            }
+            post.clear_crash_trigger();
+            match r {
+                Ok(stats) => converged = Some(stats),
+                Err(_) => stuck = true,
+            }
+            break;
+        }
+        if bound > 0 && state_retries == u64::from(bound) {
+            out.tally.retry_exhausted += 1;
+        }
+
+        let class = if let (false, Some(stats)) = (stuck, converged) {
+            let detected = stats.regions_inconsistent > 0 || stats.regions_quarantined > 0;
+            let verdict = catch_unwind(AssertUnwindSafe(|| {
+                post.drain_caches();
+                verify(&post)
+            }));
+            let verified = matches!(verdict, Ok(true));
+            if injected_flip {
+                if detected {
+                    out.tally.flips_detected += 1;
+                } else if verified {
+                    out.tally.flips_benign += 1;
+                } else {
+                    out.tally.flips_missed += 1;
+                }
+            }
+            if injected_poison {
+                if stats.regions_quarantined > 0 {
+                    out.tally.poisons_detected += 1;
+                }
+                if post.mem().poisoned_lines().is_empty() {
+                    out.tally.poisons_scrubbed += 1;
+                }
+            }
+            match verdict {
+                Ok(true) => StateClass::Consistent,
+                Ok(false) => StateClass::Corrupt,
+                Err(_) => StateClass::Stuck,
+            }
+        } else {
+            StateClass::Stuck
         };
         out.states_checked += 1;
         match class {
@@ -450,6 +645,8 @@ pub fn check_cases(
             consistent: 0,
             corrupt: 0,
             stuck: 0,
+            faults: budget.faults.to_string(),
+            tally: FaultTally::default(),
             examples: Vec::new(),
         })
         .collect();
@@ -460,6 +657,7 @@ pub fn check_cases(
         rep.consistent += r.consistent;
         rep.corrupt += r.corrupt;
         rep.stuck += r.stuck;
+        rep.tally.merge(&r.tally);
         for ex in r.examples {
             if rep.examples.len() < McReport::MAX_EXAMPLES {
                 rep.examples.push(ex);
@@ -512,6 +710,7 @@ mod tests {
         let budget = Budget {
             mode: BudgetMode::Sampled(10),
             k: 4,
+            faults: FaultConfig::none(),
         };
         let a = select_points(&cands, &budget, 5);
         let b = select_points(&cands, &budget, 5);
@@ -526,6 +725,7 @@ mod tests {
             &Budget {
                 mode: BudgetMode::Exhaustive,
                 k: 4,
+                faults: FaultConfig::none(),
             },
             5,
         );
@@ -538,6 +738,7 @@ mod tests {
         let budget = Budget {
             mode: BudgetMode::Sampled(6),
             k: 3,
+            faults: FaultConfig::none(),
         };
         let a = check_case(&case, &budget, 9);
         let b = check_case(&case, &budget, 9);

@@ -28,7 +28,7 @@ const CK: ChecksumKind = ChecksumKind::Modular;
 
 /// A fresh rig machine: `cores` cores, 1 MiB NVMM, a 64-element `f64`
 /// working array (zeroed), and the scheme's support structures.
-fn rig(cores: usize, scheme: Scheme) -> (Machine, PArray<f64>, SchemeHandles) {
+pub(crate) fn rig(cores: usize, scheme: Scheme) -> (Machine, PArray<f64>, SchemeHandles) {
     let mut machine = Machine::new(
         MachineConfig::default()
             .with_cores(cores)
@@ -96,6 +96,8 @@ pub fn lp_skip_fold() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| VALS.iter().all(|&(i, v)| m.peek(arr, i) == v)),
             }
         }),
@@ -141,6 +143,8 @@ pub fn store_outside_region() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| {
                     m.peek(arr, 0) == 5.0 && m.peek(arr, 8) == 2.0 && m.peek(arr, 9) == 4.0
                 }),
@@ -197,6 +201,8 @@ pub fn ep_skip_fence() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| VALS.iter().all(|&(i, v)| m.peek(arr, i) == v)),
             }
         }),
@@ -252,6 +258,8 @@ pub fn ep_skip_flush() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| VALS.iter().all(|&(i, v)| m.peek(arr, i) == v)),
             }
         }),
@@ -319,6 +327,8 @@ pub fn wal_data_before_log() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| m.peek(arr, 0) == INIT + DELTA),
             }
         }),
@@ -377,6 +387,8 @@ pub fn overlap_write_sets() -> CheckCase {
                     }
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| m.peek(arr, 0) == ADDS[0] + ADDS[1]),
             }
         }),
@@ -465,6 +477,8 @@ pub fn torn_rewrite() -> CheckCase {
                     rebuild_k2(&mut ctx);
                     st
                 }),
+                flip_lines: Vec::new(),
+                poison_lines: Vec::new(),
                 verify: Box::new(move |m| m.peek(vals, 0) == 110 && m.peek(vals, 1) == 40),
             }
         }),
@@ -493,6 +507,7 @@ mod tests {
         Budget {
             mode: BudgetMode::Exhaustive,
             k: 4,
+            faults: lp_sim::fault::FaultConfig::none(),
         }
     }
 

@@ -5,11 +5,13 @@ use lp_crashmc::cases::kernel_case;
 use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
 use lp_crashmc::mutations;
 use lp_kernels::driver::{KernelId, Scale};
+use lp_sim::fault::FaultConfig;
 
 fn budget() -> Budget {
     Budget {
         mode: BudgetMode::Sampled(8),
         k: 3,
+        faults: FaultConfig::none(),
     }
 }
 
@@ -67,6 +69,45 @@ fn mutation_reports_are_byte_identical_and_still_flagged() {
 }
 
 #[test]
+fn faulted_reports_are_byte_identical_across_thread_counts() {
+    // Per-unit fault RNG streams are keyed by (case, point, chunk), so
+    // torn masks, flip positions, and nested-crash offsets must not move
+    // when the work is spread across threads.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let b = Budget {
+        faults: FaultConfig::parse("torn,media,nested").unwrap(),
+        ..budget()
+    };
+    let cases = vec![
+        kernel_case(
+            KernelId::Cholesky,
+            lp_core::scheme::Scheme::Wal,
+            Scale::Micro,
+        ),
+        kernel_case(
+            KernelId::Fft,
+            lp_core::scheme::Scheme::lazy_default(),
+            Scale::Micro,
+        ),
+    ];
+    let seq = check_cases(&cases, &b, 42, 1);
+    let par = check_cases(&cases, &b, 42, 8);
+    std::panic::set_hook(prev);
+    assert_eq!(seq, par, "faulted structured reports must match exactly");
+    for r in &par {
+        assert!(
+            r.clean(),
+            "{} must survive the fault campaign ({} corrupt, {} stuck)",
+            r.case_name,
+            r.corrupt,
+            r.stuck,
+        );
+        assert!(r.tally.torn_states > 0 && r.tally.poisons > 0);
+    }
+}
+
+#[test]
 fn chunked_subset_exploration_matches_unchunked_counts() {
     // k = 8 forces multiple subset chunks per crash point; totals and
     // examples must still match the single-threaded walk.
@@ -76,6 +117,7 @@ fn chunked_subset_exploration_matches_unchunked_counts() {
     let b = Budget {
         mode: BudgetMode::Sampled(4),
         k: 8,
+        faults: FaultConfig::none(),
     };
     let seq = check_cases(&cases, &b, 3, 1);
     let par = check_cases(&cases, &b, 3, 6);

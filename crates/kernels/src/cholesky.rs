@@ -26,12 +26,18 @@ use crate::common::{
 use lp_core::checksum::ChecksumKind;
 use lp_core::recovery::{recompute_checksum, RecoveryStats};
 use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
 
 /// Modelled ALU ops for a square root.
 const SQRT_OPS: u64 = 12;
+
+/// Sentinel in a block's column-0 table slot marking a quarantine
+/// rebuild in flight (same journal trick as tmm's strip rebuild). The
+/// column-0 replay commit overwrites it with the real checksum.
+const REBUILD_ARMED: u64 = 0x5EBD_5EBD_5EBD_5EBD;
 
 /// Problem and windowing parameters for one factorization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -326,6 +332,87 @@ impl Cholesky {
         })
     }
 
+    /// Lines of `l` that recovery provably rebuilds — the fault
+    /// campaign's poison target set. Quarantine zeroes whole block rows
+    /// across all columns, so every cell of a data-span line is restored:
+    /// written cells by column replay, the rest to their golden zeros.
+    pub fn repairable_lines(&self) -> Vec<LineAddr> {
+        let n = self.params.n;
+        let mut lines: Vec<LineAddr> = (0..n)
+            .flat_map(|r| self.l.array().lines_of_range(self.l.idx(r, 0), n))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines of `l` where a *silent* bit flip is provably detected — the
+    /// fault campaign's flip target set. Columns are disjoint, so every
+    /// committed column checksum stays valid and the full audit catches a
+    /// flip in any *written* cell; cells past the window or above the
+    /// diagonal are never covered by a checksum, so only lines fully
+    /// inside a row's written span `[0, min(window, r+1))` qualify. (At
+    /// windows narrower than a line this set is empty.)
+    pub fn flip_lines(&self) -> Vec<LineAddr> {
+        let window = self.params.col_window;
+        let elems_per_line = lp_sim::addr::LINE_BYTES / 8;
+        let mut lines = Vec::new();
+        for r in 0..self.params.n {
+            let span = window.min(r + 1);
+            let full = (span / elems_per_line) * elems_per_line;
+            if full > 0 {
+                lines.extend(self.l.array().lines_of_range(self.l.idx(r, 0), full));
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Whether any line of `block`'s rows is poisoned.
+    fn block_poisoned(&self, poisoned: &[LineAddr], block: usize) -> bool {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        (block * bsize..(block + 1) * bsize).any(|r| {
+            lp_core::recovery::range_poisoned(poisoned, self.l.array(), self.l.idx(r, 0), n)
+        })
+    }
+
+    /// Whether `block`'s durable rebuild journal is armed (a prior
+    /// quarantine rebuild crashed mid-way). Same column-0 table-slot
+    /// trick as tmm's strip journal: a partial [`Self::zero_block_full`]
+    /// can scrub a poisoned line's flag through an eviction while cells
+    /// outside the replayed window still hold pattern residue, so the
+    /// poison itself cannot be trusted to survive as the re-entry signal.
+    fn block_rebuild_armed(&self, ctx: &mut CoreCtx<'_>, block: usize) -> bool {
+        self.handles.table.load(ctx, self.key(0, block)) == Some(REBUILD_ARMED)
+    }
+
+    /// Durably arm `block`'s rebuild journal. Must land before the first
+    /// store to any poisoned data line.
+    fn arm_block_rebuild(&self, ctx: &mut CoreCtx<'_>, block: usize) {
+        self.handles
+            .table
+            .store(ctx, self.key(0, block), REBUILD_ARMED);
+        self.handles.table.persist(ctx, self.key(0, block));
+    }
+
+    /// Zero a block's rows across *all* columns eagerly. Used for
+    /// quarantined blocks: a poisoned line may span cells no column
+    /// replay rewrites (past the window, above the diagonal), and those
+    /// must return to their golden zeros. Whole lines are rewritten, so
+    /// the poison is scrubbed exactly when its line becomes fully zero —
+    /// a crash mid-zeroing re-enters quarantine via the surviving poison.
+    fn zero_block_full(&self, ctx: &mut CoreCtx<'_>, block: usize) {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        for r in block * bsize..(block + 1) * bsize {
+            for j in 0..n {
+                self.l.store(ctx, r, j, 0.0);
+            }
+        }
+        self.l.flush_rows(ctx, block * bsize, bsize);
+        ctx.sfence();
+    }
+
     /// Zero a block's first `col_window` columns eagerly (its pre-run
     /// state) so replay can start from scratch.
     fn zero_block(&self, ctx: &mut CoreCtx<'_>, block: usize) {
@@ -339,35 +426,53 @@ impl Cholesky {
         ctx.sfence();
     }
 
-    /// Recover one block: newest-consistent column, then replay.
+    /// Recover one block: audit *every* column, then replay the
+    /// inconsistent ones in ascending order (later columns read earlier
+    /// ones). Columns are disjoint, so every committed checksum stays
+    /// valid for current data — a newest-first stop would miss a silent
+    /// media flip in an older column.
     fn recover_block(
         &self,
         ctx: &mut CoreCtx<'_>,
         kind: ChecksumKind,
         block: usize,
+        poisoned: &[LineAddr],
         stats: &mut RecoveryStats,
     ) {
         let window = self.params.col_window;
-        let mut resume = 0;
-        for j in (0..window).rev() {
-            if Self::region_rows(&self.params, j, block).is_empty() {
-                continue;
+        let mut bad: Vec<usize> = Vec::new();
+        if self.block_poisoned(poisoned, block) || self.block_rebuild_armed(ctx, block) {
+            // Media fault inside the block: poison reads as a fixed
+            // pattern a weak code can collide with, so no checksum verdict
+            // is trusted — quarantine, zero every cell, replay everything.
+            // The journal is armed first so a nested crash mid-rebuild
+            // re-enters here even after the poison flag was scrubbed; the
+            // column-0 replay commit below restores the slot's checksum.
+            stats.regions_quarantined += 1;
+            self.arm_block_rebuild(ctx, block);
+            self.zero_block_full(ctx, block);
+            bad.extend(
+                (0..window).filter(|&j| !Self::region_rows(&self.params, j, block).is_empty()),
+            );
+        } else {
+            for j in 0..window {
+                if Self::region_rows(&self.params, j, block).is_empty() {
+                    continue;
+                }
+                stats.regions_checked += 1;
+                let folded = self.fold_region(ctx, kind, j, block);
+                if !self.handles.table.matches(ctx, self.key(j, block), folded) {
+                    stats.regions_inconsistent += 1;
+                    bad.push(j);
+                }
             }
-            stats.regions_checked += 1;
-            let folded = self.fold_region(ctx, kind, j, block);
-            if self.handles.table.matches(ctx, self.key(j, block), folded) {
-                resume = j + 1;
-                break;
+            if bad.len() == window {
+                // Nothing committed: restore the pre-run zeros first so
+                // replay starts from the block's initial durable state.
+                self.zero_block(ctx, block);
             }
-            stats.regions_inconsistent += 1;
         }
-        if resume == 0 {
-            self.zero_block(ctx, block);
-        }
-        for j in resume..window {
-            if Self::region_rows(&self.params, j, block).is_empty() {
-                continue;
-            }
+        for &j in &bad {
             let mut sink = RecoverySink::new(kind);
             self.region_body(ctx, j, block, &mut sink);
             sink.commit(ctx, &self.handles.table, self.key(j, block));
@@ -381,10 +486,11 @@ impl Cholesky {
             Scheme::Base => RecoveryStats::default(),
             Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
                 let mut stats = RecoveryStats::default();
+                let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
                 for block in 0..self.params.nblocks() {
-                    self.recover_block(&mut ctx, kind, block, &mut stats);
+                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats);
                 }
                 stats.cycles = ctx.now() - start;
                 stats
@@ -394,8 +500,20 @@ impl Cholesky {
                 // replay column-by-column from the preserved input, undoing
                 // any open WAL transaction first.
                 let mut stats = RecoveryStats::default();
+                let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
+                // Arm the rebuild journal for every poisoned block before
+                // the WAL undo (or the zeroing below) can partially
+                // overwrite a poisoned line: an eviction of such a line
+                // scrubs the poison flag while leaving pattern residue in
+                // cells no column replay rewrites, so a nested crash must
+                // find the durable marker instead of the vanished poison.
+                for block in 0..self.params.nblocks() {
+                    if self.block_poisoned(&poisoned, block) {
+                        self.arm_block_rebuild(&mut ctx, block);
+                    }
+                }
                 for t in 0..self.params.threads {
                     let tp = self.handles.thread(t);
                     if tp.wal_recover(&mut ctx) > 0 {
@@ -403,7 +521,15 @@ impl Cholesky {
                     }
                 }
                 for block in 0..self.params.nblocks() {
-                    self.zero_block(&mut ctx, block);
+                    // Armed blocks need all cells restored (a poisoned
+                    // line can span cells no column replay rewrites). The
+                    // column-0 replay commit clears the marker.
+                    if self.block_rebuild_armed(&mut ctx, block) {
+                        stats.regions_quarantined += 1;
+                        self.zero_block_full(&mut ctx, block);
+                    } else {
+                        self.zero_block(&mut ctx, block);
+                    }
                 }
                 for j in 0..self.params.col_window {
                     for block in 0..self.params.nblocks() {

@@ -210,6 +210,27 @@ impl StoreSink for RecoverySink {
     }
 }
 
+/// Recovery sink for marker-based schemes (no checksums): plain eager
+/// stores, flushed and fenced at commit, without touching any marker.
+#[derive(Debug, Default)]
+pub struct EagerOnlySink {
+    committer: EagerCommitter,
+}
+
+impl EagerOnlySink {
+    /// Flush all written lines and fence.
+    pub fn commit(self, ctx: &mut CoreCtx<'_>) {
+        self.committer.commit(ctx);
+    }
+}
+
+impl StoreSink for EagerOnlySink {
+    fn store(&mut self, ctx: &mut CoreCtx<'_>, arr: PArray<f64>, idx: usize, v: f64) {
+        ctx.store(arr, idx, v);
+        self.committer.note(arr.addr(idx));
+    }
+}
+
 /// Assign block indices `0..nblocks` to `threads` workers round-robin.
 ///
 /// # Examples

@@ -6,12 +6,13 @@
 //! trivial case — mismatching blocks are simply recomputed, in any order.
 
 use crate::common::{
-    random_values, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
-    IDX_OPS, MUL_ADD_OPS,
+    random_values, round_robin_blocks, EagerOnlySink, KernelRun, PMatrix, RecoverySink, SchemeSink,
+    StoreSink, IDX_OPS, MUL_ADD_OPS,
 };
 use lp_core::checksum::ChecksumKind;
 use lp_core::recovery::RecoveryStats;
 use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
@@ -249,6 +250,42 @@ impl Conv2d {
         crate::common::values_match(&self.output.peek_all(machine), &Self::golden(&self.params))
     }
 
+    /// Lines of the protected output that recovery provably rebuilds —
+    /// the fault campaign's media-fault target set. Only rows inside the
+    /// simulated window are ever recomputed, so only their data-span
+    /// lines are repairable.
+    pub fn repairable_lines(&self) -> Vec<LineAddr> {
+        let n = self.params.n;
+        let rows = self.params.window() * self.params.bsize;
+        let mut lines: Vec<LineAddr> = (0..rows)
+            .flat_map(|i| self.output.array().lines_of_range(self.output.idx(i, 0), n))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines a silent bit flip may target under Lazy schemes: same set as
+    /// [`Self::repairable_lines`]. Lazy recovery audits every window
+    /// block, so a flip in any block either fails its checksum or lands
+    /// in a block that is recomputed anyway.
+    pub fn flip_lines(&self) -> Vec<LineAddr> {
+        self.repairable_lines()
+    }
+
+    /// Whether any line of `block`'s output rows is poisoned.
+    fn block_poisoned(&self, poisoned: &[LineAddr], block: usize) -> bool {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        (block * bsize..(block + 1) * bsize).any(|i| {
+            lp_core::recovery::range_poisoned(
+                poisoned,
+                self.output.array(),
+                self.output.idx(i, 0),
+                n,
+            )
+        })
+    }
+
     /// Post-crash recovery (idempotent regions: recompute what mismatches).
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
         match self.scheme {
@@ -260,26 +297,34 @@ impl Conv2d {
 
     fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let (n, bsize) = (self.params.n, self.params.bsize);
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
         for block in 0..self.params.window() {
             stats.regions_checked += 1;
-            let out = self.output;
-            let indices = (block * bsize..(block + 1) * bsize)
-                .flat_map(move |i| (0..n).map(move |j| out.idx(i, j)));
-            let consistent = lp_core::recovery::region_consistent(
-                &mut ctx,
-                &self.handles.table,
-                block,
-                kind,
-                self.output.array(),
-                indices,
-            );
-            if consistent {
-                continue;
+            // A poisoned block is never trusted — poison reads as a fixed
+            // pattern that a weak code can collide with — so its checksum
+            // verdict is skipped and the block recomputed unconditionally.
+            if self.block_poisoned(&poisoned, block) {
+                stats.regions_quarantined += 1;
+            } else {
+                let out = self.output;
+                let indices = (block * bsize..(block + 1) * bsize)
+                    .flat_map(move |i| (0..n).map(move |j| out.idx(i, j)));
+                let consistent = lp_core::recovery::region_consistent(
+                    &mut ctx,
+                    &self.handles.table,
+                    block,
+                    kind,
+                    self.output.array(),
+                    indices,
+                );
+                if consistent {
+                    continue;
+                }
+                stats.regions_inconsistent += 1;
             }
-            stats.regions_inconsistent += 1;
             let mut sink = RecoverySink::new(kind);
             self.region_body(&mut ctx, block, &mut sink);
             sink.commit(&mut ctx, &self.handles.table, block);
@@ -293,6 +338,7 @@ impl Conv2d {
     /// past each thread's marker (idempotent, so partial work is harmless).
     fn recover_marker_based(&self, machine: &mut Machine) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let owners = self.ownership();
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
@@ -312,6 +358,19 @@ impl Conv2d {
                     .map_or(0, |p| p + 1)
             };
             stats.regions_checked += owned.len() as u64;
+            // Committed blocks hit by a media fault are recomputed too:
+            // the marker vouches for progress, not for the medium. Blocks
+            // are idempotent, so a plain eager re-run (no marker motion)
+            // is safe to interrupt and repeat at any crash point.
+            for &block in &owned[..completed] {
+                if self.block_poisoned(&poisoned, block) {
+                    stats.regions_quarantined += 1;
+                    let mut sink = EagerOnlySink::default();
+                    self.region_body(&mut ctx, block, &mut sink);
+                    sink.commit(&mut ctx);
+                    stats.regions_repaired += 1;
+                }
+            }
             for &block in &owned[completed..] {
                 let mut rs = tp.begin(&mut ctx, block);
                 let mut sink = SchemeSink { tp, rs: &mut rs };

@@ -4,6 +4,7 @@
 use crate::common::KernelRun;
 use lp_core::scheme::Scheme;
 use lp_core::track::TrackedRange;
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, ThreadPlan};
 
@@ -85,6 +86,14 @@ pub struct PreparedKernel {
     /// Runs the scheme's real crash recovery on the machine (call after a
     /// crash, before `verify`); returns the recovery statistics.
     pub recover: Box<dyn Fn(&mut Machine) -> lp_core::recovery::RecoveryStats + Send + Sync>,
+    /// Sorted, deduplicated lines a fault campaign may silently bit-flip:
+    /// checksum-audited (or unconditionally rebuilt) protected data, so
+    /// Lazy recovery provably detects or overwrites the corruption.
+    pub flip_lines: Vec<LineAddr>,
+    /// Sorted, deduplicated lines a fault campaign may poison: protected
+    /// data every scheme's recovery quarantines and rebuilds from durable
+    /// sources.
+    pub poison_lines: Vec<LineAddr>,
 }
 
 impl std::fmt::Debug for PreparedKernel {
@@ -119,6 +128,7 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::tmm::Tmm::setup(&mut machine, params, scheme).expect("tmm setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let (flip_lines, poison_lines) = (k.flip_lines(), k.repairable_lines());
             let k2 = k.clone();
             PreparedKernel {
                 machine,
@@ -127,6 +137,8 @@ pub fn prepare_kernel(
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
                 recover: Box::new(move |m| k2.recover(m)),
+                flip_lines,
+                poison_lines,
             }
         }
         KernelId::Cholesky => {
@@ -140,6 +152,7 @@ pub fn prepare_kernel(
             let k = crate::cholesky::Cholesky::setup(&mut machine, params, scheme)
                 .expect("cholesky setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let (flip_lines, poison_lines) = (k.flip_lines(), k.repairable_lines());
             let k2 = k.clone();
             PreparedKernel {
                 machine,
@@ -148,6 +161,8 @@ pub fn prepare_kernel(
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
                 recover: Box::new(move |m| k2.recover(m)),
+                flip_lines,
+                poison_lines,
             }
         }
         KernelId::Conv2d => {
@@ -161,6 +176,7 @@ pub fn prepare_kernel(
             let k =
                 crate::conv2d::Conv2d::setup(&mut machine, params, scheme).expect("conv2d setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let (flip_lines, poison_lines) = (k.flip_lines(), k.repairable_lines());
             let k2 = k.clone();
             PreparedKernel {
                 machine,
@@ -169,6 +185,8 @@ pub fn prepare_kernel(
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
                 recover: Box::new(move |m| k2.recover(m)),
+                flip_lines,
+                poison_lines,
             }
         }
         KernelId::Gauss => {
@@ -181,6 +199,7 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::gauss::Gauss::setup(&mut machine, params, scheme).expect("gauss setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let (flip_lines, poison_lines) = (k.flip_lines(), k.repairable_lines());
             let k2 = k.clone();
             PreparedKernel {
                 machine,
@@ -189,6 +208,8 @@ pub fn prepare_kernel(
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
                 recover: Box::new(move |m| k2.recover(m)),
+                flip_lines,
+                poison_lines,
             }
         }
         KernelId::Fft => {
@@ -201,6 +222,7 @@ pub fn prepare_kernel(
             let mut machine = Machine::new(cfg.clone().with_cores(params.threads));
             let k = crate::fft::Fft::setup(&mut machine, params, scheme).expect("fft setup");
             let (plans, ranges) = (k.plans(), k.tracked_ranges());
+            let (flip_lines, poison_lines) = (k.flip_lines(), k.repairable_lines());
             let k2 = k.clone();
             PreparedKernel {
                 machine,
@@ -209,6 +231,8 @@ pub fn prepare_kernel(
                 scheme,
                 verify: Box::new(move |m| k.verify(m)),
                 recover: Box::new(move |m| k2.recover(m)),
+                flip_lines,
+                poison_lines,
             }
         }
     }

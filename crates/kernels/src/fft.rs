@@ -28,8 +28,9 @@ use crate::common::{
     MUL_ADD_OPS,
 };
 use lp_core::checksum::ChecksumKind;
-use lp_core::recovery::{recompute_checksum, RecoveryStats};
+use lp_core::recovery::{range_poisoned, recompute_checksum, RecoveryStats};
 use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
@@ -377,6 +378,34 @@ impl Fft {
             && crate::common::values_match(&machine.peek_vec(last.im), &gim)
     }
 
+    /// Lines a media fault may target: the final stage's output buffer.
+    /// Recovery quarantines every stage whose destination holds a
+    /// poisoned line and replays it from the surviving stage (or from
+    /// the preserved input), fully rewriting — and thereby scrubbing —
+    /// both arrays.
+    pub fn repairable_lines(&self) -> Vec<LineAddr> {
+        let last = self.dst(self.params.window() - 1);
+        let mut lines: Vec<LineAddr> = last.re.lines().chain(last.im.lines()).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines a silent bit flip may target under Lazy schemes: same set as
+    /// [`Self::repairable_lines`]. Every line of the final buffer is
+    /// either covered by the newest consistent stage's checksums (flip
+    /// detected by the scan) or rewritten by the replay that follows.
+    pub fn flip_lines(&self) -> Vec<LineAddr> {
+        self.repairable_lines()
+    }
+
+    /// Whether `stage`'s destination buffer holds any poisoned line.
+    fn stage_poisoned(&self, poisoned: &[LineAddr], stage: usize) -> bool {
+        let dst = self.dst(stage);
+        range_poisoned(poisoned, dst.re, 0, self.params.n)
+            || range_poisoned(poisoned, dst.im, 0, self.params.n)
+    }
+
     /// Fold region `(stage, chunk)`'s checksum from current data.
     fn fold_region(
         &self,
@@ -419,12 +448,20 @@ impl Fft {
             // EP/WAL: undo any open tx, then full eager replay from input.
             Scheme::Eager | Scheme::Wal => {
                 let mut stats = RecoveryStats::default();
+                let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
                 for t in 0..self.params.threads {
                     let tp = self.handles.thread(t);
                     if tp.wal_recover(&mut ctx) > 0 {
                         stats.regions_inconsistent += 1;
+                    }
+                }
+                // The full replay below rewrites every buffer line (and
+                // thereby scrubs any poison); just account for it.
+                for stage in 0..self.params.window() {
+                    if self.stage_poisoned(&poisoned, stage) {
+                        stats.regions_quarantined += 1;
                     }
                 }
                 self.replay_from(&mut ctx, ChecksumKind::Modular, 0, &mut stats);
@@ -434,10 +471,18 @@ impl Fft {
         };
         let mut stats = RecoveryStats::default();
         let window = self.params.window();
+        let poisoned = machine.mem().poisoned_lines();
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
         let mut resume = 0;
         for stage in (0..window).rev() {
+            // A stage whose destination holds a poisoned line cannot be
+            // trusted regardless of its checksums: quarantine it and keep
+            // scanning, so the replay below fully rewrites it.
+            if self.stage_poisoned(&poisoned, stage) {
+                stats.regions_quarantined += 1;
+                continue;
+            }
             stats.regions_checked += self.params.chunks as u64;
             if self.stage_consistent(&mut ctx, kind, stage) {
                 resume = stage + 1;

@@ -18,12 +18,13 @@
 //! everything if nothing consistent survived.
 
 use crate::common::{
-    random_values, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
-    IDX_OPS, MUL_ADD_OPS,
+    random_values, round_robin_blocks, EagerOnlySink, KernelRun, PMatrix, RecoverySink, SchemeSink,
+    StoreSink, IDX_OPS, MUL_ADD_OPS,
 };
 use lp_core::checksum::ChecksumKind;
 use lp_core::recovery::{recompute_checksum, RecoveryStats};
 use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
@@ -288,6 +289,62 @@ impl Gauss {
         crate::common::values_match(&self.w.peek_all(machine), &Self::golden(&self.params))
     }
 
+    /// Lines of `w` that recovery provably rebuilds — the fault campaign's
+    /// poison target set. Quarantine restores whole blocks from the
+    /// preserved input, so every data-span line (pivot row 0 included) is
+    /// repairable.
+    pub fn repairable_lines(&self) -> Vec<LineAddr> {
+        let n = self.params.n;
+        let mut lines: Vec<LineAddr> = (0..n)
+            .flat_map(|r| self.w.array().lines_of_range(self.w.idx(r, 0), n))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines of `w` where a *silent* bit flip is provably detected — the
+    /// fault campaign's flip target set. Region `(p, block)` checksums
+    /// cover rows `> p`, columns `≥ p`, and only the newest committed
+    /// region per block matches current data (older checksums are stale
+    /// once a later pivot rewrites their columns). Whatever that newest
+    /// region is (`p* ≤ window−1`), cells with row `≥ window` and column
+    /// `≥ window−1` are always inside its coverage — so only lines fully
+    /// inside that region are fair targets. Pivot rows (`row < window`)
+    /// and multiplier columns below `window−1` are uncovered by any
+    /// current checksum; flips there are undetectable in principle.
+    pub fn flip_lines(&self) -> Vec<LineAddr> {
+        let n = self.params.n;
+        let window = self.params.pivot_window;
+        let elems_per_line = lp_sim::addr::LINE_BYTES / 8;
+        debug_assert!(n.is_multiple_of(elems_per_line));
+        // Rows are line-aligned (stride is a multiple of a line), so the
+        // first fully-covered line of each row starts at the first
+        // line-aligned column at or above window − 1.
+        let first_col = (window - 1).div_ceil(elems_per_line) * elems_per_line;
+        let mut lines = Vec::new();
+        for r in window..n {
+            for jb in (first_col..n).step_by(elems_per_line) {
+                lines.extend(
+                    self.w
+                        .array()
+                        .lines_of_range(self.w.idx(r, jb), elems_per_line),
+                );
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Whether any line of `block`'s rows is poisoned.
+    fn block_poisoned(&self, poisoned: &[LineAddr], block: usize) -> bool {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        (block * bsize..(block + 1) * bsize).any(|r| {
+            lp_core::recovery::range_poisoned(poisoned, self.w.array(), self.w.idx(r, 0), n)
+        })
+    }
+
     /// Fold the checksum of region `(p, block)` from current data, in the
     /// exact store order of [`Gauss::region_body`].
     fn fold_region(
@@ -332,21 +389,32 @@ impl Gauss {
         ctx: &mut CoreCtx<'_>,
         kind: ChecksumKind,
         block: usize,
+        poisoned: &[LineAddr],
         stats: &mut RecoveryStats,
     ) {
         let window = self.params.pivot_window;
         let mut resume = 0;
-        for p in (0..window).rev() {
-            if Self::region_rows(&self.params, p, block).is_empty() {
-                continue;
+        if self.block_poisoned(poisoned, block) {
+            // Media fault inside the block: poison reads as a fixed
+            // pattern a weak code can collide with, so no checksum verdict
+            // is trusted — quarantine, restore from the preserved input,
+            // and replay every pivot. The replay stores fresh checksums,
+            // so a crash mid-rebuild re-enters through the normal scan
+            // even after the rebuild's own writes scrub the poison.
+            stats.regions_quarantined += 1;
+        } else {
+            for p in (0..window).rev() {
+                if Self::region_rows(&self.params, p, block).is_empty() {
+                    continue;
+                }
+                stats.regions_checked += 1;
+                let folded = self.fold_region(ctx, kind, p, block);
+                if self.handles.table.matches(ctx, self.key(p, block), folded) {
+                    resume = p + 1;
+                    break;
+                }
+                stats.regions_inconsistent += 1;
             }
-            stats.regions_checked += 1;
-            let folded = self.fold_region(ctx, kind, p, block);
-            if self.handles.table.matches(ctx, self.key(p, block), folded) {
-                resume = p + 1;
-                break;
-            }
-            stats.regions_inconsistent += 1;
         }
         if resume == 0 {
             self.restore_block_from_input(ctx, block);
@@ -368,11 +436,12 @@ impl Gauss {
             Scheme::Base => RecoveryStats::default(),
             Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
                 let mut stats = RecoveryStats::default();
+                let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
                 // Block 0 first: it holds every pivot row of the window.
                 for block in 0..self.params.nblocks() {
-                    self.recover_block(&mut ctx, kind, block, &mut stats);
+                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats);
                 }
                 stats.cycles = ctx.now() - start;
                 stats
@@ -388,8 +457,14 @@ impl Gauss {
     /// are rebuilt from the preserved input.)
     fn recover_marker_based(&self, machine: &mut Machine) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let owners = self.ownership();
         let window = self.params.pivot_window;
+        // The full rebuild below repairs media faults as a side effect;
+        // count the quarantined blocks so campaigns see the detection.
+        stats.regions_quarantined += (0..self.params.nblocks())
+            .filter(|&b| self.block_poisoned(&poisoned, b))
+            .count() as u64;
         let mut ctx = machine.ctx(0);
         let start = ctx.now();
         for t in 0..self.params.threads {
@@ -410,7 +485,7 @@ impl Gauss {
                         continue;
                     }
                     stats.regions_checked += 1;
-                    let mut sink = EagerReplaySink::default();
+                    let mut sink = EagerOnlySink::default();
                     self.region_body(&mut ctx, p, block, &mut sink);
                     sink.commit(&mut ctx);
                     stats.regions_repaired += 1;
@@ -419,25 +494,6 @@ impl Gauss {
         }
         stats.cycles = ctx.now() - start;
         stats
-    }
-}
-
-/// Plain eager replay sink (no checksum bookkeeping).
-#[derive(Debug, Default)]
-struct EagerReplaySink {
-    committer: lp_core::ep::EagerCommitter,
-}
-
-impl EagerReplaySink {
-    fn commit(self, ctx: &mut CoreCtx<'_>) {
-        self.committer.commit(ctx);
-    }
-}
-
-impl StoreSink for EagerReplaySink {
-    fn store(&mut self, ctx: &mut CoreCtx<'_>, arr: lp_sim::mem::PArray<f64>, idx: usize, v: f64) {
-        ctx.store(arr, idx, v);
-        self.committer.note(arr.addr(idx));
     }
 }
 

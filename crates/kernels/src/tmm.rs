@@ -18,16 +18,26 @@
 //! recovery itself makes forward progress.
 
 use crate::common::{
-    random_values, round_robin_blocks, KernelRun, PMatrix, RecoverySink, SchemeSink, StoreSink,
-    IDX_OPS, MUL_ADD_OPS,
+    random_values, round_robin_blocks, EagerOnlySink, KernelRun, PMatrix, RecoverySink, SchemeSink,
+    StoreSink, IDX_OPS, MUL_ADD_OPS,
 };
 use lp_core::checksum::ChecksumKind;
 use lp_core::recovery::RecoveryStats;
 use lp_core::scheme::{Scheme, SchemeHandles};
+use lp_sim::addr::LineAddr;
 use lp_sim::config::MachineConfig;
 use lp_sim::core::CoreCtx;
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
 use lp_sim::mem::OutOfPersistentMemory;
+
+/// Journal value marking a strip rebuild in progress during EP/WAL
+/// recovery. Those schemes never use the checksum table, so the slot for
+/// region `(0, ib)` doubles as a durable quarantine record: a nested crash
+/// mid-rebuild re-enters the rebuild even after the rebuild's own writes
+/// scrubbed the poison registry that first triggered it.
+const REBUILD_ARMED: u64 = 0x5EBD_5EBD_5EBD_5EBD;
+/// Journal value marking a completed strip rebuild.
+const REBUILD_CLEARED: u64 = 0;
 
 /// Problem and windowing parameters for one tmm run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +312,89 @@ impl Tmm {
         crate::common::values_match(&self.c.peek_all(machine), &Self::golden(&self.params))
     }
 
+    /// Lines of the protected output that recovery provably rebuilds —
+    /// the fault campaign's media-fault target set. Data spans only: row
+    /// padding is never verified (lines straddling into padding are fine;
+    /// their pad bytes simply stay unchecked).
+    pub fn repairable_lines(&self) -> Vec<LineAddr> {
+        let n = self.params.n;
+        let mut lines: Vec<LineAddr> = (0..n)
+            .flat_map(|i| self.c.array().lines_of_range(self.c.idx(i, 0), n))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines a silent bit flip may target under Lazy schemes: same set as
+    /// [`Self::repairable_lines`]. Every checksum of a strip covers the
+    /// whole strip, so a flip anywhere in its data fails every scan level
+    /// and forces a zero-and-replay rebuild; strips with no committed
+    /// checksum are rebuilt (re-zeroed) unconditionally.
+    pub fn flip_lines(&self) -> Vec<LineAddr> {
+        self.repairable_lines()
+    }
+
+    /// Whether any line of strip `ib`'s data spans is poisoned.
+    fn strip_poisoned(&self, poisoned: &[LineAddr], ib: usize) -> bool {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let ii = ib * bsize;
+        (ii..ii + bsize).any(|i| {
+            lp_core::recovery::range_poisoned(poisoned, self.c.array(), self.c.idx(i, 0), n)
+        })
+    }
+
+    /// Whether strip `ib`'s durable rebuild journal is armed (a prior
+    /// EP/WAL recovery crashed mid-rebuild).
+    fn strip_rebuild_armed(&self, ctx: &mut CoreCtx<'_>, ib: usize) -> bool {
+        self.handles.table.load(ctx, self.key(0, ib)) == Some(REBUILD_ARMED)
+    }
+
+    /// Durably rebuild strip `ib` from its initial zeros through its first
+    /// `kbs_done` `kk` contributions (EP/WAL recovery). The rebuild is
+    /// journalled in the strip's table slot so it is re-entered after a
+    /// nested crash.
+    fn rebuild_strip(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        ib: usize,
+        kbs_done: usize,
+        stats: &mut RecoveryStats,
+    ) {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        let key = self.key(0, ib);
+        self.handles.table.store(ctx, key, REBUILD_ARMED);
+        self.handles.table.persist(ctx, key);
+        let ii = ib * bsize;
+        for i in ii..ii + bsize {
+            for j in 0..n {
+                self.c.store(ctx, i, j, 0.0);
+            }
+        }
+        self.c.flush_rows(ctx, ii, bsize);
+        ctx.sfence();
+        for kb in 0..kbs_done {
+            let mut sink = EagerOnlySink::default();
+            self.region_body(ctx, kb, ib, &mut sink);
+            sink.commit(ctx);
+            stats.regions_repaired += 1;
+        }
+        self.handles.table.store(ctx, key, REBUILD_CLEARED);
+        self.handles.table.persist(ctx, key);
+    }
+
+    /// `kk` contributions of the strip at position `pos` in its owner's
+    /// strip list that committed before the crash, given the owner's
+    /// resume position `done` in its `kk`-major schedule.
+    fn strip_kbs_done(&self, done: usize, pos: usize, owned_len: usize) -> usize {
+        let window = self.params.window();
+        if done > pos {
+            (done - pos).div_ceil(owned_len).min(window)
+        } else {
+            0
+        }
+    }
+
     /// Post-crash recovery, dispatched by scheme. Runs single-threaded on
     /// core 0 with Eager Persistency, per Section III-E.
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
@@ -318,6 +411,7 @@ impl Tmm {
     /// strip's durable state, and only later `kk`s are recomputed.
     fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let window = self.params.window();
         let (n, bsize) = (self.params.n, self.params.bsize);
         let mut ctx = machine.ctx(0);
@@ -325,24 +419,34 @@ impl Tmm {
         for ib in 0..self.params.nb() {
             // Newest-first scan (reverse program order, Figure 9 line 1).
             let mut resume = 0;
-            for kb in (0..window).rev() {
-                stats.regions_checked += 1;
-                let consistent = lp_core::recovery::region_consistent(
-                    &mut ctx,
-                    &self.handles.table,
-                    self.key(kb, ib),
-                    kind,
-                    self.c.array(),
-                    Self::region_elems(&self.params, ib).map(|(i, j)| self.c.idx(i, j)),
-                );
-                if consistent {
-                    resume = kb + 1;
-                    break;
+            if self.strip_poisoned(&poisoned, ib) {
+                // Media fault inside the strip: poison reads as a fixed
+                // pattern a weak code can collide with, so no checksum
+                // verdict is trusted — quarantine and rebuild from the
+                // initial zeros. The replay stores fresh checksums, so a
+                // crash mid-rebuild re-enters through the normal scan even
+                // after the rebuild's own writes scrub the poison.
+                stats.regions_quarantined += window as u64;
+            } else {
+                for kb in (0..window).rev() {
+                    stats.regions_checked += 1;
+                    let consistent = lp_core::recovery::region_consistent(
+                        &mut ctx,
+                        &self.handles.table,
+                        self.key(kb, ib),
+                        kind,
+                        self.c.array(),
+                        Self::region_elems(&self.params, ib).map(|(i, j)| self.c.idx(i, j)),
+                    );
+                    if consistent {
+                        resume = kb + 1;
+                        break;
+                    }
+                    stats.regions_inconsistent += 1;
                 }
-                stats.regions_inconsistent += 1;
-            }
-            if resume >= window {
-                continue; // strip fully durable
+                if resume >= window {
+                    continue; // strip fully durable
+                }
             }
             if resume == 0 {
                 // No durable state: zero the strip (its initial value) and
@@ -375,9 +479,9 @@ impl Tmm {
     /// schedule re-runs eagerly.
     fn recover_eager(&self, machine: &mut Machine) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let owners = self.ownership();
         let window = self.params.window();
-        let (n, bsize) = (self.params.n, self.params.bsize);
         // Gather each thread's resume position before taking a ctx borrow.
         let completed: Vec<usize> = (0..self.params.threads)
             .map(|t| {
@@ -400,26 +504,31 @@ impl Tmm {
                 .collect();
             let done = completed[t];
             stats.regions_checked += seq.len() as u64;
-            if done >= seq.len() {
-                continue;
+            // Strips whose durable bytes cannot be trusted: the in-flight
+            // region's strip may hold partially-evicted stores, and
+            // poisoned or journal-armed strips were hit by (or were
+            // mid-repair from) a media fault — markers vouch for
+            // committed progress, not for the medium.
+            let mut rebuild: Vec<usize> = Vec::new();
+            if done < seq.len() {
+                stats.regions_inconsistent += 1;
+                rebuild.push(seq[done].1);
             }
-            // The in-flight region's strip may hold partially-evicted
-            // stores: rebuild it from zero through the preceding kk.
-            let (kb_partial, ib_partial) = seq[done];
-            stats.regions_inconsistent += 1;
-            let ii = ib_partial * bsize;
-            for i in ii..ii + bsize {
-                for j in 0..n {
-                    self.c.store(&mut ctx, i, j, 0.0);
+            for &ib in owned {
+                if (self.strip_poisoned(&poisoned, ib) || self.strip_rebuild_armed(&mut ctx, ib))
+                    && !rebuild.contains(&ib)
+                {
+                    stats.regions_quarantined += 1;
+                    rebuild.push(ib);
                 }
             }
-            self.c.flush_rows(&mut ctx, ii, bsize);
-            ctx.sfence();
-            for kb in 0..kb_partial {
-                let mut sink = EagerOnlySink::default();
-                self.region_body(&mut ctx, kb, ib_partial, &mut sink);
-                sink.commit(&mut ctx);
-                stats.regions_repaired += 1;
+            for &ib in &rebuild {
+                let pos = owned.iter().position(|&b| b == ib).expect("owned");
+                let kbs_done = self.strip_kbs_done(done, pos, owned.len());
+                self.rebuild_strip(&mut ctx, ib, kbs_done, &mut stats);
+            }
+            if done >= seq.len() {
+                continue;
             }
             // Re-run the rest of the schedule eagerly, advancing markers.
             let tp = self.handles.thread(t);
@@ -440,6 +549,7 @@ impl Tmm {
     /// then re-run the remaining schedule transactionally.
     fn recover_wal(&self, machine: &mut Machine) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
+        let poisoned = machine.mem().poisoned_lines();
         let owners = self.ownership();
         let window = self.params.window();
         let mut ctx = machine.ctx(0);
@@ -465,6 +575,17 @@ impl Tmm {
                 kb * owned.len() + pos + 1
             };
             stats.regions_checked += seq.len() as u64;
+            // The undo log restores pre-transaction bytes, but markers and
+            // logs vouch for committed progress, not for the medium:
+            // strips hit by (or mid-repair from) a media fault are rebuilt
+            // from their initial zeros.
+            for (pos, &ib) in owned.iter().enumerate() {
+                if self.strip_poisoned(&poisoned, ib) || self.strip_rebuild_armed(&mut ctx, ib) {
+                    stats.regions_quarantined += 1;
+                    let kbs_done = self.strip_kbs_done(done, pos, owned.len());
+                    self.rebuild_strip(&mut ctx, ib, kbs_done, &mut stats);
+                }
+            }
             for &(kb, ib) in &seq[done..] {
                 let key = self.key(kb, ib);
                 let mut rs = tp.begin(&mut ctx, key);
@@ -476,25 +597,6 @@ impl Tmm {
         }
         stats.cycles = ctx.now() - start;
         stats
-    }
-}
-
-/// Recovery sink for schemes without checksums: plain eager stores.
-#[derive(Debug, Default)]
-struct EagerOnlySink {
-    committer: lp_core::ep::EagerCommitter,
-}
-
-impl EagerOnlySink {
-    fn commit(self, ctx: &mut CoreCtx<'_>) {
-        self.committer.commit(ctx);
-    }
-}
-
-impl StoreSink for EagerOnlySink {
-    fn store(&mut self, ctx: &mut CoreCtx<'_>, arr: lp_sim::mem::PArray<f64>, idx: usize, v: f64) {
-        ctx.store(arr, idx, v);
-        self.committer.note(arr.addr(idx));
     }
 }
 

@@ -1,0 +1,174 @@
+//! Deterministic fault-injection model: torn line persists, media errors
+//! (bit flips and poisoned lines), and nested crash-during-recovery.
+//!
+//! The crash census ([`crate::memsys::CrashCensus`]) models clean ADR power
+//! loss: whole lines either persist or don't, the medium never lies, and
+//! recovery itself never fails. This module supplies the three fault
+//! classes beyond that model:
+//!
+//! * **Torn writes** — ADR guarantees 8-byte atomic durability, not
+//!   64-byte; a crash mid-writeback may land any word subset of a line
+//!   ([`crate::mem::Nvmm::write_words`],
+//!   [`crate::memsys::CrashCensus::materialize_subset_torn`]).
+//! * **Media faults** — seeded single-bit flips ([`flip_bit`]) and
+//!   poisoned lines that read as a fixed pattern until a writeback scrubs
+//!   them ([`crate::mem::Nvmm::poison_line`]).
+//! * **Nested crashes** — power lost again *during* recovery, bounded by
+//!   [`FaultConfig::nested_bound`]; the campaign re-arms a crash trigger
+//!   per recovery attempt and relies on recovery idempotence to converge.
+//!
+//! Everything is driven by [`crate::rng::Rng64`] streams so fault
+//! placement is a pure function of `(seed, work unit)` — campaigns are
+//! byte-identical at any host thread count.
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use crate::mem::Nvmm;
+use crate::rng::Rng64;
+
+/// Which fault classes a campaign injects, parsed from a
+/// `--faults torn,media,nested` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Persist census entries at 8-byte word granularity.
+    pub torn: bool,
+    /// Inject bit flips and poisoned lines into the post-crash image.
+    pub media: bool,
+    /// Inject crashes during recovery (bounded retries).
+    pub nested: bool,
+    /// Maximum injected crashes per recovery (the paper-facing bound `k`);
+    /// after the bound, one final attempt runs crash-free. Ignored unless
+    /// `nested` is set.
+    pub nested_bound: u32,
+}
+
+impl FaultConfig {
+    /// The default nested-crash bound `k`.
+    pub const DEFAULT_NESTED_BOUND: u32 = 2;
+
+    /// No faults: the clean ADR crash model.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Parse a comma-separated class list (`torn`, `media`, `nested`; e.g.
+    /// `"torn,nested"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown class.
+    pub fn parse(list: &str) -> Result<Self, String> {
+        let mut cfg = FaultConfig {
+            nested_bound: Self::DEFAULT_NESTED_BOUND,
+            ..FaultConfig::default()
+        };
+        for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match item {
+                "torn" => cfg.torn = true,
+                "media" => cfg.media = true,
+                "nested" => cfg.nested = true,
+                other => {
+                    return Err(format!(
+                        "unknown fault class '{other}' (expected torn, media, nested)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn any(&self) -> bool {
+        self.torn || self.media || self.nested
+    }
+}
+
+impl std::fmt::Display for FaultConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.torn {
+            parts.push("torn".to_string());
+        }
+        if self.media {
+            parts.push("media".to_string());
+        }
+        if self.nested {
+            parts.push(format!("nested(k={})", self.nested_bound));
+        }
+        if parts.is_empty() {
+            parts.push("none".into());
+        }
+        f.write_str(&parts.join(","))
+    }
+}
+
+/// Draw one torn-persist word mask per census entry. Masks are uniform
+/// over all 256 word subsets, so the atomic cases (`0x00`, `0xFF`) stay in
+/// the explored population alongside genuinely torn ones.
+pub fn draw_word_masks(rng: &mut Rng64, entries: usize) -> Vec<u8> {
+    (0..entries)
+        .map(|_| (rng.next_u64() & 0xFF) as u8)
+        .collect()
+}
+
+/// Flip bit `bit` (0..512) of `line` in `img` — a silent single-bit media
+/// error. Unlike poison, nothing records the flip; only a checksum audit
+/// can notice it.
+///
+/// # Panics
+///
+/// Panics if `bit >= 512` or the line is outside the image.
+pub fn flip_bit(img: &mut Nvmm, line: LineAddr, bit: usize) {
+    assert!(bit < LINE_BYTES * 8, "bit index {bit} out of line range");
+    let mut buf = [0u8; LINE_BYTES];
+    img.read_line(line, &mut buf);
+    buf[bit / 8] ^= 1u8 << (bit % 8);
+    img.write_line(line, &buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_classes_in_any_order() {
+        let cfg = FaultConfig::parse("nested, torn").unwrap();
+        assert!(cfg.torn && cfg.nested && !cfg.media);
+        assert_eq!(cfg.nested_bound, FaultConfig::DEFAULT_NESTED_BOUND);
+        let all = FaultConfig::parse("torn,media,nested").unwrap();
+        assert!(all.torn && all.media && all.nested && all.any());
+        assert!(!FaultConfig::parse("").unwrap().any());
+        assert!(FaultConfig::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn display_lists_enabled_classes() {
+        let mut cfg = FaultConfig::parse("torn,nested").unwrap();
+        cfg.nested_bound = 3;
+        assert_eq!(cfg.to_string(), "torn,nested(k=3)");
+        assert_eq!(FaultConfig::none().to_string(), "none");
+    }
+
+    #[test]
+    fn word_masks_are_stream_deterministic() {
+        let a = draw_word_masks(&mut Rng64::new_stream(7, 9), 32);
+        let b = draw_word_masks(&mut Rng64::new_stream(7, 9), 32);
+        assert_eq!(a, b);
+        let c = draw_word_masks(&mut Rng64::new_stream(7, 10), 32);
+        assert_ne!(a, c, "different streams draw different masks");
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut img = Nvmm::new(4096);
+        img.write_line(LineAddr(3), &[0u8; LINE_BYTES]);
+        flip_bit(&mut img, LineAddr(3), 77);
+        let mut buf = [0u8; LINE_BYTES];
+        img.read_line(LineAddr(3), &mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_eq!(buf[77 / 8], 1u8 << (77 % 8));
+        flip_bit(&mut img, LineAddr(3), 77);
+        img.read_line(LineAddr(3), &mut buf);
+        assert_eq!(buf, [0u8; LINE_BYTES], "flipping twice restores");
+    }
+}

@@ -55,6 +55,7 @@ pub mod cleaner;
 pub mod config;
 pub mod core;
 pub mod debug;
+pub mod fault;
 pub mod machine;
 pub mod mc;
 pub mod mem;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::cleaner::CleanerConfig;
     pub use crate::config::MachineConfig;
     pub use crate::core::CoreCtx;
+    pub use crate::fault::FaultConfig;
     pub use crate::machine::{Machine, Outcome, ThreadPlan, WorkItem};
     pub use crate::mem::{PArray, Scalar};
     pub use crate::memsys::CrashTrigger;

@@ -5,10 +5,21 @@
 //! flushed, cleaned, or drained) lives here; a crash discards all cache
 //! contents and keeps exactly this image.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use crate::addr::{Addr, LineAddr, LINE_BYTES};
+
+/// Byte pattern a poisoned (media-error) line reads as. Repeated across
+/// the line it forms [`POISON_WORD`] in every 8-byte word, so checksum
+/// folds over poisoned data are deterministic.
+pub const POISON_BYTE: u8 = 0xDE;
+
+/// The 8-byte little-endian word a poisoned line reads as.
+pub const POISON_WORD: u64 = u64::from_le_bytes([POISON_BYTE; 8]);
+
+/// Number of 8-byte words in a cache line (torn-write granularity).
+pub const WORDS_PER_LINE: usize = LINE_BYTES / 8;
 
 /// The simulated non-volatile main memory: a flat byte image with
 /// copy-on-write forking.
@@ -29,10 +40,22 @@ use crate::addr::{Addr, LineAddr, LINE_BYTES};
 /// The base is atomically reference-counted so a whole image (and hence a
 /// machine) can move across host threads: the parallel exploration engine
 /// forks images on one worker and recovers them on another.
+///
+/// # Media faults
+///
+/// A line can be *poisoned* ([`Nvmm::poison_line`]): its cells are
+/// re-programmed to the fixed [`POISON_BYTE`] pattern and the line is
+/// remembered in a poison set. Reads simply observe the pattern (the model
+/// is deterministic, not an exception machine); any subsequent full-line
+/// write re-programs the cells and *scrubs* the poison, which is exactly
+/// what a cache writeback does. Recovery code queries
+/// [`Nvmm::poisoned_lines`] to quarantine regions it must not trust.
 #[derive(Debug, Clone)]
 pub struct Nvmm {
     base: Arc<Vec<u8>>,
     overlay: HashMap<u64, [u8; LINE_BYTES]>,
+    /// Lines currently poisoned (ordered for deterministic reporting).
+    poisoned: BTreeSet<u64>,
 }
 
 impl Nvmm {
@@ -41,6 +64,7 @@ impl Nvmm {
         Nvmm {
             base: Arc::new(vec![0u8; bytes]),
             overlay: HashMap::new(),
+            poisoned: BTreeSet::new(),
         }
     }
 
@@ -57,6 +81,7 @@ impl Nvmm {
         Nvmm {
             base: Arc::clone(&self.base),
             overlay: self.overlay.clone(),
+            poisoned: self.poisoned.clone(),
         }
     }
 
@@ -118,13 +143,17 @@ impl Nvmm {
         buf.copy_from_slice(&self.base[base..base + LINE_BYTES]);
     }
 
-    /// Write a full cache line from `buf`.
+    /// Write a full cache line from `buf`. A full-line write re-programs
+    /// every cell, so it scrubs any poison on the line.
     ///
     /// # Panics
     ///
     /// Panics if the line is outside the image.
     pub fn write_line(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES]) {
         self.check_line(line);
+        if !self.poisoned.is_empty() {
+            self.poisoned.remove(&line.0);
+        }
         if Arc::get_mut(&mut self.base).is_some() {
             self.flatten();
             let base = line.base().0 as usize;
@@ -133,6 +162,67 @@ impl Nvmm {
         } else {
             self.overlay.insert(line.0, *buf);
         }
+    }
+
+    /// Write only the 8-byte words of `buf` selected by `word_mask` (bit
+    /// `w` selects bytes `[8w, 8w+8)`), leaving the rest of the line as it
+    /// was — a *torn* line persist. ADR platforms guarantee 8-byte-aligned
+    /// atomic durability but nothing wider, so a crash mid-writeback may
+    /// land any subset of a line's words.
+    ///
+    /// The merge happens at write time (read current line, splice selected
+    /// words, store the full line), so [`Nvmm::read_line`] and
+    /// [`Nvmm::fork`] need no per-word bookkeeping and the empty-overlay
+    /// read fast path is untouched. Like any write, a torn write
+    /// re-programs the line's cells and scrubs poison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is outside the image.
+    pub fn write_words(&mut self, line: LineAddr, buf: &[u8; LINE_BYTES], word_mask: u8) {
+        if word_mask == 0 {
+            return;
+        }
+        if word_mask == 0xFF {
+            self.write_line(line, buf);
+            return;
+        }
+        let mut merged = [0u8; LINE_BYTES];
+        self.read_line(line, &mut merged);
+        for w in 0..WORDS_PER_LINE {
+            if word_mask & (1u8 << w) != 0 {
+                merged[8 * w..8 * w + 8].copy_from_slice(&buf[8 * w..8 * w + 8]);
+            }
+        }
+        self.write_line(line, &merged);
+    }
+
+    /// Mark `line` as a media error: its cells now hold the
+    /// [`POISON_BYTE`] pattern and the line is tracked as poisoned until a
+    /// writeback scrubs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is outside the image.
+    pub fn poison_line(&mut self, line: LineAddr) {
+        self.check_line(line);
+        self.write_line(line, &[POISON_BYTE; LINE_BYTES]);
+        self.poisoned.insert(line.0);
+    }
+
+    /// Whether `line` is currently poisoned.
+    pub fn is_poisoned(&self, line: LineAddr) -> bool {
+        self.poisoned.contains(&line.0)
+    }
+
+    /// All currently poisoned lines, in ascending address order.
+    pub fn poisoned_lines(&self) -> Vec<LineAddr> {
+        self.poisoned.iter().map(|&l| LineAddr(l)).collect()
+    }
+
+    /// Number of currently poisoned lines.
+    pub fn poisoned_count(&self) -> usize {
+        self.poisoned.len()
     }
 
     /// Read `N` bytes at an arbitrary address (setup/inspection path).
@@ -435,6 +525,84 @@ mod tests {
         // Neighbours untouched.
         n.read_line(LineAddr(2), &mut out);
         assert_eq!(out, [0u8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn write_words_persists_only_selected_words() {
+        let mut n = Nvmm::new(4096);
+        let mut old = [0u8; LINE_BYTES];
+        for (i, b) in old.iter_mut().enumerate() {
+            *b = 100 + (i / 8) as u8;
+        }
+        n.write_line(LineAddr(2), &old);
+        let new = [7u8; LINE_BYTES];
+        // Words 0 and 5 persist; the rest of the line keeps its old data.
+        n.write_words(LineAddr(2), &new, 0b0010_0001);
+        let mut out = [0u8; LINE_BYTES];
+        n.read_line(LineAddr(2), &mut out);
+        for w in 0..WORDS_PER_LINE {
+            let expect = if w == 0 || w == 5 { 7u8 } else { 100 + w as u8 };
+            assert_eq!(out[8 * w..8 * w + 8], [expect; 8], "word {w}");
+        }
+        // Mask 0 writes nothing, mask 0xFF is a full-line write.
+        n.write_words(LineAddr(2), &new, 0);
+        n.read_line(LineAddr(2), &mut out);
+        assert_eq!(out[8..16], [101u8; 8]);
+        n.write_words(LineAddr(2), &new, 0xFF);
+        n.read_line(LineAddr(2), &mut out);
+        assert_eq!(out, new);
+    }
+
+    #[test]
+    fn write_words_on_forked_image_stays_isolated() {
+        let mut n = Nvmm::new(4096);
+        n.write_line(LineAddr(1), &[3u8; LINE_BYTES]);
+        let mut f = n.fork();
+        f.write_words(LineAddr(1), &[9u8; LINE_BYTES], 0b0000_0001);
+        let mut out = [0u8; LINE_BYTES];
+        f.read_line(LineAddr(1), &mut out);
+        assert_eq!(out[0..8], [9u8; 8]);
+        assert_eq!(out[8..], [3u8; LINE_BYTES - 8][..]);
+        n.read_line(LineAddr(1), &mut out);
+        assert_eq!(out, [3u8; LINE_BYTES], "original unaffected");
+    }
+
+    #[test]
+    fn poison_reads_as_pattern_until_scrubbed() {
+        let mut n = Nvmm::new(4096);
+        n.write_line(LineAddr(4), &[1u8; LINE_BYTES]);
+        n.poison_line(LineAddr(4));
+        assert!(n.is_poisoned(LineAddr(4)));
+        assert_eq!(n.poisoned_count(), 1);
+        assert_eq!(n.poisoned_lines(), vec![LineAddr(4)]);
+        let mut out = [0u8; LINE_BYTES];
+        n.read_line(LineAddr(4), &mut out);
+        assert_eq!(out, [POISON_BYTE; LINE_BYTES]);
+        // A full-line writeback re-programs the cells and scrubs.
+        n.write_line(LineAddr(4), &[2u8; LINE_BYTES]);
+        assert!(!n.is_poisoned(LineAddr(4)));
+        n.read_line(LineAddr(4), &mut out);
+        assert_eq!(out, [2u8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn poison_travels_with_forks_and_torn_writes_scrub() {
+        let mut n = Nvmm::new(4096);
+        n.poison_line(LineAddr(7));
+        let mut f = n.fork();
+        assert!(f.is_poisoned(LineAddr(7)));
+        f.write_words(LineAddr(7), &[5u8; LINE_BYTES], 0b0000_0010);
+        assert!(!f.is_poisoned(LineAddr(7)), "partial write scrubs too");
+        let mut out = [0u8; LINE_BYTES];
+        f.read_line(LineAddr(7), &mut out);
+        assert_eq!(out[8..16], [5u8; 8]);
+        assert_eq!(out[0..8], [POISON_BYTE; 8], "unwritten words keep pattern");
+        assert!(n.is_poisoned(LineAddr(7)), "original still poisoned");
+    }
+
+    #[test]
+    fn poison_word_matches_pattern() {
+        assert_eq!(POISON_WORD.to_le_bytes(), [POISON_BYTE; 8]);
     }
 
     #[test]

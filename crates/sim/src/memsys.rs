@@ -137,6 +137,36 @@ impl CrashCensus {
         }
         img
     }
+
+    /// Materialize one reachable image where each selected entry persists
+    /// *torn*: only the 8-byte words of `masks[i]` land (see
+    /// [`Nvmm::write_words`]). ADR guarantees word-granular atomicity, not
+    /// line-granular, so at crash time any word subset of an in-flight
+    /// writeback is reachable. With every mask `0xFF` this is exactly
+    /// [`Self::materialize_subset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` or `masks` differ in width from the census.
+    pub fn materialize_subset_torn(&self, selected: &[bool], masks: &[u8]) -> Nvmm {
+        assert_eq!(
+            selected.len(),
+            self.entries.len(),
+            "subset selection width must match the census"
+        );
+        assert_eq!(
+            masks.len(),
+            self.entries.len(),
+            "torn mask width must match the census"
+        );
+        let mut img = self.base.fork();
+        for (i, e) in self.entries.iter().enumerate() {
+            if selected[i] {
+                img.write_words(e.line, &e.data, masks[i]);
+            }
+        }
+        img
+    }
 }
 
 /// Result of a timed cache access.
@@ -490,6 +520,21 @@ impl MemSystem {
     /// cached copies.
     pub fn nvmm_mut(&mut self) -> &mut Nvmm {
         &mut self.nvmm
+    }
+
+    /// Inject a media error: poison `line` in the NVMM image (it reads as
+    /// the [`crate::mem::POISON_BYTE`] pattern until a writeback scrubs
+    /// it) and drop any cached copy so stale clean data cannot mask the
+    /// fault.
+    pub fn poison_line(&mut self, line: LineAddr) {
+        self.invalidate_everywhere(line);
+        self.nvmm.poison_line(line);
+    }
+
+    /// Currently poisoned NVMM lines, ascending (see
+    /// [`crate::mem::Nvmm::poisoned_lines`]).
+    pub fn poisoned_lines(&self) -> Vec<LineAddr> {
+        self.nvmm.poisoned_lines()
     }
 
     /// Replace the durable image wholesale (crash-state exploration).

@@ -1,0 +1,117 @@
+//! Recovery idempotence, the property the nested-crash fault campaign
+//! leans on: running a scheme's recovery twice — or crashing it mid-way
+//! and resuming from scratch — must land on exactly the bytes a single
+//! uninterrupted recovery produces. Kernel setup is deterministic, so
+//! three machines prepared alike and crashed at the same memop reach the
+//! same durable image; each then recovers under a different regimen and
+//! the protected-range bytes are compared bit for bit.
+
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{prepare_kernel, KernelId, PreparedKernel, Scale};
+use lp_sim::addr::{LineAddr, LINE_BYTES};
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::prelude::CrashTrigger;
+
+fn cfg() -> MachineConfig {
+    MachineConfig::default().with_nvmm_bytes(4 << 20)
+}
+
+fn schemes() -> [Scheme; 3] {
+    [Scheme::lazy_default(), Scheme::Eager, Scheme::Wal]
+}
+
+/// Forward-run crash points (memops); points beyond a kernel's run are
+/// skipped. Offsets (memops into recovery) for the truncated regimen.
+const CRASH_OPS: [u64; 3] = [37, 501, 1203];
+const TRUNCATE_OFFSETS: [u64; 2] = [29, 311];
+
+/// The durable bytes of the kernel's protected output lines.
+fn protected_bytes(m: &Machine, lines: &[LineAddr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.len() * LINE_BYTES);
+    let mut buf = [0u8; LINE_BYTES];
+    for &l in lines {
+        m.mem().nvmm().read_line(l, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+    out
+}
+
+/// Prepare one instance and run it to the crash point. `None` when the
+/// run completes before the trigger fires.
+fn crashed_instance(kernel: KernelId, scheme: Scheme, ops: u64) -> Option<PreparedKernel> {
+    let mut pk = prepare_kernel(kernel, Scale::Micro, &cfg(), scheme);
+    pk.machine.set_crash_trigger(CrashTrigger::AfterMemOps(ops));
+    let plans = std::mem::take(&mut pk.plans);
+    match pk.machine.run(plans) {
+        Outcome::Crashed => {
+            pk.machine.clear_crash_trigger();
+            Some(pk)
+        }
+        Outcome::Completed => None,
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_and_resumable() {
+    for kernel in KernelId::ALL {
+        for scheme in schemes() {
+            for ops in CRASH_OPS {
+                // Regimen A: one uninterrupted recovery.
+                let Some(mut once) = crashed_instance(kernel, scheme, ops) else {
+                    continue;
+                };
+                (once.recover)(&mut once.machine);
+                once.machine.drain_caches();
+                assert!(
+                    (once.verify)(&once.machine),
+                    "{kernel:?}/{scheme}: single recovery wrong at crash {ops}"
+                );
+                let golden = protected_bytes(&once.machine, &once.poison_lines);
+
+                // Regimen B: the same recovery run twice back to back.
+                let mut twice = crashed_instance(kernel, scheme, ops).expect("same trace");
+                (twice.recover)(&mut twice.machine);
+                (twice.recover)(&mut twice.machine);
+                twice.machine.drain_caches();
+                assert!(
+                    (twice.verify)(&twice.machine),
+                    "{kernel:?}/{scheme}: double recovery wrong at crash {ops}"
+                );
+                assert_eq!(
+                    golden,
+                    protected_bytes(&twice.machine, &twice.poison_lines),
+                    "{kernel:?}/{scheme}: recover-twice diverged at crash {ops}"
+                );
+
+                // Regimen C: recovery truncated by a nested crash, then
+                // resumed from scratch (the campaign's retry path).
+                for off in TRUNCATE_OFFSETS {
+                    let mut resumed = crashed_instance(kernel, scheme, ops).expect("same trace");
+                    let at = resumed.machine.mem().mem_ops() + off;
+                    resumed
+                        .machine
+                        .set_crash_trigger(CrashTrigger::AfterMemOps(at));
+                    (resumed.recover)(&mut resumed.machine);
+                    if resumed.machine.mem().crashed() {
+                        resumed.machine.mem_mut().acknowledge_crash();
+                    } else {
+                        resumed.machine.clear_crash_trigger();
+                    }
+                    (resumed.recover)(&mut resumed.machine);
+                    resumed.machine.drain_caches();
+                    assert!(
+                        (resumed.verify)(&resumed.machine),
+                        "{kernel:?}/{scheme}: truncated recovery (crash {ops}, +{off}) wrong"
+                    );
+                    assert_eq!(
+                        golden,
+                        protected_bytes(&resumed.machine, &resumed.poison_lines),
+                        "{kernel:?}/{scheme}: truncate-then-resume (crash {ops}, +{off}) \
+                         diverged from a single recovery"
+                    );
+                }
+            }
+        }
+    }
+}
