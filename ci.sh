@@ -35,7 +35,13 @@ rm -f /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt
 echo "== lp-crashmc smoke: every fault mutation is flagged =="
 cargo run --release -q -p lp-crashmc -- --fault-mutations --threads 2
 
-echo "== perf baseline: refresh results/BENCH_5.json =="
+echo "== lp-lint: clean tree must have zero static persist-order findings =="
+cargo run --release -q -p lp-lint -- --all
+
+echo "== lp-lint: differential vs the mutation rigs (statically-decidable rigs flagged, control clean) =="
+cargo run --release -q -p lp-lint -- --differential
+
+echo "== perf baseline: refresh results/BENCH_6.json (warmup + median-of-3) =="
 cargo run --release -q -p lp-bench --bin perf_baseline -- --quick > /dev/null
 
 echo "ci.sh: all gates passed"

@@ -4,11 +4,17 @@
 //! exploration engine at 1/2/4/8 host threads and the fault campaign's
 //! states/sec (torn + media + nested enabled).
 //!
-//! Emits `results/BENCH_5.json` (hand-rolled JSON; the workspace carries
-//! no serde) so the perf trajectory is measured, not anecdotal. Run with
+//! Measurement protocol (fixed, not adaptive, so runs are comparable
+//! across commits): every cell uses a fixed workload size, runs one
+//! untimed warmup pass, then three timed repetitions, and reports the
+//! median wall time (min/max recorded as spread). Emits
+//! `results/BENCH_6.json` (hand-rolled JSON; the workspace carries no
+//! serde) so the perf trajectory is measured, not anecdotal. Run with
 //! `--quick` for the CI-sized workload.
 //!
 //! Run: `cargo run --release -p lp-bench --bin perf_baseline [--quick]`.
+
+#![forbid(unsafe_code)]
 
 use lp_bench::BenchArgs;
 use lp_core::scheme::Scheme;
@@ -16,6 +22,11 @@ use lp_crashmc::cases::all_kernel_cases;
 use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
 use lp_kernels::driver::{run_kernel, KernelId, Scale};
 use lp_sim::fault::FaultConfig;
+
+/// Untimed passes before measurement (warms caches and allocators).
+const WARMUP_REPS: usize = 1;
+/// Timed repetitions per cell; the median is reported.
+const TIMED_REPS: usize = 3;
 
 /// One emitted measurement.
 struct Entry {
@@ -26,14 +37,39 @@ struct Entry {
     detail: Vec<(String, f64)>,
 }
 
+/// Run `f` under the fixed protocol: `WARMUP_REPS` untimed passes, then
+/// `TIMED_REPS` timed ones. Returns `(median, min, max, last result)`.
+fn measure<T>(mut f: impl FnMut() -> T) -> (f64, f64, f64, T) {
+    for _ in 0..WARMUP_REPS {
+        f();
+    }
+    let mut walls = Vec::with_capacity(TIMED_REPS);
+    let mut last = None;
+    for _ in 0..TIMED_REPS {
+        let t0 = std::time::Instant::now();
+        last = Some(f());
+        walls.push(t0.elapsed().as_secs_f64());
+    }
+    walls.sort_by(f64::total_cmp);
+    (
+        walls[TIMED_REPS / 2],
+        walls[0],
+        walls[TIMED_REPS - 1],
+        last.expect("TIMED_REPS > 0"),
+    )
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_5\",\n");
+    out.push_str("  \"bench\": \"BENCH_6\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"protocol\": {{\"warmup_reps\": {WARMUP_REPS}, \"timed_reps\": {TIMED_REPS}, \"statistic\": \"median\"}},\n"
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str("    {\n");
@@ -74,9 +110,8 @@ fn main() {
     let cfg = args.base_config();
     for scheme in [Scheme::Base, Scheme::lazy_default(), Scheme::Eager] {
         eprintln!("perf_baseline: sim {scheme}...");
-        let t0 = std::time::Instant::now();
-        let run = run_kernel(KernelId::Tmm, scale, &cfg, scheme);
-        let wall = t0.elapsed().as_secs_f64();
+        let (wall, wall_min, wall_max, run) =
+            measure(|| run_kernel(KernelId::Tmm, scale, &cfg, scheme));
         assert!(run.verified, "tmm {scheme}");
         let t = run.stats.core_totals();
         let memops = t.loads + t.stores + t.flushes + t.fences;
@@ -88,6 +123,8 @@ fn main() {
             detail: vec![
                 ("memops".into(), memops as f64),
                 ("sim_cycles".into(), run.stats.exec_cycles() as f64),
+                ("wall_min".into(), wall_min),
+                ("wall_max".into(), wall_max),
             ],
         });
     }
@@ -113,9 +150,8 @@ fn main() {
     let mut wall_at_1 = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         eprintln!("perf_baseline: crashmc @ {threads} thread(s)...");
-        let t0 = std::time::Instant::now();
-        let reports = check_cases(&cases, &budget, 42, threads);
-        let wall = t0.elapsed().as_secs_f64();
+        let (wall, wall_min, wall_max, reports) =
+            measure(|| check_cases(&cases, &budget, 42, threads));
         let states: u64 = reports.iter().map(|r| r.states_checked).sum();
         assert!(
             reports.iter().all(lp_crashmc::mc::McReport::clean),
@@ -132,6 +168,8 @@ fn main() {
             detail: vec![
                 ("states".into(), states as f64),
                 ("speedup_vs_1".into(), wall_at_1 / wall.max(1e-9)),
+                ("wall_min".into(), wall_min),
+                ("wall_max".into(), wall_max),
             ],
         });
     }
@@ -144,9 +182,8 @@ fn main() {
     };
     for threads in [1usize, 4] {
         eprintln!("perf_baseline: fault campaign @ {threads} thread(s)...");
-        let t0 = std::time::Instant::now();
-        let reports = check_cases(&cases, &faulted, 42, threads);
-        let wall = t0.elapsed().as_secs_f64();
+        let (wall, wall_min, wall_max, reports) =
+            measure(|| check_cases(&cases, &faulted, 42, threads));
         let states: u64 = reports.iter().map(|r| r.states_checked).sum();
         let torn: u64 = reports.iter().map(|r| r.tally.torn_states).sum();
         let poisons: u64 = reports.iter().map(|r| r.tally.poisons).sum();
@@ -165,15 +202,17 @@ fn main() {
                 ("torn_states".into(), torn as f64),
                 ("poisons".into(), poisons as f64),
                 ("nested_crashes".into(), nested as f64),
+                ("wall_min".into(), wall_min),
+                ("wall_max".into(), wall_max),
             ],
         });
     }
     let _ = std::panic::take_hook();
 
     let json = render_json(args.quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_5.json");
+    let path = std::path::Path::new("results").join("BENCH_6.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_5.json");
+    std::fs::write(&path, &json).expect("write BENCH_6.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
 }

@@ -9,6 +9,9 @@
 //! This library holds the shared plumbing: argument parsing, table
 //! rendering, and normalization formatting.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use lp_sim::config::MachineConfig;
 
 /// Command-line options shared by all experiment binaries.

@@ -33,6 +33,7 @@
 //! `lp-check` binary, or audit one workload programmatically via
 //! [`check_kernel`].
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod checker;

@@ -72,6 +72,21 @@ impl Rule {
             Rule::R7 => "recovery progress stored before the repairs it vouches for were durable",
         }
     }
+
+    /// The `lp-lint` static rule that decides the same ordering property
+    /// from source, when one exists (`"S1"`…`"S5"`). `None` for the rules
+    /// that depend on runtime information — R5 needs concrete addresses
+    /// and the cross-thread schedule, R6 needs eviction timing.
+    pub fn static_twin(self) -> Option<&'static str> {
+        match self {
+            Rule::R1 => Some("S5"),
+            Rule::R2 => Some("S2"),
+            Rule::R3 => Some("S1"),
+            Rule::R4 => Some("S3"),
+            Rule::R5 | Rule::R6 => None,
+            Rule::R7 => Some("S4"),
+        }
+    }
 }
 
 impl std::fmt::Display for Rule {
@@ -254,5 +269,21 @@ mod tests {
         assert_eq!(ids.len(), Rule::ALL.len());
         let titles: std::collections::HashSet<_> = Rule::ALL.iter().map(|r| r.title()).collect();
         assert_eq!(titles.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn static_twins_are_valid_s_rules() {
+        // Exactly the runtime-dependent rules lack a static twin, and
+        // every twin is a well-formed S-rule id.
+        for r in Rule::ALL {
+            match r.static_twin() {
+                Some(s) => {
+                    assert!(s.starts_with('S'), "{s}");
+                    let n: u32 = s[1..].parse().unwrap();
+                    assert!((1..=5).contains(&n), "{s}");
+                }
+                None => assert!(matches!(r, Rule::R5 | Rule::R6)),
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@
 //!
 //! See `DESIGN.md` ("Correctness tooling") for the ADR crash model and
 //! the definition of "reachable state".
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod cases;
 pub mod fault_mutations;

@@ -1,0 +1,17 @@
+//! Fixture mirroring `mut:ep_skip_fence`: an EagerRecompute region
+//! flushes its stores but omits the fence before the marker update, so
+//! the marker can become durable while data flushes are still in flight.
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(KEY);
+    for (i, v) in VALS {
+        ctx.store(arr, i, v);
+        ctx.clflushopt(arr.addr(i));
+    }
+    // BUG: no sfence before the marker — data flushes are still
+    // retirable when the marker becomes durable.
+    ctx.store(markers, 0, KEY as u64 + 1);
+    ctx.clflushopt(markers.addr(0));
+    ctx.sfence();
+    ctx.region_end();
+}

@@ -1,0 +1,18 @@
+//! Fixture mirroring `mut:ep_skip_flush`: an EagerRecompute region
+//! forgets to flush one of its stores; the line can sit dirty in cache
+//! while the properly fenced marker commits.
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(KEY);
+    for (n, (i, v)) in VALS.into_iter().enumerate() {
+        ctx.store(arr, i, v);
+        if n != 1 {
+            ctx.clflushopt(arr.addr(i));
+        } // BUG: arr[8] is never flushed
+    }
+    ctx.sfence();
+    ctx.store(markers, 0, KEY as u64 + 1);
+    ctx.clflushopt(markers.addr(0));
+    ctx.sfence();
+    ctx.region_end();
+}

@@ -1,0 +1,15 @@
+//! Fixture mirroring `mut:lp_skip_fold`: an LP region folds only two of
+//! its three stores into the running checksum before publishing it, so a
+//! lost third line is invisible to recovery verification.
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(KEY);
+    for (n, (i, v)) in VALS.into_iter().enumerate() {
+        ctx.store(arr, i, v);
+        if n < 2 {
+            self.ck.update(v.to_bits());
+        } // BUG: the third store is never folded
+    }
+    self.table.store(ctx, KEY, self.ck.value());
+    ctx.region_end();
+}

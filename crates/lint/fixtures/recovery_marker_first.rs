@@ -1,0 +1,16 @@
+//! Fixture mirroring `fmut:marker_first_recovery`: an EP-style recovery
+//! persists its done-marker *before* re-doing the data it vouches for.
+
+fn recover(ctx: &mut CoreCtx<'_>) {
+    // BUG: the marker becomes durable before the data it promises; a
+    // crash in between convinces the next attempt there is nothing left
+    // to repair.
+    ctx.store(markers, 0, KEY as u64 + 1);
+    ctx.clflushopt(markers.addr(0));
+    ctx.sfence();
+    for (i, v) in VALS {
+        ctx.store(arr, i, v);
+        ctx.clflushopt(arr.addr(i));
+    }
+    ctx.sfence();
+}

@@ -1,0 +1,13 @@
+//! Fixture mirroring `mut:store_outside_region`: a store to protected
+//! data lands before the region opens, so no checksum covers it.
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.store(arr, 0, 5.0); // BUG: unprotected store, no region
+    ctx.region_begin(KEY);
+    ctx.store(arr, 8, 2.0);
+    self.ck.update(bits(2.0));
+    ctx.store(arr, 9, 4.0);
+    self.ck.update(bits(4.0));
+    self.table.store(ctx, KEY, self.ck.value());
+    ctx.region_end();
+}

@@ -1,0 +1,24 @@
+//! Fixture mirroring `mut:wal_data_before_log`: a hand-rolled WAL
+//! transaction mutates data in place *before* its undo log is durable.
+
+fn commit(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(KEY);
+    let old: f64 = ctx.load(arr, 0);
+    ctx.store(arr, 0, old + DELTA); // BUG: data before log
+    ctx.store(log, 0, arr.addr(0).0);
+    ctx.store(log, 1, old.to_bits());
+    ctx.clflushopt(log.addr(0));
+    ctx.sfence();
+    ctx.store(header, 1, 2); // count
+    ctx.store(header, 0, 1); // status: log sealed
+    ctx.clflushopt(header.addr(0));
+    ctx.sfence();
+    ctx.clflushopt(arr.addr(0)); // apply phase
+    ctx.store(header, 2, KEY as u64 + 1); // marker
+    ctx.clflushopt(header.addr(0));
+    ctx.sfence();
+    ctx.store(header, 0, 0); // status: applied
+    ctx.clflushopt(header.addr(0));
+    ctx.sfence();
+    ctx.region_end();
+}

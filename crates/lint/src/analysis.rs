@@ -1,0 +1,851 @@
+//! The persist-order abstract interpreter.
+//!
+//! Each function body is evaluated over an abstract state tracking
+//! pending durability obligations: stores not yet flushed, flushed but
+//! not yet fenced, and not yet folded into a running checksum, plus WAL
+//! append/fence ordering and region begin/commit balance. Branches are
+//! evaluated per-arm and joined by *union* of pending obligations (a
+//! store pending on any path is pending at the merge), which is the
+//! dominator/post-dominator approximation of rules S1–S4 (see DESIGN.md
+//! §5e). Rules fire at publish points (checksum-table stores, marker
+//! stores, WAL overwrites) — not at every store — so Lazy Persistency
+//! regions, whose stores are *intentionally* never flushed, lint clean.
+
+use std::collections::BTreeMap;
+
+use crate::config::{FnContext, LintConfig};
+use crate::lexer::Directive;
+use crate::parser::{parse_file, FnItem, Node, RawCall};
+use crate::report::{LintFinding, LintReport, SRule};
+
+/// Classified persistency-API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    /// Raw persistent data store: creates flush/fence/fold obligations.
+    DataStore(String),
+    /// Scheme-managed store (`tp.store`, `sink.store`): durability is the
+    /// scheme's job, but the call must sit inside a region (S5).
+    RegionStore,
+    /// Lazy checksum-table publish (`table.store`).
+    TablePublish,
+    /// Eager checksum-table publish (`table.persist`).
+    TablePersist,
+    /// Durable progress-marker store.
+    MarkerPublish,
+    /// WAL undo-log append (`entries` store, `log_and_stage`).
+    LogAppend,
+    /// WAL arena header store (status/count/marker line).
+    StatusPublish,
+    /// Flush of one target (`clflushopt`, `flush_range`, `flush_rows`),
+    /// or of everything when the target could not be resolved.
+    Flush(Option<String>),
+    /// Store fence.
+    Fence,
+    /// Flush-everything-and-fence (`committer.commit`, `sink.commit`,
+    /// `tx.commit`).
+    Barrier,
+    /// Fold into a running checksum (`ck.update`).
+    Fold,
+    /// Region open.
+    RegionBegin,
+    /// Region close (`tp.commit` / `tp.abort`).
+    RegionEnd,
+    /// Already-durable helper (`persist_store`: store+flush+fence).
+    DurableStore,
+    /// `persist_range(ctx, arr, ..)`: flush target + fence.
+    PersistRange(Option<String>),
+    /// Anything else.
+    Other,
+}
+
+/// Classify a call site using the name-allowlist config.
+fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> Kind {
+    let recv = call.receiver.as_str();
+    let recv_is_ctx = recv.is_empty() || recv.rsplit('.').next() == Some("ctx");
+    // Target of a store/flush: explicit argument for ctx methods, the
+    // receiver itself for container methods (`m.store(ctx, ..)`).
+    let arg_target = |arg: &str| -> String {
+        let t = cfg.strip_accessors(arg);
+        if t.rsplit('.').next() == Some("ctx") {
+            String::new()
+        } else {
+            t.to_string()
+        }
+    };
+    match call.name.as_str() {
+        "store" => {
+            if cfg.is_region_receiver(recv) || cfg.is_sink_receiver(recv) {
+                return Kind::RegionStore;
+            }
+            if cfg.is_table(recv) {
+                return Kind::TablePublish;
+            }
+            let target = if recv_is_ctx {
+                arg_target(&call.arg0)
+            } else {
+                arg_target(recv)
+            };
+            if cfg.is_table(&target) {
+                Kind::TablePublish
+            } else if cfg.is_marker(&target) {
+                Kind::MarkerPublish
+            } else if cfg.is_log(&target, is_wal_file) {
+                Kind::LogAppend
+            } else if cfg.is_log_header(&target, is_wal_file) {
+                Kind::StatusPublish
+            } else if target.is_empty() {
+                Kind::DataStore("<expr>".into())
+            } else {
+                Kind::DataStore(target)
+            }
+        }
+        "store_addr" => {
+            let target = arg_target(&call.arg0);
+            if cfg.is_log(&target, is_wal_file) {
+                Kind::LogAppend
+            } else if target.is_empty() {
+                Kind::DataStore("<expr>".into())
+            } else {
+                Kind::DataStore(target)
+            }
+        }
+        "log_and_stage" => Kind::LogAppend,
+        "clflushopt" | "clwb" | "flush_range" => {
+            let t = arg_target(&call.arg0);
+            Kind::Flush((!t.is_empty()).then_some(t))
+        }
+        "flush_rows" | "flush_all" => {
+            // Container method: the receiver is the flushed array.
+            let t = arg_target(recv);
+            Kind::Flush((!t.is_empty()).then_some(t))
+        }
+        "sfence" => Kind::Fence,
+        "persist_store" => Kind::DurableStore,
+        "persist_range" => {
+            let t = arg_target(&call.arg1);
+            Kind::PersistRange((!t.is_empty()).then_some(t))
+        }
+        "persist" if cfg.is_table(recv) => Kind::TablePersist,
+        "update" if cfg.is_fold_receiver(recv) => Kind::Fold,
+        "begin" if cfg.is_region_receiver(recv) => Kind::RegionBegin,
+        "region_begin" => Kind::RegionBegin,
+        "commit" | "abort" if cfg.is_region_receiver(recv) => Kind::RegionEnd,
+        "region_commit" | "region_end" => Kind::RegionEnd,
+        "commit" => Kind::Barrier,
+        _ => Kind::Other,
+    }
+}
+
+/// Pending-obligation state at one program point.
+#[derive(Debug, Clone, Default)]
+struct AbsState {
+    /// Open region nesting depth with the begin lines.
+    begins: Vec<u32>,
+    /// Stored but not yet flushed: target → first store line.
+    unflushed: BTreeMap<String, u32>,
+    /// Flushed but not yet fenced: target → first store line.
+    unfenced: BTreeMap<String, u32>,
+    /// Stored but not yet folded into a checksum: target → line.
+    unfolded: BTreeMap<String, u32>,
+    /// WAL appends seen on this path.
+    appends: u32,
+    /// Some append has been covered by a fence on this path.
+    log_fenced: bool,
+    /// Line of a recovery progress-marker publish on this path (S4:
+    /// repairs must precede it, so a later repair store is a violation).
+    marker_line: Option<u32>,
+    /// The path ended (`return`/`break`/`continue`/`panic!`).
+    diverged: bool,
+}
+
+impl AbsState {
+    fn pending_durability(&self) -> Vec<(&String, &u32, &'static str)> {
+        let mut v: Vec<_> = self
+            .unflushed
+            .iter()
+            .map(|(t, l)| (t, l, "unflushed"))
+            .collect();
+        v.extend(self.unfenced.iter().map(|(t, l)| (t, l, "unfenced")));
+        v.sort_by_key(|(_, l, _)| **l);
+        v
+    }
+}
+
+/// Union-join two states at a merge point. A mismatch in region depth is
+/// an S5 violation recorded by the caller.
+fn join(mut a: AbsState, b: &AbsState) -> AbsState {
+    for (t, l) in &b.unflushed {
+        let e = a.unflushed.entry(t.clone()).or_insert(*l);
+        *e = (*e).min(*l);
+    }
+    for (t, l) in &b.unfenced {
+        // A target unflushed on one path and unfenced on the other is
+        // kept at the stronger (unflushed) obligation.
+        if !a.unflushed.contains_key(t) {
+            let e = a.unfenced.entry(t.clone()).or_insert(*l);
+            *e = (*e).min(*l);
+        }
+    }
+    for (t, l) in &b.unfolded {
+        let e = a.unfolded.entry(t.clone()).or_insert(*l);
+        *e = (*e).min(*l);
+    }
+    a.appends = a.appends.max(b.appends);
+    a.log_fenced = a.log_fenced && b.log_fenced;
+    a.marker_line = match (a.marker_line, b.marker_line) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    };
+    if b.begins.len() > a.begins.len() {
+        a.begins = b.begins.clone();
+    }
+    a
+}
+
+/// Per-function facts gathered in a prepass.
+#[derive(Debug, Default, Clone, Copy)]
+struct FnFacts {
+    has_append: bool,
+    has_begin: bool,
+}
+
+fn gather_facts(nodes: &[Node], cfg: &LintConfig, is_wal_file: bool, facts: &mut FnFacts) {
+    for n in nodes {
+        match n {
+            Node::Call(c) => match classify(c, cfg, is_wal_file) {
+                Kind::LogAppend => facts.has_append = true,
+                Kind::RegionBegin => facts.has_begin = true,
+                _ => {}
+            },
+            Node::Branch(arms) => {
+                for a in arms {
+                    gather_facts(a, cfg, is_wal_file, facts);
+                }
+            }
+            Node::Loop(b) => gather_facts(b, cfg, is_wal_file, facts),
+            Node::Diverge => {}
+        }
+    }
+}
+
+/// Evaluation harness for one function.
+struct Eval<'a> {
+    cfg: &'a LintConfig,
+    file: &'a str,
+    function: &'a str,
+    context: FnContext,
+    is_wal_file: bool,
+    facts: FnFacts,
+    findings: &'a mut Vec<LintFinding>,
+}
+
+impl Eval<'_> {
+    fn emit(&mut self, rule: SRule, line: u32, detail: String) {
+        self.findings.push(LintFinding {
+            rule,
+            file: self.file.to_string(),
+            line,
+            function: self.function.to_string(),
+            detail,
+        });
+    }
+
+    /// Report pending durability obligations at a publish point.
+    fn check_publish(&mut self, rule: SRule, what: &str, line: u32, st: &AbsState) {
+        let pending = st.pending_durability();
+        if pending.is_empty() {
+            return;
+        }
+        let list: Vec<String> = pending
+            .iter()
+            .take(3)
+            .map(|(t, l, how)| format!("`{t}` stored at line {l} still {how}"))
+            .collect();
+        self.emit(
+            rule,
+            line,
+            format!(
+                "{what} while {} store(s) lack flush+sfence: {}",
+                pending.len(),
+                list.join("; ")
+            ),
+        );
+    }
+
+    fn apply(&mut self, call: &RawCall, st: &mut AbsState) {
+        let kind = classify(call, self.cfg, self.is_wal_file);
+        let line = call.line;
+        match kind {
+            Kind::DataStore(target) => {
+                if self.facts.has_append && !st.log_fenced {
+                    self.emit(
+                        SRule::S3OverwriteBeforeLogFence,
+                        line,
+                        format!(
+                            "in-place store to `{target}` before the undo log is appended and fenced"
+                        ),
+                    );
+                }
+                if self.facts.has_begin && st.begins.is_empty() {
+                    self.emit(
+                        SRule::S5UnbalancedRegion,
+                        line,
+                        format!(
+                            "store to `{target}` outside any open region (no checksum covers it)"
+                        ),
+                    );
+                }
+                if self.context == FnContext::Recovery {
+                    if let Some(ml) = st.marker_line {
+                        self.emit(
+                            SRule::S4MarkerBeforeRepairFence,
+                            ml,
+                            format!(
+                                "recovery marker published before the repair store to `{target}` at line {line}"
+                            ),
+                        );
+                    }
+                }
+                st.unfenced.remove(&target);
+                st.unflushed.entry(target.clone()).or_insert(line);
+                st.unfolded.entry(target).or_insert(line);
+            }
+            Kind::RegionStore => {
+                if self.facts.has_begin && st.begins.is_empty() {
+                    self.emit(
+                        SRule::S5UnbalancedRegion,
+                        line,
+                        "scheme store outside any open region (begin/commit do not cover it)"
+                            .to_string(),
+                    );
+                }
+            }
+            Kind::TablePublish | Kind::TablePersist => match self.context {
+                FnContext::Recovery => {
+                    self.check_publish(
+                        SRule::S4MarkerBeforeRepairFence,
+                        "recovery progress published to checksum table",
+                        line,
+                        st,
+                    );
+                }
+                _ => {
+                    if let Some((t, l)) = st.unfolded.iter().next() {
+                        let n = st.unfolded.len();
+                        self.emit(
+                            SRule::S2PublishBeforeCover,
+                            line,
+                            format!(
+                                "checksum published while {n} store(s) were never folded into it (first: `{t}` at line {l})"
+                            ),
+                        );
+                    }
+                }
+            },
+            Kind::MarkerPublish => match self.context {
+                FnContext::Recovery => {
+                    self.check_publish(
+                        SRule::S4MarkerBeforeRepairFence,
+                        "recovery marker stored",
+                        line,
+                        st,
+                    );
+                    if st.marker_line.is_none() {
+                        st.marker_line = Some(line);
+                    }
+                }
+                _ => {
+                    self.check_publish(
+                        SRule::S1StoreNotCovered,
+                        "progress marker stored",
+                        line,
+                        st,
+                    );
+                }
+            },
+            Kind::StatusPublish => {
+                if self.context == FnContext::Recovery {
+                    self.check_publish(
+                        SRule::S4MarkerBeforeRepairFence,
+                        "WAL status/marker line stored in recovery",
+                        line,
+                        st,
+                    );
+                }
+            }
+            Kind::LogAppend => {
+                st.appends += 1;
+            }
+            Kind::Flush(Some(target)) => {
+                if let Some(l) = st.unflushed.remove(&target) {
+                    st.unfenced.entry(target).or_insert(l);
+                }
+            }
+            Kind::Flush(None) => {
+                let moved: Vec<(String, u32)> =
+                    std::mem::take(&mut st.unflushed).into_iter().collect();
+                for (t, l) in moved {
+                    st.unfenced.entry(t).or_insert(l);
+                }
+            }
+            Kind::Fence => {
+                st.unfenced.clear();
+                if st.appends > 0 {
+                    st.log_fenced = true;
+                }
+            }
+            Kind::Barrier => {
+                st.unflushed.clear();
+                st.unfenced.clear();
+                if st.appends > 0 {
+                    st.log_fenced = true;
+                }
+            }
+            Kind::Fold => st.unfolded.clear(),
+            Kind::RegionBegin => st.begins.push(line),
+            Kind::RegionEnd => {
+                if st.begins.pop().is_none() {
+                    self.emit(
+                        SRule::S5UnbalancedRegion,
+                        line,
+                        "region commit/abort without a matching begin on this path".to_string(),
+                    );
+                }
+            }
+            Kind::DurableStore => {}
+            Kind::PersistRange(target) => {
+                match target {
+                    Some(t) => {
+                        if let Some(l) = st.unflushed.remove(&t) {
+                            st.unfenced.entry(t).or_insert(l);
+                        }
+                    }
+                    None => {
+                        let moved: Vec<(String, u32)> =
+                            std::mem::take(&mut st.unflushed).into_iter().collect();
+                        for (t, l) in moved {
+                            st.unfenced.entry(t).or_insert(l);
+                        }
+                    }
+                }
+                st.unfenced.clear();
+                if st.appends > 0 {
+                    st.log_fenced = true;
+                }
+            }
+            Kind::Other => {}
+        }
+    }
+
+    fn eval(&mut self, nodes: &[Node], mut st: AbsState) -> AbsState {
+        for node in nodes {
+            if st.diverged {
+                break;
+            }
+            match node {
+                Node::Call(c) => self.apply(c, &mut st),
+                Node::Branch(arms) => {
+                    let mut outs: Vec<AbsState> = Vec::new();
+                    for arm in arms {
+                        let out = self.eval(arm, st.clone());
+                        if !out.diverged {
+                            outs.push(out);
+                        }
+                    }
+                    match outs.split_first() {
+                        None => st.diverged = true,
+                        Some((first, rest)) => {
+                            let depth0 = first.begins.len();
+                            let mut merged = first.clone();
+                            for o in rest {
+                                if o.begins.len() != depth0 {
+                                    let line =
+                                        *o.begins.last().or(merged.begins.last()).unwrap_or(&0);
+                                    self.emit(
+                                        SRule::S5UnbalancedRegion,
+                                        line,
+                                        "region begin/commit balance differs across branch arms"
+                                            .to_string(),
+                                    );
+                                }
+                                merged = join(merged, o);
+                            }
+                            st = merged;
+                        }
+                    }
+                }
+                Node::Loop(body) => {
+                    let entry_depth = st.begins.len();
+                    let out = self.eval(body, st.clone());
+                    if !out.diverged {
+                        if out.begins.len() != entry_depth {
+                            let line = *out.begins.last().or(st.begins.last()).unwrap_or(&0);
+                            self.emit(
+                                SRule::S5UnbalancedRegion,
+                                line,
+                                "loop body changes region begin/commit balance across iterations"
+                                    .to_string(),
+                            );
+                        }
+                        st = join(st, &out);
+                    }
+                }
+                Node::Diverge => st.diverged = true,
+            }
+        }
+        st
+    }
+
+    fn run(&mut self, f: &FnItem) {
+        let st = self.eval(&f.body, AbsState::default());
+        if !st.diverged {
+            if let Some(line) = st.begins.last() {
+                self.emit(
+                    SRule::S5UnbalancedRegion,
+                    *line,
+                    "region opened here is not committed/aborted on every path".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Analyze one source file. `file_label` is the path used in findings;
+/// `file_stem` drives WAL-context inference.
+pub fn analyze_source(
+    src: &str,
+    file_label: &str,
+    file_stem: &str,
+    cfg: &LintConfig,
+) -> LintReport {
+    let parsed = parse_file(src, file_stem, cfg);
+    let mut findings = Vec::new();
+    for f in &parsed.fns {
+        if f.context == FnContext::Ignore {
+            continue;
+        }
+        let mut facts = FnFacts::default();
+        gather_facts(&f.body, cfg, parsed.is_wal, &mut facts);
+        let mut ev = Eval {
+            cfg,
+            file: file_label,
+            function: &f.name,
+            context: f.context,
+            is_wal_file: parsed.is_wal,
+            facts,
+            findings: &mut findings,
+        };
+        ev.run(f);
+    }
+    // `lp-lint: allow(Sx)` on the finding's line or the line above
+    // suppresses it.
+    findings.retain(|f| {
+        !parsed.directives.iter().any(|(line, d)| {
+            matches!(d, Directive::Allow(rules)
+                if (*line == f.line || line + 1 == f.line)
+                    && rules.iter().any(|r| SRule::from_id(r) == Some(f.rule)))
+        })
+    });
+    let mut report = LintReport {
+        files: vec![file_label.to_string()],
+        functions: parsed.fns.len(),
+        findings,
+    };
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> LintReport {
+        analyze_source(src, "mem.rs", "mem", &LintConfig::default())
+    }
+
+    fn lint_wal(src: &str) -> LintReport {
+        analyze_source(src, "wal.rs", "wal", &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_eager_pattern_has_no_findings() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               for i in 0..n {\n\
+                 ctx.store(self.buf, i, v);\n\
+                 ctx.clflushopt(self.buf.addr(i));\n\
+               }\n\
+               ctx.sfence();\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn marker_before_fence_is_s1() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.store(self.markers, tid, 1);\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S1StoreNotCovered), "{r}");
+        assert_eq!(r.findings[0].line, 4);
+    }
+
+    #[test]
+    fn marker_with_unflushed_store_is_s1() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.sfence();\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.flags(SRule::S1StoreNotCovered), "{r}");
+    }
+
+    #[test]
+    fn lazy_region_without_flushes_is_clean() {
+        // The LP idiom: plain stores, fold into ck, publish the table.
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               self.ck.update(v.to_bits64());\n\
+               self.table.store(ctx, key, self.ck.value());\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unfolded_store_before_table_publish_is_s2() {
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               self.table.store(ctx, key, self.ck.value());\n\
+             }",
+        );
+        assert!(r.flags(SRule::S2PublishBeforeCover), "{r}");
+    }
+
+    #[test]
+    fn wal_store_before_log_fence_is_s3() {
+        let r = lint_wal(
+            "fn commit(ctx: &mut C) {\n\
+               ctx.store(self.data, 0, v);\n\
+               ctx.store(arena.entries, 0, old);\n\
+               ctx.clflushopt(arena.entries.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S3OverwriteBeforeLogFence), "{r}");
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn wal_figure2_order_is_clean() {
+        let r = lint_wal(
+            "fn commit(ctx: &mut C) {\n\
+               ctx.store(arena.entries, 0, old);\n\
+               ctx.clflushopt(arena.entries.addr(0));\n\
+               ctx.store(arena.header, 1, n);\n\
+               ctx.clflushopt(arena.header.addr(1));\n\
+               ctx.sfence();\n\
+               ctx.store(arena.header, 0, 1);\n\
+               ctx.clflushopt(arena.header.addr(0));\n\
+               ctx.sfence();\n\
+               ctx.store_addr(addr, bits);\n\
+               ctx.clflushopt(addr);\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn recovery_marker_before_repair_fence_is_s4() {
+        let r = lint(
+            "fn recover(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.store(self.markers, tid, 1);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S4MarkerBeforeRepairFence), "{r}");
+    }
+
+    #[test]
+    fn recovery_fenced_repairs_then_marker_is_clean() {
+        let r = lint(
+            "fn recover(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn store_outside_region_is_s5() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               tp.store(ctx, &mut rs, arr, 0, v);\n\
+               let mut rs = tp.begin(ctx, 0);\n\
+               tp.store(ctx, &mut rs, arr, 1, v);\n\
+               tp.commit(ctx, rs);\n\
+             }",
+        );
+        assert!(r.flags(SRule::S5UnbalancedRegion), "{r}");
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn uncommitted_region_on_some_path_is_s5() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               let mut rs = tp.begin(ctx, 0);\n\
+               if cond {\n\
+                 tp.commit(ctx, rs);\n\
+               }\n\
+             }",
+        );
+        assert!(r.flags(SRule::S5UnbalancedRegion), "{r}");
+    }
+
+    #[test]
+    fn balanced_region_loop_is_clean() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               for k in 0..n {\n\
+                 let mut rs = tp.begin(ctx, k);\n\
+                 tp.store(ctx, &mut rs, arr, k, v);\n\
+                 tp.commit(ctx, rs);\n\
+               }\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn branch_with_pending_store_on_one_arm_flags_at_publish() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               if cond {\n\
+                 ctx.store(self.buf, 0, v);\n\
+               } else {\n\
+                 ctx.store(self.buf, 1, v);\n\
+                 ctx.clflushopt(self.buf.addr(1));\n\
+                 ctx.sfence();\n\
+               }\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.flags(SRule::S1StoreNotCovered), "{r}");
+        assert_eq!(r.findings[0].line, 9);
+    }
+
+    #[test]
+    fn barrier_discharges_obligations() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               committer.commit(ctx);\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn persist_helpers_discharge() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               persist_store(ctx, self.markers, tid, 1);\n\
+               ctx.store(self.buf, 0, v);\n\
+               persist_range(ctx, self.buf, 0, n);\n\
+               ctx.store(self.markers, tid, 2);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               // lp-lint: allow(S1) intentional: covered by caller\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn diverged_arm_does_not_pollute_merge() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               if cond {\n\
+                 ctx.store(self.buf, 0, v);\n\
+                 return;\n\
+               }\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn recovery_repair_after_marker_is_s4() {
+        // Static twin of fmut:marker_first_recovery: the marker is durably
+        // published first, then the data it vouches for is repaired.
+        let r = lint(
+            "fn recover(ctx: &mut C) {\n\
+               ctx.store(self.markers, 0, key + 1);\n\
+               ctx.clflushopt(self.markers.addr(0));\n\
+               ctx.sfence();\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S4MarkerBeforeRepairFence), "{r}");
+        assert_eq!(r.findings[0].line, 2, "{r}");
+    }
+
+    #[test]
+    fn raw_store_outside_region_is_s5() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(arr, 0, v);\n\
+               ctx.region_begin(key);\n\
+               ctx.store(arr, 8, v);\n\
+               self.ck.update(v);\n\
+               self.table.store(ctx, key, self.ck.value());\n\
+               ctx.region_end();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S5UnbalancedRegion), "{r}");
+        assert_eq!(r.findings[0].line, 2, "{r}");
+    }
+
+    #[test]
+    fn restore_fn_context_is_recovery_by_name() {
+        let r = lint(
+            "fn restore_block(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               self.table.store(ctx, key, ck);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S4MarkerBeforeRepairFence), "{r}");
+    }
+}

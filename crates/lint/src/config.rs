@@ -1,0 +1,221 @@
+//! Name-allowlist configuration: where type-level inference falls short,
+//! the analyzer classifies call targets and function contexts by
+//! identifier conventions that the repo's persistency API already follows
+//! (`table`, `markers`, `entries`, `ck`, `tp`, `sink`, …).
+//!
+//! Per-site overrides are available as directive comments
+//! (`// lp-lint: context(recovery)` before a `fn`,
+//! `// lp-lint: allow(S4)` on a finding line) so the config never has to
+//! grow special cases for one call site.
+
+/// The execution context a function is analyzed under. Context decides
+/// which rule a publish point is checked against (see `analysis`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FnContext {
+    /// Forward execution (LP/EP regions).
+    Forward,
+    /// Post-crash recovery / repair code — progress publishes must trail
+    /// the repairs they vouch for (rule S4).
+    Recovery,
+    /// Write-ahead-logging code — undo entries must be durably ordered
+    /// before in-place overwrites (rule S3).
+    Wal,
+    /// Skip this function entirely.
+    Ignore,
+}
+
+impl FnContext {
+    /// Parse a `lp-lint: context(...)` directive argument.
+    pub fn parse(s: &str) -> Option<FnContext> {
+        match s {
+            "forward" => Some(FnContext::Forward),
+            "recovery" => Some(FnContext::Recovery),
+            "wal" => Some(FnContext::Wal),
+            "ignore" => Some(FnContext::Ignore),
+            _ => None,
+        }
+    }
+}
+
+/// Identifier conventions the classifier keys on.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Store targets holding durable progress markers.
+    pub marker_targets: Vec<String>,
+    /// Store receivers/targets that are checksum tables.
+    pub table_targets: Vec<String>,
+    /// Store targets that are WAL undo-log entry arrays.
+    pub log_targets: Vec<String>,
+    /// Store targets that are WAL arena headers (status/count/marker).
+    pub log_header_targets: Vec<String>,
+    /// Receivers whose `update` call folds a running checksum.
+    pub fold_receivers: Vec<String>,
+    /// Receivers whose `begin`/`commit` bracket a persistency region.
+    pub region_receivers: Vec<String>,
+    /// Receivers whose `store` routes through a scheme/recovery sink
+    /// (flush bookkeeping owned by the sink, not the caller).
+    pub sink_receivers: Vec<String>,
+    /// Substrings of a function name implying recovery context.
+    pub recovery_fn_markers: Vec<String>,
+    /// Substrings of a file stem implying WAL context.
+    pub wal_file_markers: Vec<String>,
+    /// Trailing accessor calls stripped when resolving a store/flush
+    /// target from an argument expression (`arr.addr(i)` → `arr`).
+    pub accessor_suffixes: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
+        LintConfig {
+            marker_targets: v(&["markers", "marker"]),
+            table_targets: v(&["table"]),
+            log_targets: v(&["entries", "log"]),
+            log_header_targets: v(&["header"]),
+            fold_receivers: v(&["ck", "checksum"]),
+            region_receivers: v(&["tp"]),
+            sink_receivers: v(&["sink"]),
+            recovery_fn_markers: v(&[
+                "recover", "rebuild", "restore", "repair", "replay", "scrub", "zero_", "arm_",
+            ]),
+            wal_file_markers: v(&["wal"]),
+            accessor_suffixes: v(&["addr", "array", "entries_array", "header_array", "base"]),
+        }
+    }
+}
+
+impl LintConfig {
+    fn last_seg(target: &str) -> &str {
+        target.rsplit('.').next().unwrap_or(target)
+    }
+
+    /// Whether `target` (a dotted path like `self.handles.table`) names a
+    /// checksum table.
+    pub fn is_table(&self, target: &str) -> bool {
+        self.table_targets
+            .iter()
+            .any(|t| t == Self::last_seg(target))
+    }
+
+    /// Whether `target` names a durable progress marker array.
+    pub fn is_marker(&self, target: &str) -> bool {
+        self.marker_targets
+            .iter()
+            .any(|t| t == Self::last_seg(target))
+    }
+
+    /// Whether `target` names a WAL undo-log entry array. Requires WAL
+    /// evidence (an `arena` segment in the path, or a WAL-flavored file)
+    /// so an unrelated `entries` field elsewhere stays a plain data store.
+    pub fn is_log(&self, target: &str, file_is_wal: bool) -> bool {
+        self.log_targets.iter().any(|t| t == Self::last_seg(target))
+            && (file_is_wal || target.contains("arena"))
+    }
+
+    /// Whether `target` names a WAL arena header line.
+    pub fn is_log_header(&self, target: &str, file_is_wal: bool) -> bool {
+        self.log_header_targets
+            .iter()
+            .any(|t| t == Self::last_seg(target))
+            && (file_is_wal || target.contains("arena"))
+    }
+
+    /// Whether `receiver` is a running-checksum fold target.
+    pub fn is_fold_receiver(&self, receiver: &str) -> bool {
+        self.fold_receivers
+            .iter()
+            .any(|t| t == Self::last_seg(receiver))
+    }
+
+    /// Whether `receiver` is a per-thread persistency runtime (`tp`).
+    pub fn is_region_receiver(&self, receiver: &str) -> bool {
+        self.region_receivers
+            .iter()
+            .any(|t| t == Self::last_seg(receiver))
+    }
+
+    /// Whether `receiver` is a store sink.
+    pub fn is_sink_receiver(&self, receiver: &str) -> bool {
+        self.sink_receivers
+            .iter()
+            .any(|t| t == Self::last_seg(receiver))
+    }
+
+    /// Infer a function's context from its name (file flavor is handled
+    /// by the caller; directives override both).
+    pub fn fn_context(&self, fn_name: &str) -> Option<FnContext> {
+        let lower = fn_name.to_ascii_lowercase();
+        if self.recovery_fn_markers.iter().any(|m| lower.contains(m)) {
+            return Some(FnContext::Recovery);
+        }
+        None
+    }
+
+    /// Whether a file stem (`wal`, `wal_data_before_log`, …) marks WAL
+    /// code.
+    pub fn is_wal_file(&self, file_stem: &str) -> bool {
+        let lower = file_stem.to_ascii_lowercase();
+        self.wal_file_markers.iter().any(|m| lower.contains(m))
+    }
+
+    /// Whether the final path segment is an accessor to strip when
+    /// resolving a target (`arr.addr` → `arr`).
+    pub fn strip_accessors<'a>(&self, mut target: &'a str) -> &'a str {
+        while let Some((head, tail)) = target.rsplit_once('.') {
+            if self.accessor_suffixes.iter().any(|a| a == tail) {
+                target = head;
+            } else {
+                break;
+            }
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_uses_last_segment() {
+        let c = LintConfig::default();
+        assert!(c.is_table("self.handles.table"));
+        assert!(c.is_table("table"));
+        assert!(!c.is_table("self.handles"));
+        assert!(c.is_marker("markers"));
+        assert!(c.is_fold_receiver("self.ck"));
+        assert!(c.is_region_receiver("tp"));
+    }
+
+    #[test]
+    fn log_needs_wal_evidence() {
+        let c = LintConfig::default();
+        assert!(c.is_log("self.arena.entries", false));
+        assert!(c.is_log("entries", true));
+        assert!(
+            !c.is_log("self.entries", false),
+            "table.rs field stays data"
+        );
+        assert!(c.is_log_header("arena.header", false));
+    }
+
+    #[test]
+    fn context_inference_and_accessors() {
+        let c = LintConfig::default();
+        assert_eq!(c.fn_context("recover_lazy"), Some(FnContext::Recovery));
+        assert_eq!(c.fn_context("rebuild_strip"), Some(FnContext::Recovery));
+        assert_eq!(c.fn_context("region_body"), None);
+        assert!(c.is_wal_file("wal_data_before_log"));
+        assert!(!c.is_wal_file("table"));
+        assert_eq!(c.strip_accessors("self.c.array"), "self.c");
+        assert_eq!(c.strip_accessors("arr.addr"), "arr");
+        assert_eq!(c.strip_accessors("arr"), "arr");
+    }
+
+    #[test]
+    fn fn_context_parse() {
+        assert_eq!(FnContext::parse("recovery"), Some(FnContext::Recovery));
+        assert_eq!(FnContext::parse("wal"), Some(FnContext::Wal));
+        assert_eq!(FnContext::parse("nope"), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Differential cross-validation against the dynamic verification stack.
+//!
+//! lp-crashmc carries ten mutation rigs (`mut:*` ordering bugs, `fmut:*`
+//! fault-interaction bugs) that the dynamic checkers provably flag. For
+//! each rig this module carries a source *fixture* reproducing the rig's
+//! buggy persist-order pattern in kernel-API idiom; the differential run
+//! asserts that `lp-lint` flags every statically-decidable fixture with
+//! the expected S rule (and a real file:line span), and that the clean
+//! control fixture lints to zero findings. Rigs whose bug only exists at
+//! runtime are documented as dynamic-only with the reason.
+
+use std::fmt;
+
+use lp_check::report::Rule;
+
+use crate::analysis::analyze_source;
+use crate::config::LintConfig;
+use crate::report::SRule;
+
+/// How a mutation rig is expected to show up statically.
+#[derive(Debug, Clone, Copy)]
+pub enum Verdict {
+    /// The bug is visible in source: this fixture must trip this rule.
+    Static {
+        /// Fixture file name (under `crates/lint/fixtures/`).
+        fixture: &'static str,
+        /// Fixture source (embedded at compile time).
+        src: &'static str,
+        /// The S rule the fixture must trip.
+        rule: SRule,
+    },
+    /// The bug only exists at runtime; `lp-lint` cannot decide it.
+    DynamicOnly {
+        /// Why no static rule can decide this rig.
+        reason: &'static str,
+    },
+}
+
+/// One rig's static expectation, tied to the dynamic rule it trips.
+#[derive(Debug, Clone, Copy)]
+pub struct RigExpectation {
+    /// Rig name as registered in lp-crashmc (`mut:*` / `fmut:*`).
+    pub rig: &'static str,
+    /// The dynamic lp-check rule the rig was built to trip.
+    pub dynamic_rule: Rule,
+    /// Static verdict.
+    pub verdict: Verdict,
+}
+
+/// The clean control fixture: correct LP/EP/recovery idioms that must
+/// lint to zero findings.
+pub const CLEAN_FIXTURE: (&str, &str) = (
+    "clean_control.rs",
+    include_str!("../fixtures/clean_control.rs"),
+);
+
+/// Static expectations for all ten rigs, in lp-crashmc registration
+/// order (`mutations::all()` then `fault_mutations::all()`).
+pub fn expectations() -> Vec<RigExpectation> {
+    vec![
+        RigExpectation {
+            rig: "mut:store_outside_region",
+            dynamic_rule: Rule::R1,
+            verdict: Verdict::Static {
+                fixture: "store_outside_region.rs",
+                src: include_str!("../fixtures/store_outside_region.rs"),
+                rule: SRule::S5UnbalancedRegion,
+            },
+        },
+        RigExpectation {
+            rig: "mut:lp_skip_fold",
+            dynamic_rule: Rule::R2,
+            verdict: Verdict::Static {
+                fixture: "lp_skip_fold.rs",
+                src: include_str!("../fixtures/lp_skip_fold.rs"),
+                rule: SRule::S2PublishBeforeCover,
+            },
+        },
+        RigExpectation {
+            rig: "mut:ep_skip_fence",
+            dynamic_rule: Rule::R3,
+            verdict: Verdict::Static {
+                fixture: "ep_skip_fence.rs",
+                src: include_str!("../fixtures/ep_skip_fence.rs"),
+                rule: SRule::S1StoreNotCovered,
+            },
+        },
+        RigExpectation {
+            rig: "mut:ep_skip_flush",
+            dynamic_rule: Rule::R3,
+            verdict: Verdict::Static {
+                fixture: "ep_skip_flush.rs",
+                src: include_str!("../fixtures/ep_skip_flush.rs"),
+                rule: SRule::S1StoreNotCovered,
+            },
+        },
+        RigExpectation {
+            rig: "mut:wal_data_before_log",
+            dynamic_rule: Rule::R4,
+            verdict: Verdict::Static {
+                fixture: "wal_data_before_log.rs",
+                src: include_str!("../fixtures/wal_data_before_log.rs"),
+                rule: SRule::S3OverwriteBeforeLogFence,
+            },
+        },
+        RigExpectation {
+            rig: "mut:overlap_write_sets",
+            dynamic_rule: Rule::R5,
+            verdict: Verdict::DynamicOnly {
+                reason: "needs concrete addresses and the cross-thread \
+                         schedule; write-set overlap is a whole-program \
+                         aliasing fact invisible to an intraprocedural pass",
+            },
+        },
+        RigExpectation {
+            rig: "mut:torn_rewrite",
+            dynamic_rule: Rule::R6,
+            verdict: Verdict::DynamicOnly {
+                reason: "depends on natural eviction timing: the rewrite is \
+                         only a bug if the first region's checksum had not \
+                         yet reached NVMM",
+            },
+        },
+        RigExpectation {
+            rig: "fmut:torn_blind_word",
+            dynamic_rule: Rule::R3,
+            verdict: Verdict::DynamicOnly {
+                reason: "torn-write fault semantics: the source ordering is \
+                         correct; the bug is a blind rewrite interacting \
+                         with a mid-line tear injected by the fault model",
+            },
+        },
+        RigExpectation {
+            rig: "fmut:poison_pattern_collision",
+            dynamic_rule: Rule::R2,
+            verdict: Verdict::DynamicOnly {
+                reason: "value-dependent: a media-fault poison pattern \
+                         colliding with a weak checksum is a property of \
+                         runtime data, not of persist ordering",
+            },
+        },
+        RigExpectation {
+            rig: "fmut:marker_first_recovery",
+            dynamic_rule: Rule::R7,
+            verdict: Verdict::Static {
+                fixture: "recovery_marker_first.rs",
+                src: include_str!("../fixtures/recovery_marker_first.rs"),
+                rule: SRule::S4MarkerBeforeRepairFence,
+            },
+        },
+    ]
+}
+
+/// One rig's differential result.
+#[derive(Debug, Clone)]
+pub struct RigResult {
+    /// Rig name.
+    pub rig: &'static str,
+    /// Expected rule, `None` for dynamic-only rigs.
+    pub expected: Option<SRule>,
+    /// Whether the expectation held (dynamic-only rigs trivially pass).
+    pub ok: bool,
+    /// Human-readable outcome line.
+    pub note: String,
+}
+
+/// Outcome of a full differential run.
+#[derive(Debug, Clone)]
+pub struct DifferentialOutcome {
+    /// Per-rig results, in registration order.
+    pub rigs: Vec<RigResult>,
+    /// Whether the clean control fixture linted to zero findings.
+    pub clean_ok: bool,
+    /// Clean fixture findings (empty when `clean_ok`).
+    pub clean_note: String,
+}
+
+impl DifferentialOutcome {
+    /// All static expectations held and the control fixture is clean.
+    pub fn pass(&self) -> bool {
+        self.clean_ok && self.rigs.iter().all(|r| r.ok)
+    }
+
+    /// Number of rigs decided statically.
+    pub fn static_count(&self) -> usize {
+        self.rigs.iter().filter(|r| r.expected.is_some()).count()
+    }
+}
+
+impl fmt::Display for DifferentialOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lp-lint differential: {}/{} rigs statically decidable",
+            self.static_count(),
+            self.rigs.len()
+        )?;
+        for r in &self.rigs {
+            let mark = if r.ok { "ok " } else { "FAIL" };
+            writeln!(f, "  [{mark}] {:<28} {}", r.rig, r.note)?;
+        }
+        let mark = if self.clean_ok { "ok " } else { "FAIL" };
+        writeln!(f, "  [{mark}] {:<28} {}", "clean control", self.clean_note)?;
+        writeln!(f, "result: {}", if self.pass() { "PASS" } else { "FAIL" })
+    }
+}
+
+/// Run the full differential: every fixture against its expected rule,
+/// plus the clean control.
+pub fn run_differential(cfg: &LintConfig) -> DifferentialOutcome {
+    let rigs = expectations()
+        .into_iter()
+        .map(|e| match e.verdict {
+            Verdict::Static { fixture, src, rule } => {
+                let stem = fixture.trim_end_matches(".rs");
+                let label = format!("fixtures/{fixture}");
+                let report = analyze_source(src, &label, stem, cfg);
+                match report.of_rule(rule).first() {
+                    Some(hit) if hit.line > 0 => RigResult {
+                        rig: e.rig,
+                        expected: Some(rule),
+                        ok: true,
+                        note: format!(
+                            "{} (dynamic {}) flagged at {}:{}",
+                            rule.id(),
+                            e.dynamic_rule.id(),
+                            hit.file,
+                            hit.line
+                        ),
+                    },
+                    _ => RigResult {
+                        rig: e.rig,
+                        expected: Some(rule),
+                        ok: false,
+                        note: format!(
+                            "expected {} on {label}, got: {}",
+                            rule.id(),
+                            if report.is_clean() {
+                                "no findings".to_string()
+                            } else {
+                                report
+                                    .findings
+                                    .iter()
+                                    .map(|f| f.rule.id())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            }
+                        ),
+                    },
+                }
+            }
+            Verdict::DynamicOnly { reason } => RigResult {
+                rig: e.rig,
+                expected: None,
+                ok: true,
+                note: format!("dynamic-only ({}): {reason}", e.dynamic_rule.id()),
+            },
+        })
+        .collect();
+    let clean = analyze_source(
+        CLEAN_FIXTURE.1,
+        "fixtures/clean_control.rs",
+        "clean_control",
+        cfg,
+    );
+    DifferentialOutcome {
+        rigs,
+        clean_ok: clean.is_clean(),
+        clean_note: if clean.is_clean() {
+            "zero findings".to_string()
+        } else {
+            format!(
+                "{} unexpected finding(s): {}",
+                clean.findings.len(),
+                clean
+                    .findings
+                    .iter()
+                    .map(|f| format!("{} at line {}", f.rule.id(), f.line))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_passes_end_to_end() {
+        let out = run_differential(&LintConfig::default());
+        assert!(out.pass(), "{out}");
+    }
+
+    #[test]
+    fn at_least_six_rigs_are_static() {
+        let out = run_differential(&LintConfig::default());
+        assert!(out.static_count() >= 6, "{}", out.static_count());
+    }
+
+    #[test]
+    fn static_rules_agree_with_dynamic_twins() {
+        // The S rule each fixture trips must be the declared static twin
+        // of the dynamic rule its rig was built around.
+        for e in expectations() {
+            if let Verdict::Static { rule, .. } = e.verdict {
+                assert_eq!(
+                    e.dynamic_rule.static_twin(),
+                    Some(rule.id()),
+                    "{} twin mismatch",
+                    e.rig
+                );
+            }
+        }
+        // Dynamic-only rigs: the *rig* is undecidable even when the rule
+        // family has a twin (e.g. fmut rigs trip R2/R3 via faults).
+    }
+}

@@ -1,0 +1,52 @@
+//! Cross-stack differential: the static expectation table must stay in
+//! lock-step with the rigs lp-crashmc actually registers, and with the
+//! dynamic-rule twin mapping declared in lp-check.
+
+use lp_lint::differential::{expectations, run_differential, Verdict};
+use lp_lint::LintConfig;
+
+/// The expectation table covers exactly the registered rigs, in
+/// registration order — adding a rig to lp-crashmc without deciding its
+/// static verdict is a test failure, not a silent gap.
+#[test]
+fn expectation_table_is_total_over_registered_rigs() {
+    let expected: Vec<&str> = expectations().iter().map(|e| e.rig).collect();
+    let mut registered: Vec<String> = lp_crashmc::mutations::all()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    registered.extend(
+        lp_crashmc::fault_mutations::all()
+            .iter()
+            .map(|(c, _)| c.name.clone()),
+    );
+    assert_eq!(expected, registered);
+}
+
+/// Every statically-decidable rig is flagged with its expected rule at a
+/// real span, and the clean control lints to zero findings.
+#[test]
+fn differential_run_passes() {
+    let out = run_differential(&LintConfig::default());
+    assert!(out.pass(), "{out}");
+    assert!(out.static_count() >= 6, "{}", out.static_count());
+}
+
+/// A rig is marked dynamic-only only when its *rule family* is runtime
+/// dependent (no static twin) or the rig's bug is injected by the fault
+/// model rather than visible in persist ordering (`fmut:` rigs).
+#[test]
+fn dynamic_only_rigs_are_justified() {
+    for e in expectations() {
+        if let Verdict::DynamicOnly { reason } = e.verdict {
+            let fault_injected = e.rig.starts_with("fmut:");
+            let no_twin = e.dynamic_rule.static_twin().is_none();
+            assert!(
+                fault_injected || no_twin,
+                "{} marked dynamic-only without justification",
+                e.rig
+            );
+            assert!(!reason.is_empty());
+        }
+    }
+}

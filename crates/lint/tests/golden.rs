@@ -1,0 +1,93 @@
+//! Golden-file tests: the JSON and pretty renderings of a fixture
+//! report are pinned byte-for-byte, so any drift in spans, wording, or
+//! key order is a reviewed diff rather than a silent change.
+//!
+//! Regenerate after an intentional format change with
+//! `LP_LINT_BLESS=1 cargo test -p lp-lint --test golden`.
+
+use std::path::{Path, PathBuf};
+
+use lp_lint::{analyze_source, default_targets, lint_paths, LintConfig};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn golden_check(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("LP_LINT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with LP_LINT_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, want,
+        "golden mismatch for {name}; if intentional, regenerate with LP_LINT_BLESS=1"
+    );
+}
+
+fn ep_skip_flush_report() -> lp_lint::LintReport {
+    analyze_source(
+        &fixture("ep_skip_flush.rs"),
+        "fixtures/ep_skip_flush.rs",
+        "ep_skip_flush",
+        &LintConfig::default(),
+    )
+}
+
+#[test]
+fn ep_skip_flush_json_golden() {
+    let mut json = ep_skip_flush_report().to_json();
+    json.push('\n');
+    golden_check("ep_skip_flush.json", &json);
+}
+
+#[test]
+fn ep_skip_flush_pretty_golden() {
+    let pretty = ep_skip_flush_report().to_string();
+    golden_check("ep_skip_flush.txt", &pretty);
+}
+
+#[test]
+fn clean_tree_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let targets = default_targets(&root).expect("enumerate lint surface");
+    assert!(targets.len() >= 10, "lint surface unexpectedly small");
+    let report = lint_paths(&targets, &root, &LintConfig::default()).expect("lint tree");
+    assert!(report.is_clean(), "clean tree must lint clean:\n{report}");
+    assert_eq!(report.files.len(), targets.len());
+}
+
+#[test]
+fn every_buggy_fixture_is_dirty_and_control_is_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 7, "{fixtures:?}");
+    for f in fixtures {
+        let stem = f.file_stem().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&f).unwrap();
+        let report = analyze_source(&src, &stem, &stem, &LintConfig::default());
+        if stem == "clean_control" {
+            assert!(report.is_clean(), "{report}");
+        } else {
+            assert!(!report.is_clean(), "{stem} should have findings");
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //! See `README.md` for a tour and `examples/quickstart.rs` for the
 //! shortest end-to-end program.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use lp_core as core;
 pub use lp_kernels as kernels;
 pub use lp_sim as sim;
