@@ -35,13 +35,20 @@ rm -f /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt
 echo "== lp-crashmc smoke: every fault mutation is flagged =="
 cargo run --release -q -p lp-crashmc -- --fault-mutations --threads 2
 
-echo "== lp-lint: clean tree must have zero static persist-order findings =="
+echo "== lp-lint: clean tree must have zero findings (S1-S6, W1-W4), within the wall-time budget =="
+lint_t0=$(date +%s%N)
 cargo run --release -q -p lp-lint -- --all
+lint_ms=$(( ($(date +%s%N) - lint_t0) / 1000000 ))
+echo "lp-lint --all wall time: ${lint_ms}ms (budget 2000ms)"
+[ "$lint_ms" -le 2000 ] || { echo "lp-lint exceeded its 2s wall-time budget"; exit 1; }
 
-echo "== lp-lint: differential vs the mutation rigs (statically-decidable rigs flagged, control clean) =="
+echo "== lp-lint: differential vs the mutation rigs + efficiency fixtures (control clean) =="
 cargo run --release -q -p lp-lint -- --differential
 
-echo "== perf baseline: refresh results/BENCH_6.json (warmup + median-of-3) =="
+echo "== lp-lint: cost model vs measured flush/fence counters, all kernels x schemes =="
+cargo run --release -q -p lp-lint -- --cost-check
+
+echo "== perf baseline: refresh results/BENCH_7.json (warmup + median-of-3) =="
 cargo run --release -q -p lp-bench --bin perf_baseline -- --quick > /dev/null
 
 echo "ci.sh: all gates passed"

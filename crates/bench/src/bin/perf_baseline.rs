@@ -1,14 +1,15 @@
 //! `perf_baseline` — machine-readable performance baseline for the repo's
-//! two heavy consumers: the simulator (memops/sec) and the crash-state
-//! model checker (states/sec), plus thread-scaling of the parallel
-//! exploration engine at 1/2/4/8 host threads and the fault campaign's
-//! states/sec (torn + media + nested enabled).
+//! heavy consumers: the simulator (memops/sec), the crash-state model
+//! checker (states/sec) with thread-scaling of the parallel exploration
+//! engine at 1/2/4/8 host threads, the fault campaign's states/sec
+//! (torn + media + nested enabled), and the `lp-lint` dataflow engine's
+//! whole-tree throughput (lines/sec — the CI gate budgets its wall time).
 //!
 //! Measurement protocol (fixed, not adaptive, so runs are comparable
 //! across commits): every cell uses a fixed workload size, runs one
 //! untimed warmup pass, then three timed repetitions, and reports the
 //! median wall time (min/max recorded as spread). Emits
-//! `results/BENCH_6.json` (hand-rolled JSON; the workspace carries no
+//! `results/BENCH_7.json` (hand-rolled JSON; the workspace carries no
 //! serde) so the perf trajectory is measured, not anecdotal. Run with
 //! `--quick` for the CI-sized workload.
 //!
@@ -65,7 +66,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_6\",\n");
+    out.push_str("  \"bench\": \"BENCH_7\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"protocol\": {{\"warmup_reps\": {WARMUP_REPS}, \"timed_reps\": {TIMED_REPS}, \"statistic\": \"median\"}},\n"
@@ -209,10 +210,39 @@ fn main() {
     }
     let _ = std::panic::take_hook();
 
+    // --- Lint throughput over the real tree. The CI gate budgets the
+    // fixpoint engine's wall time; this records the matching lines/sec
+    // so a slow regression shows up as a rate drop, not a flaky timeout.
+    eprintln!("perf_baseline: lp-lint tree...");
+    let root = std::path::Path::new(".");
+    let targets = lp_lint::default_targets(root).expect("enumerate lint surface");
+    let lines: usize = targets
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_or(0, |s| s.lines().count()))
+        .sum();
+    let (wall, wall_min, wall_max, report) =
+        measure(|| lp_lint::lint_paths(&targets, root, &lp_lint::LintConfig::default()));
+    assert!(
+        report.expect("lint tree").is_clean(),
+        "clean tree must lint clean"
+    );
+    entries.push(Entry {
+        name: "lint/tree".into(),
+        wall_secs: wall,
+        rate: lines as f64 / wall.max(1e-9),
+        rate_unit: "lines_per_sec",
+        detail: vec![
+            ("lines".into(), lines as f64),
+            ("files".into(), targets.len() as f64),
+            ("wall_min".into(), wall_min),
+            ("wall_max".into(), wall_max),
+        ],
+    });
+
     let json = render_json(args.quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_6.json");
+    let path = std::path::Path::new("results").join("BENCH_7.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_6.json");
+    std::fs::write(&path, &json).expect("write BENCH_7.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
 }

@@ -73,18 +73,25 @@ impl Rule {
         }
     }
 
-    /// The `lp-lint` static rule that decides the same ordering property
-    /// from source, when one exists (`"S1"`…`"S5"`). `None` for the rules
-    /// that depend on runtime information — R5 needs concrete addresses
-    /// and the cross-thread schedule, R6 needs eviction timing.
+    /// The primary `lp-lint` static rule that decides the same ordering
+    /// property from source, when one exists (`"S1"`…`"S6"`). `None` for
+    /// the rules that depend on runtime information — R5 needs concrete
+    /// addresses and the cross-thread schedule, R6 needs eviction timing.
     pub fn static_twin(self) -> Option<&'static str> {
+        self.static_twins().first().copied()
+    }
+
+    /// All `lp-lint` static rules deciding this rule's property from
+    /// source. R2 has two: S2 orders the table publish after its folds,
+    /// S6 demands every persisted line be folded at all.
+    pub fn static_twins(self) -> &'static [&'static str] {
         match self {
-            Rule::R1 => Some("S5"),
-            Rule::R2 => Some("S2"),
-            Rule::R3 => Some("S1"),
-            Rule::R4 => Some("S3"),
-            Rule::R5 | Rule::R6 => None,
-            Rule::R7 => Some("S4"),
+            Rule::R1 => &["S5"],
+            Rule::R2 => &["S2", "S6"],
+            Rule::R3 => &["S1"],
+            Rule::R4 => &["S3"],
+            Rule::R5 | Rule::R6 => &[],
+            Rule::R7 => &["S4"],
         }
     }
 }
@@ -280,10 +287,14 @@ mod tests {
                 Some(s) => {
                     assert!(s.starts_with('S'), "{s}");
                     let n: u32 = s[1..].parse().unwrap();
-                    assert!((1..=5).contains(&n), "{s}");
+                    assert!((1..=6).contains(&n), "{s}");
                 }
                 None => assert!(matches!(r, Rule::R5 | Rule::R6)),
             }
+            for s in r.static_twins() {
+                assert!(s.starts_with('S'), "{s}");
+            }
         }
+        assert_eq!(Rule::R2.static_twins(), ["S2", "S6"]);
     }
 }

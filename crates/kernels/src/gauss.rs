@@ -478,6 +478,13 @@ impl Gauss {
         for block in 0..self.params.nblocks() {
             self.restore_block_from_input(&mut ctx, block);
         }
+        // One sink across the whole replay: successive pivots rewrite
+        // overlapping block rows, so a single deduplicated commit at the
+        // end flushes each touched line once (and fences once) instead
+        // of per region. Nothing publishes progress during the replay —
+        // a crash mid-recovery restarts from the preserved input — so
+        // deferring durability to the end is safe.
+        let mut sink = EagerOnlySink::default();
         for p in 0..window {
             for owned in &owners {
                 for &block in owned {
@@ -485,13 +492,12 @@ impl Gauss {
                         continue;
                     }
                     stats.regions_checked += 1;
-                    let mut sink = EagerOnlySink::default();
                     self.region_body(&mut ctx, p, block, &mut sink);
-                    sink.commit(&mut ctx);
                     stats.regions_repaired += 1;
                 }
             }
         }
+        sink.commit(&mut ctx);
         stats.cycles = ctx.now() - start;
         stats
     }

@@ -373,12 +373,18 @@ impl Tmm {
         }
         self.c.flush_rows(ctx, ii, bsize);
         ctx.sfence();
+        // One sink across the whole replay: every `kb` contribution
+        // rewrites the same strip rows, so a single deduplicated commit
+        // flushes each line once (and fences once) instead of per
+        // iteration. Durability is only needed before REBUILD_CLEARED
+        // publishes below; a crash mid-replay re-enters via the armed
+        // journal slot.
+        let mut sink = EagerOnlySink::default();
         for kb in 0..kbs_done {
-            let mut sink = EagerOnlySink::default();
             self.region_body(ctx, kb, ib, &mut sink);
-            sink.commit(ctx);
             stats.regions_repaired += 1;
         }
+        sink.commit(ctx);
         self.handles.table.store(ctx, key, REBUILD_CLEARED);
         self.handles.table.persist(ctx, key);
     }

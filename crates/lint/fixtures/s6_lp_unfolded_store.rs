@@ -1,0 +1,13 @@
+//! S6 fixture: a Lazy Persistency region persists two data lines but
+//! folds only the first into its running checksum — a post-crash audit
+//! of the second line can pass verification on garbage. Every persisted
+//! data line on an LP path must be covered by some checksum range before
+//! the region commits (dynamic twin: R2).
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(key);
+    ctx.store(a, 0, v);
+    self.ck.update(v);
+    ctx.store(a, 8, w); // BUG: persisted but never folded into the checksum
+    ctx.region_end();
+}

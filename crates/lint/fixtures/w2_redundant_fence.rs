@@ -1,0 +1,11 @@
+//! W2 fixture: a fence that no unflushed store or flush can reach — the
+//! first `sfence` already drained everything, so the second stalls the
+//! pipeline for nothing. Dynamic twin: the `fences` counter drops from 2
+//! to 1 when the duplicate is deleted.
+
+fn persist_result(ctx: &mut CoreCtx<'_>) {
+    ctx.store(self.buf, 0, v);
+    ctx.clflushopt(self.buf.addr(0));
+    ctx.sfence();
+    ctx.sfence(); // BUG: nothing issued since the previous fence
+}

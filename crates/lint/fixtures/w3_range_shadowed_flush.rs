@@ -1,0 +1,11 @@
+//! W3 fixture: an element flush of a line the preceding `flush_range`
+//! over the same array already covers — one line is persisted twice per
+//! call. Dynamic twin: the `flushes` counter drops by one when the
+//! shadowed element flush is deleted.
+
+fn persist_block(ctx: &mut CoreCtx<'_>) {
+    ctx.store(self.buf, 0, v);
+    ctx.flush_range(self.buf, 0, n);
+    ctx.clflushopt(self.buf.addr(0)); // BUG: covered by the range flush above
+    ctx.sfence();
+}

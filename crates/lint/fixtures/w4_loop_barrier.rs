@@ -1,0 +1,20 @@
+//! W4 fixture (barrier form): a replay loop that commits a non-publishing
+//! eager sink every iteration — each round flushes and fences, but no
+//! marker, table entry, or region commit becomes visible, so the commits
+//! coalesce. Hoisting the sink out of the loop dedups the repeated lines
+//! and pays one fence total (the `Tmm::rebuild_strip` /
+//! `Gauss::recover_marker_based` shape before it was fixed).
+
+impl ReplaySink {
+    fn commit(&mut self, ctx: &mut CoreCtx<'_>) {
+        committer.commit(ctx);
+    }
+}
+
+fn replay_strips(ctx: &mut CoreCtx<'_>) {
+    for kb in 0..n {
+        let mut sink = ReplaySink::default();
+        ctx.store(a, kb, v);
+        sink.commit(ctx); // BUG: flushes+fences every round, publishes nothing
+    }
+}

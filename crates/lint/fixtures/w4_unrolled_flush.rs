@@ -1,0 +1,15 @@
+//! W4 fixture (element form): a loop body flushing two adjacent elements
+//! of the same array per iteration — a single `flush_range` over the
+//! strip would queue each line once instead of per-element. Dynamic
+//! twin: the `flushes` counter (adjacent elements share cache lines, so
+//! coalescing dedups them).
+
+fn persist_strip(ctx: &mut CoreCtx<'_>) {
+    for i in 0..n {
+        ctx.store(a, i, v);
+        ctx.store(a, i + 1, v);
+        ctx.clflushopt(a.addr(i)); // BUG: per-element flushes of one strip;
+        ctx.clflushopt(a.addr(i + 1)); // use flush_range over the strip
+    }
+    ctx.sfence();
+}

@@ -1,26 +1,42 @@
-//! The persist-order abstract interpreter.
+//! The persist-order and write-efficiency dataflow engine.
 //!
-//! Each function body is evaluated over an abstract state tracking
-//! pending durability obligations: stores not yet flushed, flushed but
-//! not yet fenced, and not yet folded into a running checksum, plus WAL
-//! append/fence ordering and region begin/commit balance. Branches are
-//! evaluated per-arm and joined by *union* of pending obligations (a
-//! store pending on any path is pending at the merge), which is the
-//! dominator/post-dominator approximation of rules S1–S4 (see DESIGN.md
-//! §5e). Rules fire at publish points (checksum-table stores, marker
-//! stores, WAL overwrites) — not at every store — so Lazy Persistency
-//! regions, whose stores are *intentionally* never flushed, lint clean.
+//! Each function body is lowered to a control-flow graph ([`crate::cfg`])
+//! and solved to a fixpoint over an abstract state with two polarities:
+//!
+//! * **may** facts (union at joins): pending durability obligations —
+//!   stores not yet flushed, flushed but not yet fenced, not yet folded
+//!   into a running checksum, WAL append/fence ordering, region balance.
+//!   These drive the safety rules S1–S6: a store pending on *any* path is
+//!   pending at the merge.
+//! * **must** facts (intersection at joins): lines known to be clean —
+//!   flush expressions already issued with no intervening store on any
+//!   path, and fence cleanliness. These drive the write-efficiency rules
+//!   W1–W3: a redundancy is only flagged when it holds on *every* path.
+//!
+//! Loop heads widen the must facts: a flush born inside the loop body is
+//! iteration-dependent (its index changes), so it is dropped at the back
+//! edge join rather than falsely proving the next iteration redundant.
+//!
+//! Per-function summaries make obligations flow through helper calls:
+//! a call to a function that leaves stores unflushed imports those
+//! obligations at the call site, while a call to a summarized pure helper
+//! no longer destroys must facts the way an unknown call must.
+//!
+//! The solver runs in two phases — fixpoint first (no emission), then a
+//! single emission pass over the converged block-entry states — so a
+//! block revisited by the worklist never double-reports.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
+use crate::cfg::Cfg;
 use crate::config::{FnContext, LintConfig};
 use crate::lexer::Directive;
-use crate::parser::{parse_file, FnItem, Node, RawCall};
+use crate::parser::{parse_file, FnItem, Node, ParsedFile, RawCall};
 use crate::report::{LintFinding, LintReport, SRule};
 
 /// Classified persistency-API call.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Kind {
+pub(crate) enum Kind {
     /// Raw persistent data store: creates flush/fence/fold obligations.
     DataStore(String),
     /// Scheme-managed store (`tp.store`, `sink.store`): durability is the
@@ -59,7 +75,7 @@ enum Kind {
 }
 
 /// Classify a call site using the name-allowlist config.
-fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> Kind {
+pub(crate) fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> Kind {
     let recv = call.receiver.as_str();
     let recv_is_ctx = recv.is_empty() || recv.rsplit('.').next() == Some("ctx");
     // Target of a store/flush: explicit argument for ctx methods, the
@@ -136,26 +152,51 @@ fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> Kind {
     }
 }
 
-/// Pending-obligation state at one program point.
-#[derive(Debug, Clone, Default)]
+/// Whether a flush-family call flushes a whole range (vs one element),
+/// and the expression key identifying exactly which line(s) it flushes.
+fn flush_key(call: &RawCall) -> (String, bool) {
+    match call.name.as_str() {
+        "flush_range" => (format!("r:{}", call.args_full), true),
+        "flush_rows" | "flush_all" => (format!("r:{}:{}", call.receiver, call.args_full), true),
+        "persist_range" => (format!("r:p:{}", call.args_full), true),
+        _ => (format!("e:{}", call.args_full), false),
+    }
+}
+
+/// A must-fact: this flush expression was issued and no store has touched
+/// its line(s) since, on any path.
+#[derive(Debug, Clone, PartialEq)]
+struct FlushFact {
+    /// Line of the flush that made the line(s) clean.
+    line: u32,
+    /// Stripped base path of the flushed array (empty when unresolved).
+    base: String,
+    /// Whether the flush covered a range rather than one element.
+    range: bool,
+}
+
+/// Abstract state at one program point.
+#[derive(Debug, Clone, Default, PartialEq)]
 struct AbsState {
     /// Open region nesting depth with the begin lines.
     begins: Vec<u32>,
-    /// Stored but not yet flushed: target → first store line.
+    /// May: stored but not yet flushed: target → first store line.
     unflushed: BTreeMap<String, u32>,
-    /// Flushed but not yet fenced: target → first store line.
+    /// May: flushed but not yet fenced: target → first store line.
     unfenced: BTreeMap<String, u32>,
-    /// Stored but not yet folded into a checksum: target → line.
+    /// May: stored but not yet folded into a checksum: target → line.
     unfolded: BTreeMap<String, u32>,
-    /// WAL appends seen on this path.
+    /// Must: flush expression key → clean-line fact (W1/W3).
+    flushed: BTreeMap<String, FlushFact>,
+    /// Must: line of the last fence, with no store/flush since (W2).
+    fence_clean: Option<u32>,
+    /// WAL appends seen on this path (capped for convergence).
     appends: u32,
     /// Some append has been covered by a fence on this path.
     log_fenced: bool,
     /// Line of a recovery progress-marker publish on this path (S4:
     /// repairs must precede it, so a later repair store is a violation).
     marker_line: Option<u32>,
-    /// The path ended (`return`/`break`/`continue`/`panic!`).
-    diverged: bool,
 }
 
 impl AbsState {
@@ -169,10 +210,23 @@ impl AbsState {
         v.sort_by_key(|(_, l, _)| **l);
         v
     }
+
+    /// Drop must-facts that were touched by a store to `target`
+    /// (`<expr>`/empty targets conservatively kill everything; facts with
+    /// an unresolved base die on any store).
+    fn kill_flushed(&mut self, target: &str) {
+        if target.is_empty() || target == "<expr>" {
+            self.flushed.clear();
+            return;
+        }
+        self.flushed
+            .retain(|_, f| !f.base.is_empty() && f.base != target);
+    }
 }
 
-/// Union-join two states at a merge point. A mismatch in region depth is
-/// an S5 violation recorded by the caller.
+/// Join two states at a merge point: union for may facts, intersection
+/// for must facts. A mismatch in region depth is an S5 violation recorded
+/// separately by the emission pass.
 fn join(mut a: AbsState, b: &AbsState) -> AbsState {
     for (t, l) in &b.unflushed {
         let e = a.unflushed.entry(t.clone()).or_insert(*l);
@@ -190,6 +244,19 @@ fn join(mut a: AbsState, b: &AbsState) -> AbsState {
         let e = a.unfolded.entry(t.clone()).or_insert(*l);
         *e = (*e).min(*l);
     }
+    let mut flushed = BTreeMap::new();
+    for (k, fa) in &a.flushed {
+        if let Some(fb) = b.flushed.get(k) {
+            let mut f = fa.clone();
+            f.line = f.line.min(fb.line);
+            flushed.insert(k.clone(), f);
+        }
+    }
+    a.flushed = flushed;
+    a.fence_clean = match (a.fence_clean, b.fence_clean) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        _ => None,
+    };
     a.appends = a.appends.max(b.appends);
     a.log_fenced = a.log_fenced && b.log_fenced;
     a.marker_line = match (a.marker_line, b.marker_line) {
@@ -202,11 +269,22 @@ fn join(mut a: AbsState, b: &AbsState) -> AbsState {
     a
 }
 
-/// Per-function facts gathered in a prepass.
+/// Widen a back-edge contribution at a loop head: must facts born inside
+/// the loop body are iteration-dependent (the flushed index changes), so
+/// they cannot prove the next iteration's flush redundant.
+fn widen(st: &mut AbsState, span: (u32, u32)) {
+    st.flushed.retain(|_, f| f.line < span.0 || f.line > span.1);
+    if st.fence_clean.is_some_and(|l| l >= span.0 && l <= span.1) {
+        st.fence_clean = None;
+    }
+}
+
+/// Per-function facts gathered in a syntactic prepass.
 #[derive(Debug, Default, Clone, Copy)]
 struct FnFacts {
     has_append: bool,
     has_begin: bool,
+    has_fold: bool,
 }
 
 fn gather_facts(nodes: &[Node], cfg: &LintConfig, is_wal_file: bool, facts: &mut FnFacts) {
@@ -215,17 +293,107 @@ fn gather_facts(nodes: &[Node], cfg: &LintConfig, is_wal_file: bool, facts: &mut
             Node::Call(c) => match classify(c, cfg, is_wal_file) {
                 Kind::LogAppend => facts.has_append = true,
                 Kind::RegionBegin => facts.has_begin = true,
+                Kind::Fold => facts.has_fold = true,
                 _ => {}
             },
             Node::Branch(arms) => {
                 for a in arms {
-                    gather_facts(a, cfg, is_wal_file, facts);
+                    gather_facts(&a.body, cfg, is_wal_file, facts);
                 }
             }
-            Node::Loop(b) => gather_facts(b, cfg, is_wal_file, facts),
+            Node::Loop { body, .. } => gather_facts(body, cfg, is_wal_file, facts),
             Node::Diverge => {}
         }
     }
+}
+
+/// What one function does to persistent state, for interprocedural use.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FnSummary {
+    /// The function performs some persistent store.
+    pub(crate) does_store: bool,
+    /// The function publishes (table/marker/status store or region end).
+    pub(crate) publishes: bool,
+    /// Obligations left unflushed at the function's normal exit.
+    pub(crate) residual_unflushed: Vec<(String, u32)>,
+    /// Obligations flushed but not fenced at the function's normal exit.
+    pub(crate) residual_unfenced: Vec<(String, u32)>,
+}
+
+/// Function summaries keyed by qualified name (`EagerOnlySink::commit`)
+/// or bare name for free functions.
+pub(crate) type Summaries = BTreeMap<String, FnSummary>;
+
+fn summary_flags(nodes: &[Node], cfg: &LintConfig, is_wal: bool, s: &mut FnSummary) {
+    for n in nodes {
+        match n {
+            Node::Call(c) => match classify(c, cfg, is_wal) {
+                Kind::DataStore(_) | Kind::RegionStore | Kind::LogAppend | Kind::DurableStore => {
+                    s.does_store = true;
+                }
+                Kind::TablePublish
+                | Kind::TablePersist
+                | Kind::MarkerPublish
+                | Kind::StatusPublish
+                | Kind::RegionEnd => {
+                    s.does_store = true;
+                    s.publishes = true;
+                }
+                _ => {}
+            },
+            Node::Branch(arms) => {
+                for a in arms {
+                    summary_flags(&a.body, cfg, is_wal, s);
+                }
+            }
+            Node::Loop { body, .. } => summary_flags(body, cfg, is_wal, s),
+            Node::Diverge => {}
+        }
+    }
+}
+
+/// Compute summaries for every function in a parsed file. Summaries are
+/// depth-0: each body is solved with an *empty* summary table, so helper
+/// chains degrade to the conservative unknown-call treatment rather than
+/// requiring a call-graph SCC pass.
+pub(crate) fn summarize_file(parsed: &ParsedFile, cfg: &LintConfig) -> Summaries {
+    let empty = Summaries::new();
+    let mut out = Summaries::new();
+    for f in &parsed.fns {
+        if f.context == FnContext::Ignore {
+            continue;
+        }
+        let mut s = FnSummary::default();
+        summary_flags(&f.body, cfg, parsed.is_wal, &mut s);
+        let mut facts = FnFacts::default();
+        gather_facts(&f.body, cfg, parsed.is_wal, &mut facts);
+        let mut sink = Vec::new();
+        let mut ev = Eval {
+            cfg,
+            file: "",
+            function: &f.name,
+            context: f.context,
+            is_wal_file: parsed.is_wal,
+            facts,
+            impl_ty: f.name.split_once("::").map(|(t, _)| t.to_string()),
+            bindings: &f.bindings,
+            summaries: &empty,
+            emit_on: false,
+            findings: &mut sink,
+        };
+        let graph = Cfg::build(&f.body);
+        let (_, outs) = ev.solve(&graph);
+        if let Some(exit) = &outs[graph.exit] {
+            s.residual_unflushed = exit
+                .unflushed
+                .iter()
+                .map(|(t, l)| (t.clone(), *l))
+                .collect();
+            s.residual_unfenced = exit.unfenced.iter().map(|(t, l)| (t.clone(), *l)).collect();
+        }
+        out.insert(f.name.clone(), s);
+    }
+    out
 }
 
 /// Evaluation harness for one function.
@@ -236,11 +404,21 @@ struct Eval<'a> {
     context: FnContext,
     is_wal_file: bool,
     facts: FnFacts,
+    /// Impl type of the current function (`Tmm` for `Tmm::run`).
+    impl_ty: Option<String>,
+    /// `let var = Type…` bindings from the function body.
+    bindings: &'a [(String, String)],
+    summaries: &'a Summaries,
+    /// Findings are recorded only during the emission phase.
+    emit_on: bool,
     findings: &'a mut Vec<LintFinding>,
 }
 
-impl Eval<'_> {
+impl<'a> Eval<'a> {
     fn emit(&mut self, rule: SRule, line: u32, detail: String) {
+        if !self.emit_on {
+            return;
+        }
         self.findings.push(LintFinding {
             rule,
             file: self.file.to_string(),
@@ -248,6 +426,24 @@ impl Eval<'_> {
             function: self.function.to_string(),
             detail,
         });
+    }
+
+    /// Resolve a call to a summarized function: free calls by bare name,
+    /// `self.m(..)` through the impl type, `var.m(..)` through a
+    /// `let var = Type…` binding.
+    fn resolve(&self, call: &RawCall) -> Option<&'a FnSummary> {
+        let recv = call.receiver.as_str();
+        let key = if recv.is_empty() {
+            call.name.clone()
+        } else if recv == "self" {
+            format!("{}::{}", self.impl_ty.as_deref()?, call.name)
+        } else if !recv.contains('.') {
+            let ty = &self.bindings.iter().rev().find(|(v, _)| v == recv)?.1;
+            format!("{ty}::{}", call.name)
+        } else {
+            return None;
+        };
+        self.summaries.get(&key)
     }
 
     /// Report pending durability obligations at a publish point.
@@ -272,7 +468,11 @@ impl Eval<'_> {
         );
     }
 
+    /// Transfer function: one call against the abstract state.
     fn apply(&mut self, call: &RawCall, st: &mut AbsState) {
+        if self.cfg.accessor_suffixes.iter().any(|a| a == &call.name) {
+            return; // pure accessor (`arr.addr(i)`) nested in another call
+        }
         let kind = classify(call, self.cfg, self.is_wal_file);
         let line = call.line;
         match kind {
@@ -308,7 +508,9 @@ impl Eval<'_> {
                 }
                 st.unfenced.remove(&target);
                 st.unflushed.entry(target.clone()).or_insert(line);
-                st.unfolded.entry(target).or_insert(line);
+                st.unfolded.entry(target.clone()).or_insert(line);
+                st.kill_flushed(&target);
+                st.fence_clean = None;
             }
             Kind::RegionStore => {
                 if self.facts.has_begin && st.begins.is_empty() {
@@ -319,50 +521,60 @@ impl Eval<'_> {
                             .to_string(),
                     );
                 }
+                // Scheme-managed store to an array we cannot name.
+                st.flushed.clear();
+                st.fence_clean = None;
             }
-            Kind::TablePublish | Kind::TablePersist => match self.context {
-                FnContext::Recovery => {
-                    self.check_publish(
-                        SRule::S4MarkerBeforeRepairFence,
-                        "recovery progress published to checksum table",
-                        line,
-                        st,
-                    );
-                }
-                _ => {
-                    if let Some((t, l)) = st.unfolded.iter().next() {
-                        let n = st.unfolded.len();
-                        self.emit(
-                            SRule::S2PublishBeforeCover,
+            Kind::TablePublish | Kind::TablePersist => {
+                match self.context {
+                    FnContext::Recovery => {
+                        self.check_publish(
+                            SRule::S4MarkerBeforeRepairFence,
+                            "recovery progress published to checksum table",
                             line,
-                            format!(
-                                "checksum published while {n} store(s) were never folded into it (first: `{t}` at line {l})"
-                            ),
+                            st,
+                        );
+                    }
+                    _ => {
+                        if let Some((t, l)) = st.unfolded.iter().next() {
+                            let n = st.unfolded.len();
+                            self.emit(
+                                SRule::S2PublishBeforeCover,
+                                line,
+                                format!(
+                                    "checksum published while {n} store(s) were never folded into it (first: `{t}` at line {l})"
+                                ),
+                            );
+                        }
+                    }
+                }
+                st.fence_clean = None;
+            }
+            Kind::MarkerPublish => {
+                match self.context {
+                    FnContext::Recovery => {
+                        self.check_publish(
+                            SRule::S4MarkerBeforeRepairFence,
+                            "recovery marker stored",
+                            line,
+                            st,
+                        );
+                        if st.marker_line.is_none() {
+                            st.marker_line = Some(line);
+                        }
+                    }
+                    _ => {
+                        self.check_publish(
+                            SRule::S1StoreNotCovered,
+                            "progress marker stored",
+                            line,
+                            st,
                         );
                     }
                 }
-            },
-            Kind::MarkerPublish => match self.context {
-                FnContext::Recovery => {
-                    self.check_publish(
-                        SRule::S4MarkerBeforeRepairFence,
-                        "recovery marker stored",
-                        line,
-                        st,
-                    );
-                    if st.marker_line.is_none() {
-                        st.marker_line = Some(line);
-                    }
-                }
-                _ => {
-                    self.check_publish(
-                        SRule::S1StoreNotCovered,
-                        "progress marker stored",
-                        line,
-                        st,
-                    );
-                }
-            },
+                st.flushed.retain(|_, f| !self.cfg.is_marker(&f.base));
+                st.fence_clean = None;
+            }
             Kind::StatusPublish => {
                 if self.context == FnContext::Recovery {
                     self.check_publish(
@@ -372,27 +584,79 @@ impl Eval<'_> {
                         st,
                     );
                 }
+                st.flushed
+                    .retain(|_, f| !self.cfg.is_log_header(&f.base, self.is_wal_file));
+                st.fence_clean = None;
             }
             Kind::LogAppend => {
-                st.appends += 1;
+                st.appends = st.appends.saturating_add(1).min(8);
+                st.flushed
+                    .retain(|_, f| !self.cfg.is_log(&f.base, self.is_wal_file));
+                st.fence_clean = None;
             }
-            Kind::Flush(Some(target)) => {
-                if let Some(l) = st.unflushed.remove(&target) {
-                    st.unfenced.entry(target).or_insert(l);
+            Kind::Flush(target) => {
+                let (key, range) = flush_key(call);
+                let base = target.clone().unwrap_or_default();
+                if !range && !base.is_empty() {
+                    if let Some(prev) = st.flushed.values().find(|f| f.range && f.base == base) {
+                        self.emit(
+                            SRule::W3ShadowedFlush,
+                            line,
+                            format!(
+                                "element flush of `{base}` already covered by the range flush at line {}",
+                                prev.line
+                            ),
+                        );
+                    }
                 }
-            }
-            Kind::Flush(None) => {
-                let moved: Vec<(String, u32)> =
-                    std::mem::take(&mut st.unflushed).into_iter().collect();
-                for (t, l) in moved {
-                    st.unfenced.entry(t).or_insert(l);
+                if let Some(prev) = st.flushed.get(&key) {
+                    let what = if base.is_empty() {
+                        "this line"
+                    } else {
+                        base.as_str()
+                    };
+                    self.emit(
+                        SRule::W1RedundantFlush,
+                        line,
+                        format!(
+                            "`{what}` flushed again with no intervening store on any path (already clean since the flush at line {})",
+                            prev.line
+                        ),
+                    );
+                } else {
+                    st.flushed.insert(key, FlushFact { line, base, range });
                 }
+                match target {
+                    Some(t) => {
+                        if let Some(l) = st.unflushed.remove(&t) {
+                            st.unfenced.entry(t).or_insert(l);
+                        }
+                    }
+                    None => {
+                        let moved: Vec<(String, u32)> =
+                            std::mem::take(&mut st.unflushed).into_iter().collect();
+                        for (t, l) in moved {
+                            st.unfenced.entry(t).or_insert(l);
+                        }
+                    }
+                }
+                st.fence_clean = None;
             }
             Kind::Fence => {
+                if let Some(prev) = st.fence_clean {
+                    self.emit(
+                        SRule::W2RedundantFence,
+                        line,
+                        format!(
+                            "no store or flush can reach this fence on any path since the fence at line {prev}"
+                        ),
+                    );
+                }
                 st.unfenced.clear();
                 if st.appends > 0 {
                     st.log_fenced = true;
                 }
+                st.fence_clean = Some(line);
             }
             Kind::Barrier => {
                 st.unflushed.clear();
@@ -400,9 +664,14 @@ impl Eval<'_> {
                 if st.appends > 0 {
                     st.log_fenced = true;
                 }
+                st.fence_clean = Some(line);
             }
             Kind::Fold => st.unfolded.clear(),
-            Kind::RegionBegin => st.begins.push(line),
+            Kind::RegionBegin => {
+                st.begins.push(line);
+                st.unfolded.clear();
+                st.fence_clean = None;
+            }
             Kind::RegionEnd => {
                 if st.begins.pop().is_none() {
                     self.emit(
@@ -411,9 +680,48 @@ impl Eval<'_> {
                         "region commit/abort without a matching begin on this path".to_string(),
                     );
                 }
+                if self.context == FnContext::Forward && self.facts.has_fold {
+                    if let Some((t, l)) = st.unfolded.iter().next() {
+                        let n = st.unfolded.len();
+                        self.emit(
+                            SRule::S6UncoveredData,
+                            line,
+                            format!(
+                                "region committed while {n} persisted store(s) were never folded into a checksum (first: `{t}` at line {l})"
+                            ),
+                        );
+                    }
+                }
+                st.unfolded.clear();
+                st.fence_clean = None;
             }
-            Kind::DurableStore => {}
+            Kind::DurableStore => {
+                let a0 = self.cfg.strip_accessors(&call.arg0).to_string();
+                let a1 = self.cfg.strip_accessors(&call.arg1).to_string();
+                st.flushed
+                    .retain(|_, f| !f.base.is_empty() && f.base != a0 && f.base != a1);
+                st.fence_clean = Some(line);
+            }
             Kind::PersistRange(target) => {
+                let (key, range) = flush_key(call);
+                let base = target.clone().unwrap_or_default();
+                if let Some(prev) = st.flushed.get(&key) {
+                    let what = if base.is_empty() {
+                        "this range"
+                    } else {
+                        base.as_str()
+                    };
+                    self.emit(
+                        SRule::W1RedundantFlush,
+                        line,
+                        format!(
+                            "`{what}` flushed again with no intervening store on any path (already clean since the flush at line {})",
+                            prev.line
+                        ),
+                    );
+                } else {
+                    st.flushed.insert(key, FlushFact { line, base, range });
+                }
                 match target {
                     Some(t) => {
                         if let Some(l) = st.unflushed.remove(&t) {
@@ -432,54 +740,136 @@ impl Eval<'_> {
                 if st.appends > 0 {
                     st.log_fenced = true;
                 }
+                st.fence_clean = Some(line);
             }
-            Kind::Other => {}
+            Kind::Other => {
+                if let Some(s) = self.resolve(call) {
+                    if s.does_store {
+                        st.flushed.clear();
+                        st.fence_clean = None;
+                    }
+                    for (t, _) in &s.residual_unflushed {
+                        st.unfenced.remove(t);
+                        st.unflushed.entry(t.clone()).or_insert(line);
+                    }
+                    for (t, _) in &s.residual_unfenced {
+                        if !st.unflushed.contains_key(t) {
+                            st.unfenced.entry(t.clone()).or_insert(line);
+                        }
+                    }
+                } else {
+                    // Unknown call: it may store through any argument.
+                    let a0 = self.cfg.strip_accessors(&call.arg0).to_string();
+                    let a1 = self.cfg.strip_accessors(&call.arg1).to_string();
+                    st.flushed
+                        .retain(|_, f| !f.base.is_empty() && f.base != a0 && f.base != a1);
+                    st.fence_clean = None;
+                }
+            }
         }
     }
 
-    fn eval(&mut self, nodes: &[Node], mut st: AbsState) -> AbsState {
-        for node in nodes {
-            if st.diverged {
-                break;
+    /// Phase 1: worklist fixpoint over the CFG. Returns converged
+    /// block-entry and block-exit states (`None` = unreachable).
+    #[allow(clippy::type_complexity)]
+    fn solve(&mut self, g: &Cfg) -> (Vec<Option<AbsState>>, Vec<Option<AbsState>>) {
+        let n = g.blocks.len();
+        let mut ins: Vec<Option<AbsState>> = vec![None; n];
+        let mut outs: Vec<Option<AbsState>> = vec![None; n];
+        let mut queued = vec![false; n];
+        let mut work: VecDeque<usize> = VecDeque::new();
+        work.push_back(g.entry);
+        queued[g.entry] = true;
+        let mut steps = 0usize;
+        while let Some(b) = work.pop_front() {
+            queued[b] = false;
+            steps += 1;
+            if steps > 64 * (n + 1) {
+                break; // safety valve; the lattice is height-bounded
             }
-            match node {
-                Node::Call(c) => self.apply(c, &mut st),
-                Node::Branch(arms) => {
-                    let mut outs: Vec<AbsState> = Vec::new();
-                    for arm in arms {
-                        let out = self.eval(arm, st.clone());
-                        if !out.diverged {
-                            outs.push(out);
-                        }
+            let span = g.blocks[b].loop_head.as_ref().map(|h| h.span);
+            let mut acc: Option<AbsState> = (b == g.entry).then(AbsState::default);
+            for &p in &g.blocks[b].preds {
+                let Some(po) = &outs[p] else { continue };
+                let mut contrib = po.clone();
+                if g.is_back_edge(p, b) {
+                    if let Some(span) = span {
+                        widen(&mut contrib, span);
                     }
-                    match outs.split_first() {
-                        None => st.diverged = true,
-                        Some((first, rest)) => {
-                            let depth0 = first.begins.len();
-                            let mut merged = first.clone();
-                            for o in rest {
-                                if o.begins.len() != depth0 {
-                                    let line =
-                                        *o.begins.last().or(merged.begins.last()).unwrap_or(&0);
-                                    self.emit(
-                                        SRule::S5UnbalancedRegion,
-                                        line,
-                                        "region begin/commit balance differs across branch arms"
-                                            .to_string(),
-                                    );
-                                }
-                                merged = join(merged, o);
-                            }
-                            st = merged;
+                    // A loop that changes region depth would grow `begins`
+                    // forever; pin it to the head's depth and report the
+                    // imbalance in the emission pass.
+                    if let Some(a) = &acc {
+                        if contrib.begins.len() != a.begins.len() {
+                            contrib.begins = a.begins.clone();
                         }
                     }
                 }
-                Node::Loop(body) => {
-                    let entry_depth = st.begins.len();
-                    let out = self.eval(body, st.clone());
-                    if !out.diverged {
-                        if out.begins.len() != entry_depth {
-                            let line = *out.begins.last().or(st.begins.last()).unwrap_or(&0);
+                acc = Some(match acc {
+                    None => contrib,
+                    Some(a) => join(a, &contrib),
+                });
+            }
+            let Some(inb) = acc else { continue };
+            if ins[b].as_ref() == Some(&inb) && outs[b].is_some() {
+                continue;
+            }
+            let mut st = inb.clone();
+            for c in &g.blocks[b].stmts {
+                self.apply(c, &mut st);
+            }
+            ins[b] = Some(inb);
+            let changed = outs[b].as_ref() != Some(&st);
+            outs[b] = Some(st);
+            if changed {
+                for &s in &g.blocks[b].succs {
+                    if !queued[s] {
+                        queued[s] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+        (ins, outs)
+    }
+
+    /// Phase 2: emission over the converged states, plus the structural
+    /// S5 checks (branch-join imbalance, loop-head imbalance, open region
+    /// at exit).
+    fn run(&mut self, f: &FnItem) {
+        let g = Cfg::build(&f.body);
+        self.emit_on = false;
+        let (ins, outs) = self.solve(&g);
+        self.emit_on = true;
+        for (b, blk) in g.blocks.iter().enumerate() {
+            if b == g.dexit {
+                continue; // early-exit paths are not checked at their sink
+            }
+            // Branch-join imbalance: forward preds disagree on depth.
+            let fwd: Vec<&AbsState> = blk
+                .preds
+                .iter()
+                .filter(|&&p| !g.is_back_edge(p, b))
+                .filter_map(|&p| outs[p].as_ref())
+                .collect();
+            if fwd.len() >= 2 {
+                let d0 = fwd[0].begins.len();
+                if fwd.iter().any(|s| s.begins.len() != d0) {
+                    let deepest = fwd.iter().max_by_key(|s| s.begins.len()).unwrap();
+                    let line = *deepest.begins.last().unwrap_or(&0);
+                    self.emit(
+                        SRule::S5UnbalancedRegion,
+                        line,
+                        "region begin/commit balance differs across branch arms".to_string(),
+                    );
+                }
+            }
+            // Loop-head imbalance: the body changes region depth.
+            if let Some(h) = &blk.loop_head {
+                for &bp in &h.back_preds {
+                    if let (Some(ib), Some(ob)) = (&ins[b], &outs[bp]) {
+                        if ob.begins.len() != ib.begins.len() {
+                            let line = *ob.begins.last().or(ib.begins.last()).unwrap_or(&0);
                             self.emit(
                                 SRule::S5UnbalancedRegion,
                                 line,
@@ -487,19 +877,17 @@ impl Eval<'_> {
                                     .to_string(),
                             );
                         }
-                        st = join(st, &out);
                     }
                 }
-                Node::Diverge => st.diverged = true,
+            }
+            let Some(inb) = &ins[b] else { continue };
+            let mut st = inb.clone();
+            for c in &g.blocks[b].stmts {
+                self.apply(c, &mut st);
             }
         }
-        st
-    }
-
-    fn run(&mut self, f: &FnItem) {
-        let st = self.eval(&f.body, AbsState::default());
-        if !st.diverged {
-            if let Some(line) = st.begins.last() {
+        if let Some(out) = &outs[g.exit] {
+            if let Some(line) = out.begins.last() {
                 self.emit(
                     SRule::S5UnbalancedRegion,
                     *line,
@@ -507,18 +895,167 @@ impl Eval<'_> {
                 );
             }
         }
+        self.w4_pass(&f.body);
+    }
+
+    // ---- W4: missed coalescing (syntactic loop pass) ----
+
+    fn w4_pass(&mut self, nodes: &[Node]) {
+        for n in nodes {
+            match n {
+                Node::Loop { body, .. } => {
+                    self.w4_elementwise(body);
+                    self.w4_barrier(body);
+                    self.w4_pass(body);
+                }
+                Node::Branch(arms) => {
+                    for a in arms {
+                        self.w4_pass(&a.body);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Form (a): two or more distinct per-element flushes of the same
+    /// array inside one loop iteration, with no fence/range reset between
+    /// them — a single `flush_range` would cover them.
+    fn w4_elementwise(&mut self, body: &[Node]) {
+        // base → (distinct flush keys, first flush line)
+        let mut seg: BTreeMap<String, (Vec<String>, u32)> = BTreeMap::new();
+        let close = |seg: &mut BTreeMap<String, (Vec<String>, u32)>,
+                     out: &mut Vec<(String, usize, u32)>| {
+            for (base, (keys, line)) in seg.iter() {
+                if keys.len() >= 2 {
+                    out.push((base.clone(), keys.len(), *line));
+                }
+            }
+            seg.clear();
+        };
+        let mut hits: Vec<(String, usize, u32)> = Vec::new();
+        for n in body {
+            match n {
+                Node::Call(c) => match classify(c, self.cfg, self.is_wal_file) {
+                    Kind::Flush(Some(base)) => {
+                        let (key, range) = flush_key(c);
+                        if range {
+                            close(&mut seg, &mut hits);
+                        } else {
+                            let e = seg.entry(base).or_insert_with(|| (Vec::new(), c.line));
+                            if !e.0.contains(&key) {
+                                e.0.push(key);
+                            }
+                        }
+                    }
+                    Kind::Fence
+                    | Kind::Barrier
+                    | Kind::Flush(None)
+                    | Kind::PersistRange(_)
+                    | Kind::RegionEnd => close(&mut seg, &mut hits),
+                    _ => {}
+                },
+                // Control flow inside the iteration resets the window.
+                Node::Branch(_) | Node::Loop { .. } | Node::Diverge => close(&mut seg, &mut hits),
+            }
+        }
+        close(&mut seg, &mut hits);
+        for (base, count, line) in hits {
+            self.emit(
+                SRule::W4MissedCoalescing,
+                line,
+                format!(
+                    "loop body flushes {count} elements of `{base}` individually; a single flush_range would cover them"
+                ),
+            );
+        }
+    }
+
+    /// Form (b): a per-iteration commit barrier that publishes nothing —
+    /// the flush+fence can be hoisted out of the loop. Only fires when the
+    /// barrier resolves to a summarized non-publishing function, so
+    /// forward kernel loops (whose commit ends the region) and recovery
+    /// sinks (which publish the table) stay exempt.
+    fn w4_barrier(&mut self, body: &[Node]) {
+        let mut stores = false;
+        let mut publishes = false;
+        let mut barrier: Option<(u32, String)> = None;
+        self.w4_scan(body, &mut stores, &mut publishes, &mut barrier);
+        if stores && !publishes {
+            if let Some((line, what)) = barrier {
+                self.emit(
+                    SRule::W4MissedCoalescing,
+                    line,
+                    format!(
+                        "per-iteration `{what}` flushes and fences but publishes nothing; hoist the commit out of the loop"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn w4_scan(
+        &self,
+        nodes: &[Node],
+        stores: &mut bool,
+        publishes: &mut bool,
+        barrier: &mut Option<(u32, String)>,
+    ) {
+        for n in nodes {
+            match n {
+                Node::Call(c) => match classify(c, self.cfg, self.is_wal_file) {
+                    Kind::DataStore(_) | Kind::RegionStore | Kind::DurableStore => *stores = true,
+                    Kind::TablePublish
+                    | Kind::TablePersist
+                    | Kind::MarkerPublish
+                    | Kind::StatusPublish
+                    | Kind::LogAppend
+                    | Kind::RegionBegin
+                    | Kind::RegionEnd => *publishes = true,
+                    Kind::Barrier => match self.resolve(c) {
+                        Some(s) if !s.publishes => {
+                            let what = if c.receiver.is_empty() {
+                                format!("{}()", c.name)
+                            } else {
+                                format!("{}.{}()", c.receiver, c.name)
+                            };
+                            barrier.get_or_insert((c.line, what));
+                        }
+                        Some(_) => *publishes = true,
+                        None => {}
+                    },
+                    Kind::Other => {
+                        if let Some(s) = self.resolve(c) {
+                            if s.does_store {
+                                *stores = true;
+                            }
+                            if s.publishes {
+                                *publishes = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+                Node::Branch(arms) => {
+                    for a in arms {
+                        self.w4_scan(&a.body, stores, publishes, barrier);
+                    }
+                }
+                // Nested loops get their own w4_barrier check.
+                Node::Loop { .. } | Node::Diverge => {}
+            }
+        }
     }
 }
 
-/// Analyze one source file. `file_label` is the path used in findings;
-/// `file_stem` drives WAL-context inference.
-pub fn analyze_source(
-    src: &str,
+/// Analyze a parsed file against a (possibly cross-file) summary table.
+/// `file_label` is the path used in findings.
+pub(crate) fn analyze_parsed(
+    parsed: &ParsedFile,
     file_label: &str,
-    file_stem: &str,
     cfg: &LintConfig,
+    summaries: &Summaries,
 ) -> LintReport {
-    let parsed = parse_file(src, file_stem, cfg);
     let mut findings = Vec::new();
     for f in &parsed.fns {
         if f.context == FnContext::Ignore {
@@ -533,6 +1070,10 @@ pub fn analyze_source(
             context: f.context,
             is_wal_file: parsed.is_wal,
             facts,
+            impl_ty: f.name.split_once("::").map(|(t, _)| t.to_string()),
+            bindings: &f.bindings,
+            summaries,
+            emit_on: false,
             findings: &mut findings,
         };
         ev.run(f);
@@ -553,6 +1094,20 @@ pub fn analyze_source(
     };
     report.sort();
     report
+}
+
+/// Analyze one source file. `file_label` is the path used in findings;
+/// `file_stem` drives WAL-context inference. Summaries are built from the
+/// file itself; for cross-file summaries use [`crate::lint_paths`].
+pub fn analyze_source(
+    src: &str,
+    file_label: &str,
+    file_stem: &str,
+    cfg: &LintConfig,
+) -> LintReport {
+    let parsed = parse_file(src, file_stem, cfg);
+    let summaries = summarize_file(&parsed, cfg);
+    analyze_parsed(&parsed, file_label, cfg, &summaries)
 }
 
 #[cfg(test)]
@@ -847,5 +1402,274 @@ mod tests {
              }",
         );
         assert!(r.flags(SRule::S4MarkerBeforeRepairFence), "{r}");
+    }
+
+    // ---- W1–W4 / S6: write-efficiency and coverage rules ----
+
+    #[test]
+    fn same_line_flushed_twice_is_w1() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::W1RedundantFlush), "{r}");
+        assert_eq!(r.of_rule(SRule::W1RedundantFlush)[0].line, 4);
+    }
+
+    #[test]
+    fn intervening_store_kills_w1() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.store(self.buf, 0, w);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn flush_on_one_branch_arm_only_is_not_w1() {
+        // Must-analysis: the re-flush is only redundant on one path.
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               if cond {\n\
+                 ctx.clflushopt(self.buf.addr(0));\n\
+               }\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn widening_drops_loop_born_flush_facts() {
+        // The loop flushes `a.addr(i)` each iteration with a fresh `i`;
+        // neither the next iteration nor the post-loop flush of the same
+        // *text* is provably redundant.
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               for i in 0..n {\n\
+                 ctx.store(a, i, v);\n\
+                 ctx.clflushopt(a.addr(i));\n\
+               }\n\
+               ctx.clflushopt(a.addr(i));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W1RedundantFlush), "{r}");
+    }
+
+    #[test]
+    fn back_to_back_fences_is_w2() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::W2RedundantFence), "{r}");
+        assert_eq!(r.of_rule(SRule::W2RedundantFence)[0].line, 5);
+    }
+
+    #[test]
+    fn fence_after_flush_is_not_w2() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.sfence();\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W2RedundantFence), "{r}");
+    }
+
+    #[test]
+    fn element_flush_under_range_flush_is_w3() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.flush_range(self.buf, 0, n);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::W3ShadowedFlush), "{r}");
+        assert_eq!(r.of_rule(SRule::W3ShadowedFlush)[0].line, 4);
+    }
+
+    #[test]
+    fn unrolled_element_flushes_in_loop_is_w4() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               for i in 0..n {\n\
+                 ctx.store(a, i, v);\n\
+                 ctx.store(a, i + 1, v);\n\
+                 ctx.clflushopt(a.addr(i));\n\
+                 ctx.clflushopt(a.addr(i + 1));\n\
+               }\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::W4MissedCoalescing), "{r}");
+    }
+
+    #[test]
+    fn single_flush_per_iteration_is_not_w4() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               for i in 0..n {\n\
+                 ctx.store(a, i, v);\n\
+                 ctx.clflushopt(a.addr(i));\n\
+               }\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W4MissedCoalescing), "{r}");
+    }
+
+    #[test]
+    fn per_iteration_barrier_without_publish_is_w4() {
+        let r = lint(
+            "impl Sink2 {\n\
+               fn commit(&mut self, ctx: &mut C) {\n\
+                 committer.commit(ctx);\n\
+               }\n\
+             }\n\
+             fn replay_strips(ctx: &mut C) {\n\
+               for kb in 0..n {\n\
+                 let mut s2 = Sink2::default();\n\
+                 ctx.store(a, kb, v);\n\
+                 s2.commit(ctx);\n\
+               }\n\
+             }",
+        );
+        assert!(r.flags(SRule::W4MissedCoalescing), "{r}");
+    }
+
+    #[test]
+    fn per_iteration_region_commit_is_not_w4() {
+        // Forward kernel loops end each iteration's *region*; that commit
+        // publishes (tp.commit → RegionEnd) and must not be hoisted.
+        let r = lint(
+            "impl Sink3 {\n\
+               fn commit(&mut self, ctx: &mut C) {\n\
+                 self.tp.commit(ctx, rs);\n\
+               }\n\
+             }\n\
+             fn run(ctx: &mut C) {\n\
+               for k in 0..n {\n\
+                 let mut s3 = Sink3::default();\n\
+                 ctx.store(a, k, v);\n\
+                 s3.commit(ctx);\n\
+               }\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W4MissedCoalescing), "{r}");
+    }
+
+    #[test]
+    fn unfolded_store_at_region_end_is_s6() {
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.region_begin(key);\n\
+               ctx.store(a, 0, v);\n\
+               self.ck.update(v);\n\
+               ctx.store(a, 8, w);\n\
+               ctx.region_end();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S6UncoveredData), "{r}");
+        assert_eq!(r.of_rule(SRule::S6UncoveredData)[0].line, 6);
+    }
+
+    #[test]
+    fn fully_folded_region_is_not_s6() {
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.region_begin(key);\n\
+               ctx.store(a, 0, v);\n\
+               self.ck.update(v);\n\
+               ctx.region_end();\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    // ---- interprocedural summaries ----
+
+    #[test]
+    fn summary_carries_unflushed_store_through_helper() {
+        let r = lint(
+            "fn fill(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+             }\n\
+             fn run(ctx: &mut C) {\n\
+               fill(ctx);\n\
+               ctx.store(self.markers, tid, 1);\n\
+             }",
+        );
+        assert!(r.flags(SRule::S1StoreNotCovered), "{r}");
+        assert_eq!(r.of_rule(SRule::S1StoreNotCovered)[0].line, 6, "{r}");
+    }
+
+    #[test]
+    fn pure_helper_preserves_must_facts() {
+        // A summarized helper that touches nothing must not break the
+        // fence-cleanliness chain the way an unknown call does.
+        let r = lint(
+            "fn noop(ctx: &mut C) {\n\
+             }\n\
+             fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+               noop(ctx);\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::W2RedundantFence), "{r}");
+    }
+
+    #[test]
+    fn unknown_call_breaks_must_facts() {
+        let r = lint(
+            "fn run(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+               mystery(ctx);\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W2RedundantFence), "{r}");
+    }
+
+    #[test]
+    fn storing_helper_kills_flush_facts() {
+        let r = lint(
+            "fn scribble(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }\n\
+             fn run(ctx: &mut C) {\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               scribble(ctx);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(!r.flags(SRule::W1RedundantFlush), "{r}");
     }
 }

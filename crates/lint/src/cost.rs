@@ -1,0 +1,616 @@
+//! Static flush/fence cost model, extracted from the core persistency
+//! sources.
+//!
+//! Every scheme pays its durability tax through exactly two API calls —
+//! [`ThreadPersist::store`] and [`ThreadPersist::commit`] (see
+//! `crates/core/src/scheme.rs`) — so a scheme's cost is fully described by
+//! two coefficient pairs: flushes/fences **per region store** and
+//! **per region commit**. This module recovers those coefficients from
+//! *source*, not from documentation: it parses `scheme.rs` and the helpers
+//! it calls into (`wal.rs`, `table.rs`), selects the match arm each scheme
+//! variant executes, resolves helper calls into their bodies, and counts
+//! flush/fence operations along the way.
+//!
+//! The result is an interval ([`Range`]) per counter, exact (`min == max`)
+//! when the path is straight-line, widened when a flush sits behind a
+//! branch (`min` excludes it) or inside a loop of unknown trip count
+//! (`max` becomes unbounded). Loops over a transaction's staged stores
+//! (`for … in &self.pending`) are recognized and billed to the per-store
+//! bucket — that is how WAL's commit-time data apply ends up costing one
+//! flush *per store* rather than "unbounded".
+//!
+//! `lp-lint --cost-check` (see [`crate::costcheck`]) multiplies these
+//! coefficients by a kernel's structural counts (in-region stores `S`,
+//! region commits `C`, measured once on a `Base`-scheme run) and holds the
+//! resulting interval against the dynamic `flushes`/`fences` counters of
+//! the real scheme runs.
+//!
+//! [`ThreadPersist::store`]: ../../lp_core/scheme/struct.ThreadPersist.html#method.store
+//! [`ThreadPersist::commit`]: ../../lp_core/scheme/struct.ThreadPersist.html#method.commit
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::analysis::{classify, Kind};
+use crate::config::LintConfig;
+use crate::parser::{self, Arm, FnItem, Node, RawCall};
+
+/// The `Scheme` enum's variant identifiers, as they appear in match
+/// patterns. Keys of [`CostModel::schemes`].
+pub const SCHEME_VARIANTS: [&str; 5] = ["Base", "Lazy", "LazyEagerCk", "Eager", "Wal"];
+
+/// The function the per-store coefficients are extracted from.
+const STORE_FN: &str = "ThreadPersist::store";
+/// The function the per-commit coefficients are extracted from.
+const COMMIT_FN: &str = "ThreadPersist::commit";
+
+/// Loop-iterable names (last path segment) that mean "once per staged
+/// region store": costs inside such loops bill to the per-store bucket.
+const PER_STORE_COLLECTIONS: [&str; 2] = ["pending", "staged"];
+
+/// An inclusive count interval. `max == u64::MAX` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Range {
+    /// Fewest occurrences on any path.
+    pub min: u64,
+    /// Most occurrences on any path (`u64::MAX` = statically unbounded).
+    pub max: u64,
+}
+
+impl Range {
+    /// The exact count `n` (`min == max == n`).
+    pub fn exact(n: u64) -> Range {
+        Range { min: n, max: n }
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_exact(self) -> bool {
+        self.min == self.max
+    }
+
+    /// Whether `v` falls inside the interval.
+    pub fn contains(self, v: u64) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// Sequential composition: both paths execute.
+    fn add(self, other: Range) -> Range {
+        Range {
+            min: self.min.saturating_add(other.min),
+            max: self.max.saturating_add(other.max),
+        }
+    }
+
+    /// Alternative composition: one of the two paths executes.
+    pub fn join(self, other: Range) -> Range {
+        Range {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The interval of `count` sequential executions.
+    pub fn scale(self, count: u64) -> Range {
+        Range {
+            min: self.min.saturating_mul(count),
+            max: self.max.saturating_mul(count),
+        }
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.min)
+        } else if self.max == u64::MAX {
+            write!(f, "{}..", self.min)
+        } else {
+            write!(f, "{}..={}", self.min, self.max)
+        }
+    }
+}
+
+/// Flush and fence intervals for one execution of a code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// `clflushopt`/`clwb`/range-flush line flushes.
+    pub flushes: Range,
+    /// `sfence` executions.
+    pub fences: Range,
+}
+
+impl Cost {
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            flushes: self.flushes.add(other.flushes),
+            fences: self.fences.add(other.fences),
+        }
+    }
+
+    fn join(self, other: Cost) -> Cost {
+        Cost {
+            flushes: self.flushes.join(other.flushes),
+            fences: self.fences.join(other.fences),
+        }
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}F {}S", self.flushes, self.fences)
+    }
+}
+
+/// A path's cost split into a fixed part and a per-staged-store part.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathCost {
+    fixed: Cost,
+    per_elem: Cost,
+}
+
+impl PathCost {
+    fn add(self, other: PathCost) -> PathCost {
+        PathCost {
+            fixed: self.fixed.add(other.fixed),
+            per_elem: self.per_elem.add(other.per_elem),
+        }
+    }
+
+    fn join(self, other: PathCost) -> PathCost {
+        PathCost {
+            fixed: self.fixed.join(other.fixed),
+            per_elem: self.per_elem.join(other.per_elem),
+        }
+    }
+}
+
+/// One scheme's extracted coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemeCost {
+    /// Cost of one [`ThreadPersist::store`] (plus any commit-time work
+    /// that repeats per staged store, e.g. WAL's data apply).
+    ///
+    /// [`ThreadPersist::store`]: ../../lp_core/scheme/struct.ThreadPersist.html#method.store
+    pub per_store: Cost,
+    /// Fixed cost of one [`ThreadPersist::commit`].
+    ///
+    /// [`ThreadPersist::commit`]: ../../lp_core/scheme/struct.ThreadPersist.html#method.commit
+    pub per_commit: Cost,
+}
+
+impl SchemeCost {
+    /// Predicted flush/fence interval for a run with `stores` in-region
+    /// stores and `commits` region commits.
+    pub fn predict(&self, stores: u64, commits: u64) -> Cost {
+        Cost {
+            flushes: self
+                .per_store
+                .flushes
+                .scale(stores)
+                .add(self.per_commit.flushes.scale(commits)),
+            fences: self
+                .per_store
+                .fences
+                .scale(stores)
+                .add(self.per_commit.fences.scale(commits)),
+        }
+    }
+}
+
+/// Per-scheme cost coefficients extracted from the core sources.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Coefficients keyed by `Scheme` variant identifier (see
+    /// [`SCHEME_VARIANTS`]).
+    pub schemes: BTreeMap<String, SchemeCost>,
+}
+
+impl CostModel {
+    /// Extract the model from the core sources under `root` (the
+    /// workspace root containing `crates/core/src`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the source files.
+    pub fn extract(root: &Path, cfg: &LintConfig) -> std::io::Result<CostModel> {
+        let dir = root.join("crates/core/src");
+        let mut sources = Vec::new();
+        for stem in ["scheme", "wal", "table"] {
+            let src = std::fs::read_to_string(dir.join(format!("{stem}.rs")))?;
+            sources.push((stem.to_string(), src));
+        }
+        Ok(Self::from_sources(&sources, cfg))
+    }
+
+    /// Extract the model from in-memory `(file_stem, source)` pairs.
+    pub fn from_sources(sources: &[(String, String)], cfg: &LintConfig) -> CostModel {
+        let mut fns: BTreeMap<String, (FnItem, bool)> = BTreeMap::new();
+        let mut by_bare: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (stem, src) in sources {
+            let file = parser::parse_file(src, stem, cfg);
+            for f in file.fns {
+                let bare = f.name.rsplit("::").next().unwrap_or(&f.name).to_string();
+                by_bare.entry(bare).or_default().push(f.name.clone());
+                fns.insert(f.name.clone(), (f, file.is_wal));
+            }
+        }
+        let cx = Cx {
+            cfg,
+            fns: &fns,
+            by_bare: &by_bare,
+        };
+        let mut schemes = BTreeMap::new();
+        for variant in SCHEME_VARIANTS {
+            let store = cx.cost_fn(STORE_FN, variant, &mut Vec::new());
+            let commit = cx.cost_fn(COMMIT_FN, variant, &mut Vec::new());
+            schemes.insert(
+                variant.to_string(),
+                SchemeCost {
+                    // Commit-time work that repeats per staged store is
+                    // per-store cost; a per-elem remainder of the store
+                    // path itself (none today) also lands here.
+                    per_store: store.fixed.add(store.per_elem).add(commit.per_elem),
+                    per_commit: commit.fixed,
+                },
+            );
+        }
+        CostModel { schemes }
+    }
+
+    /// The coefficients for a `Scheme` variant identifier, if extracted.
+    pub fn get(&self, variant: &str) -> Option<&SchemeCost> {
+        self.schemes.get(variant)
+    }
+}
+
+impl std::fmt::Display for CostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "scheme        per-store     per-commit")?;
+        for (name, c) in &self.schemes {
+            let (s, e) = (c.per_store.to_string(), c.per_commit.to_string());
+            writeln!(f, "{name:<13} {s:<13} {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Extraction context: the parsed helper universe.
+struct Cx<'a> {
+    cfg: &'a LintConfig,
+    /// Qualified name → (item, parsed-from-a-WAL-file).
+    fns: &'a BTreeMap<String, (FnItem, bool)>,
+    /// Bare name → qualified candidates.
+    by_bare: &'a BTreeMap<String, Vec<String>>,
+}
+
+impl Cx<'_> {
+    fn cost_fn(&self, qualified: &str, variant: &str, stack: &mut Vec<String>) -> PathCost {
+        let Some((item, is_wal)) = self.fns.get(qualified) else {
+            return PathCost::default();
+        };
+        if stack.iter().any(|s| s == qualified) {
+            return PathCost::default(); // recursion: already billed
+        }
+        stack.push(qualified.to_string());
+        let out = self.cost_nodes(&item.body, variant, *is_wal, stack);
+        stack.pop();
+        out
+    }
+
+    fn cost_nodes(
+        &self,
+        nodes: &[Node],
+        variant: &str,
+        is_wal: bool,
+        stack: &mut Vec<String>,
+    ) -> PathCost {
+        let mut total = PathCost::default();
+        for node in nodes {
+            match node {
+                Node::Call(call) => total = total.add(self.cost_call(call, variant, stack)),
+                Node::Branch(arms) => {
+                    total = total.add(self.cost_branch(arms, variant, is_wal, stack));
+                }
+                Node::Loop { hint, body } => {
+                    let inner = self.cost_nodes(body, variant, is_wal, stack);
+                    let elem = hint
+                        .rsplit('.')
+                        .next()
+                        .is_some_and(|seg| PER_STORE_COLLECTIONS.contains(&seg));
+                    if elem {
+                        // Once per staged store: fixed body cost becomes
+                        // per-element; nested per-element cost stays there.
+                        total.per_elem = total.per_elem.add(inner.fixed).add(inner.per_elem);
+                    } else {
+                        // Unknown trip count: zero or more executions.
+                        total.fixed = total.fixed.add(unknown_repeat(inner.fixed));
+                        total.per_elem = total.per_elem.add(unknown_repeat(inner.per_elem));
+                    }
+                }
+                // Early exits in these bodies are assertion/error paths;
+                // the cost model describes the completing execution.
+                Node::Diverge => {}
+            }
+        }
+        total
+    }
+
+    fn cost_branch(
+        &self,
+        arms: &[Arm],
+        variant: &str,
+        is_wal: bool,
+        stack: &mut Vec<String>,
+    ) -> PathCost {
+        let is_scheme_dispatch = arms
+            .iter()
+            .any(|a| a.pat.iter().any(|p| SCHEME_VARIANTS.contains(&p.as_str())));
+        if is_scheme_dispatch {
+            // Take exactly the arm(s) this variant executes; a variant
+            // with no arm (e.g. behind a wildcard) costs nothing extra.
+            let mut out: Option<PathCost> = None;
+            for arm in arms {
+                if arm.pat.iter().any(|p| p == variant) {
+                    let c = self.cost_nodes(&arm.body, variant, is_wal, stack);
+                    out = Some(match out {
+                        Some(prev) => prev.join(c),
+                        None => c,
+                    });
+                }
+            }
+            return out.unwrap_or_default();
+        }
+        // Data-dependent branch: interval over all arms.
+        let mut out: Option<PathCost> = None;
+        for arm in arms {
+            let c = self.cost_nodes(&arm.body, variant, is_wal, stack);
+            out = Some(match out {
+                Some(prev) => prev.join(c),
+                None => c,
+            });
+        }
+        out.unwrap_or_default()
+    }
+
+    fn cost_call(&self, call: &RawCall, variant: &str, stack: &mut Vec<String>) -> PathCost {
+        if let Some(target) = self.resolve(call, stack) {
+            return self.cost_fn(&target, variant, stack);
+        }
+        let is_wal = false; // receiver-based classification only below
+        let fixed = match classify(call, self.cfg, is_wal) {
+            Kind::Flush(_) => Cost {
+                flushes: Range::exact(1),
+                ..Cost::default()
+            },
+            Kind::Fence => Cost {
+                fences: Range::exact(1),
+                ..Cost::default()
+            },
+            // store + flush + fence in one helper.
+            Kind::DurableStore => Cost {
+                flushes: Range::exact(1),
+                fences: Range::exact(1),
+            },
+            // Flushes one line per touched line of the range, then fences.
+            Kind::PersistRange(_) => Cost {
+                flushes: Range {
+                    min: 1,
+                    max: u64::MAX,
+                },
+                fences: Range::exact(1),
+            },
+            // An unresolvable flush-and-fence barrier: unbounded flushes.
+            Kind::Barrier => Cost {
+                flushes: Range {
+                    min: 0,
+                    max: u64::MAX,
+                },
+                fences: Range {
+                    min: 0,
+                    max: u64::MAX,
+                },
+            },
+            _ => Cost::default(),
+        };
+        PathCost {
+            fixed,
+            per_elem: Cost::default(),
+        }
+    }
+
+    /// Resolve a call to a parsed helper's qualified name. `ctx` methods
+    /// are primitives, never helpers; otherwise candidates share the bare
+    /// name, excluding functions already on the walk stack (so a scheme
+    /// method calling a helper with the same bare name — `commit` — does
+    /// not resolve to itself). Multiple survivors are disambiguated by
+    /// matching the receiver's last segment against the impl type name.
+    fn resolve(&self, call: &RawCall, stack: &[String]) -> Option<String> {
+        let recv_last = call.receiver.rsplit('.').next().unwrap_or("");
+        if recv_last == "ctx" {
+            return None;
+        }
+        let candidates: Vec<&String> = self
+            .by_bare
+            .get(&call.name)?
+            .iter()
+            .filter(|q| !stack.iter().any(|s| s == *q))
+            .collect();
+        match candidates.len() {
+            0 => None,
+            1 => Some(candidates[0].clone()),
+            _ => {
+                let seg = recv_last.to_lowercase();
+                candidates
+                    .iter()
+                    .find(|q| {
+                        let impl_ty = q.split("::").next().unwrap_or("").to_lowercase();
+                        !seg.is_empty() && (impl_ty.contains(&seg) || seg.contains(&impl_ty))
+                    })
+                    .map(|q| (*q).clone())
+            }
+        }
+    }
+}
+
+/// The interval of executing `cost` zero or more times.
+fn unknown_repeat(cost: Cost) -> Cost {
+    let widen = |r: Range| {
+        if r.max == 0 {
+            r
+        } else {
+            Range {
+                min: 0,
+                max: u64::MAX,
+            }
+        }
+    };
+    Cost {
+        flushes: widen(cost.flushes),
+        fences: widen(cost.fences),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    fn model() -> CostModel {
+        CostModel::extract(&repo_root(), &LintConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn range_display_and_contains() {
+        assert_eq!(Range::exact(3).to_string(), "3");
+        assert_eq!(Range { min: 0, max: 2 }.to_string(), "0..=2");
+        assert_eq!(
+            Range {
+                min: 1,
+                max: u64::MAX
+            }
+            .to_string(),
+            "1.."
+        );
+        assert!(Range { min: 2, max: 4 }.contains(3));
+        assert!(!Range { min: 2, max: 4 }.contains(5));
+    }
+
+    #[test]
+    fn base_and_lazy_cost_nothing() {
+        let m = model();
+        for variant in ["Base", "Lazy"] {
+            let c = m.get(variant).unwrap();
+            assert_eq!(c.per_store, Cost::default(), "{variant}");
+            assert_eq!(c.per_commit, Cost::default(), "{variant}");
+        }
+    }
+
+    #[test]
+    fn eager_is_one_flush_per_store_and_marker_round_at_commit() {
+        let c = *model().get("Eager").unwrap();
+        assert_eq!(c.per_store.flushes, Range::exact(1));
+        assert_eq!(c.per_store.fences, Range::exact(0));
+        assert_eq!(c.per_commit.flushes, Range::exact(1), "marker flush");
+        assert_eq!(c.per_commit.fences, Range::exact(2), "drain + marker");
+    }
+
+    #[test]
+    fn wal_is_three_flushes_per_store_and_four_fence_rounds() {
+        let c = *model().get("Wal").unwrap();
+        // Two log-entry flushes at store time + the commit-time data
+        // apply (recognized from the `for … in &self.pending` loop).
+        assert_eq!(c.per_store.flushes, Range::exact(3));
+        assert_eq!(c.per_store.fences, Range::exact(0));
+        // Marker log pair + count + status set + marker + status clear.
+        assert_eq!(c.per_commit.flushes, Range::exact(6));
+        assert_eq!(c.per_commit.fences, Range::exact(4), "Figure 2 rounds");
+    }
+
+    #[test]
+    fn lazy_eager_ck_pays_one_table_persist_per_commit() {
+        let c = *model().get("LazyEagerCk").unwrap();
+        assert_eq!(c.per_store, Cost::default());
+        assert_eq!(c.per_commit.flushes, Range::exact(1));
+        assert_eq!(c.per_commit.fences, Range::exact(1));
+    }
+
+    #[test]
+    fn predict_scales_with_stores_and_commits() {
+        let m = model();
+        let wal = m.get("Wal").unwrap().predict(10, 2);
+        assert_eq!(wal.flushes, Range::exact(3 * 10 + 6 * 2));
+        assert_eq!(wal.fences, Range::exact(4 * 2));
+        let ep = m.get("Eager").unwrap().predict(7, 3);
+        assert_eq!(ep.flushes, Range::exact(7 + 3));
+        assert_eq!(ep.fences, Range::exact(6));
+    }
+
+    #[test]
+    fn conditional_flush_widens_the_interval() {
+        let src = r#"
+impl ThreadPersist {
+    pub fn store(&self, ctx: &mut C) {
+        match self.scheme {
+            Scheme::Eager => {
+                if dirty {
+                    ctx.clflushopt(arr.addr(i));
+                }
+            }
+            _ => {}
+        }
+    }
+    pub fn commit(&self, ctx: &mut C) {}
+}
+"#;
+        let m = CostModel::from_sources(&[("scheme".into(), src.into())], &LintConfig::default());
+        let c = m.get("Eager").unwrap();
+        assert_eq!(c.per_store.flushes, Range { min: 0, max: 1 });
+    }
+
+    #[test]
+    fn unknown_loop_is_unbounded_and_pending_loop_is_per_store() {
+        let src = r#"
+impl ThreadPersist {
+    pub fn store(&self, ctx: &mut C) {}
+    pub fn commit(&self, ctx: &mut C) {
+        match self.scheme {
+            Scheme::Wal => {
+                for x in 0..n {
+                    ctx.sfence();
+                }
+            }
+            Scheme::Eager => {
+                for &(addr, bits) in &self.pending {
+                    ctx.clflushopt(addr);
+                }
+            }
+        }
+    }
+}
+"#;
+        let m = CostModel::from_sources(&[("scheme".into(), src.into())], &LintConfig::default());
+        let wal = m.get("Wal").unwrap();
+        assert_eq!(
+            wal.per_commit.fences,
+            Range {
+                min: 0,
+                max: u64::MAX
+            }
+        );
+        let eager = m.get("Eager").unwrap();
+        assert_eq!(eager.per_store.flushes, Range::exact(1));
+        assert_eq!(eager.per_commit.flushes, Range::exact(0));
+    }
+
+    #[test]
+    fn model_displays_one_row_per_scheme() {
+        let text = model().to_string();
+        for variant in SCHEME_VARIANTS {
+            assert!(text.contains(variant), "{text}");
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Dynamic cross-check of the static cost model (`lp-lint --cost-check`).
+//!
+//! Two validations, both against the simulator's real `flushes`/`fences`
+//! counters:
+//!
+//! 1. **Kernel × scheme cost check.** Each kernel's region structure is
+//!    measured once on a `Base`-scheme run at `Scale::Micro` with a
+//!    [`RegionTally`] observer installed — region boundaries are announced
+//!    identically under every scheme, so the `Base` run yields the
+//!    structural counts `S` (in-region stores) and `C` (region commits)
+//!    of the scheme runs too. The static [`CostModel`] coefficients are
+//!    multiplied out to a predicted flush/fence interval per scheme, and
+//!    the kernel is then actually run under each scheme with its own
+//!    tally; the check fails if a measured in-region counter falls
+//!    outside its predicted interval.
+//!
+//! 2. **W-rule dynamic twins.** Each write-efficiency rule (W1–W4) is
+//!    demonstrated as a buggy/fixed pair of instruction sequences run on
+//!    a real machine; the check fails unless fixing the redundancy
+//!    strictly drops the rule's twin counter (flushes for W1/W3/W4,
+//!    fences for W2).
+
+use std::path::Path;
+
+use lp_core::ep::EagerCommitter;
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{prepare_kernel, KernelId, Scale};
+use lp_sim::config::MachineConfig;
+use lp_sim::core::CoreCtx;
+use lp_sim::machine::{Machine, Outcome};
+use lp_sim::mem::PArray;
+use lp_sim::observe::{RegionCounts, RegionTally};
+
+use crate::config::LintConfig;
+use crate::cost::{Cost, CostModel};
+use crate::report::{SRule, Twin};
+
+/// The `Scheme` variant identifier used to key into the [`CostModel`].
+fn variant_of(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Base => "Base",
+        Scheme::Lazy(_) => "Lazy",
+        Scheme::LazyEagerCk(_) => "LazyEagerCk",
+        Scheme::Eager => "Eager",
+        Scheme::Wal => "Wal",
+    }
+}
+
+/// One kernel × scheme comparison.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Kernel display name (paper figure label).
+    pub kernel: String,
+    /// Scheme display name (paper figure label).
+    pub scheme: String,
+    /// In-region stores of the structural (`Base`) run.
+    pub stores: u64,
+    /// Region commits of the structural (`Base`) run.
+    pub commits: u64,
+    /// Statically predicted in-region flush/fence interval.
+    pub predicted: Cost,
+    /// Dynamically measured in-region counters.
+    pub measured: RegionCounts,
+    /// Whether the run completed (a crash voids the comparison).
+    pub completed: bool,
+}
+
+impl CaseResult {
+    /// Whether the measured counters fall inside the predicted intervals.
+    pub fn ok(&self) -> bool {
+        self.completed
+            && self.predicted.flushes.contains(self.measured.flushes)
+            && self.predicted.fences.contains(self.measured.fences)
+    }
+}
+
+/// One W-rule buggy/fixed counter pair.
+#[derive(Debug, Clone)]
+pub struct RuleDelta {
+    /// The write-efficiency rule demonstrated.
+    pub rule: SRule,
+    /// The dynamic counter the rule twins with (`flushes` or `fences`).
+    pub counter: &'static str,
+    /// Counter value with the redundancy present.
+    pub buggy: u64,
+    /// Counter value with the redundancy removed.
+    pub fixed: u64,
+}
+
+impl RuleDelta {
+    /// Whether fixing the redundancy strictly dropped the counter.
+    pub fn improved(&self) -> bool {
+        self.fixed < self.buggy
+    }
+}
+
+/// Full `--cost-check` outcome.
+#[derive(Debug)]
+pub struct CostCheckReport {
+    /// The extracted static model the predictions came from.
+    pub model: CostModel,
+    /// Kernel × scheme comparisons.
+    pub cases: Vec<CaseResult>,
+    /// W-rule buggy/fixed demonstrations.
+    pub deltas: Vec<RuleDelta>,
+}
+
+impl CostCheckReport {
+    /// Whether every case and every delta passed.
+    pub fn pass(&self) -> bool {
+        !self.cases.is_empty()
+            && self.cases.iter().all(CaseResult::ok)
+            && self.deltas.iter().all(RuleDelta::improved)
+    }
+}
+
+impl std::fmt::Display for CostCheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "static cost model (crates/core/src):")?;
+        write!(f, "{}", self.model)?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "kernel x scheme @ Micro (S = in-region stores, C = region commits):"
+        )?;
+        for c in &self.cases {
+            writeln!(
+                f,
+                "  {:<9} {:<17} S={:<6} C={:<4} predicted {:<16} measured {}F {}S  {}",
+                c.kernel,
+                c.scheme,
+                c.stores,
+                c.commits,
+                c.predicted.to_string(),
+                c.measured.flushes,
+                c.measured.fences,
+                if c.ok() { "ok" } else { "MISMATCH" },
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "W-rule dynamic twins (counter drop when fixed):")?;
+        for d in &self.deltas {
+            writeln!(
+                f,
+                "  {} {:<8} buggy {:<6} fixed {:<6} {}",
+                d.rule.id(),
+                d.counter,
+                d.buggy,
+                d.fixed,
+                if d.improved() { "ok" } else { "NO IMPROVEMENT" },
+            )?;
+        }
+        writeln!(
+            f,
+            "cost-check: {}",
+            if self.pass() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// The schemes the cost check exercises (every variant with a distinct
+/// cost profile).
+fn schemes() -> [Scheme; 5] {
+    [
+        Scheme::Base,
+        Scheme::lazy_default(),
+        Scheme::LazyEagerCk(lp_core::checksum::ChecksumKind::Modular),
+        Scheme::Eager,
+        Scheme::Wal,
+    ]
+}
+
+fn machine_config() -> MachineConfig {
+    MachineConfig::default().with_nvmm_bytes(16 << 20)
+}
+
+/// Run one kernel under one scheme at `Scale::Micro` with a tally
+/// installed; returns the tally and whether the run completed.
+fn observed_run(kernel: KernelId, scheme: Scheme) -> (RegionTally, bool) {
+    let mut pk = prepare_kernel(kernel, Scale::Micro, &machine_config(), scheme);
+    let tally = RegionTally::shared();
+    pk.machine.set_observer(tally.clone());
+    let outcome = pk.machine.run(pk.plans);
+    let snapshot = tally.lock().unwrap().clone();
+    (snapshot, outcome == Outcome::Completed)
+}
+
+/// Run the kernel × scheme cost check for `kernels` against `model`.
+pub fn check_kernels(kernels: &[KernelId], model: &CostModel) -> Vec<CaseResult> {
+    let mut cases = Vec::new();
+    for &kernel in kernels {
+        let (base, base_done) = observed_run(kernel, Scheme::Base);
+        let stores = base.in_region().stores;
+        let commits = base.commits;
+        for scheme in schemes() {
+            let (tally, completed) = if matches!(scheme, Scheme::Base) {
+                (base.clone(), base_done)
+            } else {
+                observed_run(kernel, scheme)
+            };
+            let predicted = model
+                .get(variant_of(scheme))
+                .copied()
+                .unwrap_or_default()
+                .predict(stores, commits);
+            cases.push(CaseResult {
+                kernel: kernel.name().to_string(),
+                scheme: scheme.name(),
+                stores,
+                commits,
+                predicted,
+                measured: tally.in_region(),
+                // The scheme run must agree with the Base run on region
+                // structure, or S and C don't transfer.
+                completed: completed && tally.commits == commits,
+            });
+        }
+    }
+    cases
+}
+
+/// Core flush/fence totals after running `f` on a one-core machine with
+/// a 64-element `f64` scratch array (8 cache lines).
+fn counters(f: impl FnOnce(&mut CoreCtx<'_>, PArray<f64>)) -> (u64, u64) {
+    let mut m = Machine::new(machine_config().with_cores(1));
+    let arr = m.alloc::<f64>(64).expect("scratch fits");
+    {
+        let mut ctx = m.ctx(0);
+        f(&mut ctx, arr);
+    }
+    let t = m.stats().core_totals();
+    (t.flushes, t.fences)
+}
+
+/// Demonstrate each W rule as a buggy/fixed pair on a real machine.
+pub fn wrule_deltas() -> Vec<RuleDelta> {
+    let mut out = Vec::new();
+    let mut push = |rule: SRule, buggy: (u64, u64), fixed: (u64, u64)| {
+        let Twin::Counter(counter) = rule.dynamic_twin() else {
+            unreachable!("W rules twin counters");
+        };
+        let pick = |(flushes, fences): (u64, u64)| match counter {
+            "fences" => fences,
+            _ => flushes,
+        };
+        out.push(RuleDelta {
+            rule,
+            counter,
+            buggy: pick(buggy),
+            fixed: pick(fixed),
+        });
+    };
+
+    // W1: the same line flushed twice with no intervening store.
+    let w1_buggy = counters(|ctx, arr| {
+        ctx.store(arr, 0, 1.0);
+        ctx.clflushopt(arr.addr(0));
+        ctx.clflushopt(arr.addr(0));
+        ctx.sfence();
+    });
+    let w1_fixed = counters(|ctx, arr| {
+        ctx.store(arr, 0, 1.0);
+        ctx.clflushopt(arr.addr(0));
+        ctx.sfence();
+    });
+    push(SRule::W1RedundantFlush, w1_buggy, w1_fixed);
+
+    // W2: a fence no unflushed store can reach.
+    let w2_buggy = counters(|ctx, arr| {
+        ctx.store(arr, 0, 1.0);
+        ctx.clflushopt(arr.addr(0));
+        ctx.sfence();
+        ctx.sfence();
+    });
+    let w2_fixed = counters(|ctx, arr| {
+        ctx.store(arr, 0, 1.0);
+        ctx.clflushopt(arr.addr(0));
+        ctx.sfence();
+    });
+    push(SRule::W2RedundantFence, w2_buggy, w2_fixed);
+
+    // W3: an element flush already covered by a range flush.
+    let w3_buggy = counters(|ctx, arr| {
+        for i in 0..64 {
+            ctx.store(arr, i, i as f64);
+        }
+        ctx.clflushopt(arr.addr(0));
+        ctx.flush_range(arr, 0, 64);
+        ctx.sfence();
+    });
+    let w3_fixed = counters(|ctx, arr| {
+        for i in 0..64 {
+            ctx.store(arr, i, i as f64);
+        }
+        ctx.flush_range(arr, 0, 64);
+        ctx.sfence();
+    });
+    push(SRule::W3ShadowedFlush, w3_buggy, w3_fixed);
+
+    // W4: a per-iteration commit that publishes nothing — the same lines
+    // are re-flushed and re-fenced every round; hoisting the commit out
+    // of the loop dedups them (the tmm/gauss recovery-replay shape).
+    let w4_buggy = counters(|ctx, arr| {
+        for round in 0..4 {
+            let mut ec = EagerCommitter::new();
+            for i in 0..8 {
+                ctx.store(arr, i, (round * 8 + i) as f64);
+                ec.note(arr.addr(i));
+            }
+            ec.commit(ctx);
+        }
+    });
+    let w4_fixed = counters(|ctx, arr| {
+        let mut ec = EagerCommitter::new();
+        for round in 0..4 {
+            for i in 0..8 {
+                ctx.store(arr, i, (round * 8 + i) as f64);
+                ec.note(arr.addr(i));
+            }
+        }
+        ec.commit(ctx);
+    });
+    push(SRule::W4MissedCoalescing, w4_buggy, w4_fixed);
+    out
+}
+
+/// Run the full cost check: extract the model from the sources under
+/// `root`, check every kernel under every scheme, and demonstrate the
+/// W-rule counter deltas.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the core sources.
+pub fn run_cost_check(root: &Path, cfg: &LintConfig) -> std::io::Result<CostCheckReport> {
+    let model = CostModel::extract(root, cfg)?;
+    let cases = check_kernels(&KernelId::ALL, &model);
+    let deltas = wrule_deltas();
+    Ok(CostCheckReport {
+        model,
+        cases,
+        deltas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    fn model() -> CostModel {
+        CostModel::extract(&repo_root(), &LintConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn every_wrule_counter_drops_when_fixed() {
+        let deltas = wrule_deltas();
+        assert_eq!(deltas.len(), 4);
+        for d in &deltas {
+            assert!(
+                d.improved(),
+                "{} {}: {} -> {}",
+                d.rule.id(),
+                d.counter,
+                d.buggy,
+                d.fixed
+            );
+        }
+        let ids: Vec<&str> = deltas.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["W1", "W2", "W3", "W4"]);
+    }
+
+    #[test]
+    fn w4_delta_matches_the_dedup_arithmetic() {
+        let w4 = &wrule_deltas()[3];
+        // 4 rounds x 1 line vs 1 deduplicated line.
+        assert_eq!(w4.buggy, 4);
+        assert_eq!(w4.fixed, 1);
+    }
+
+    #[test]
+    fn tmm_measured_counters_match_predictions_under_every_scheme() {
+        let cases = check_kernels(&[KernelId::Tmm], &model());
+        assert_eq!(cases.len(), 5);
+        for c in &cases {
+            assert!(
+                c.ok(),
+                "{} {}: predicted {} measured {}F {}S",
+                c.kernel,
+                c.scheme,
+                c.predicted,
+                c.measured.flushes,
+                c.measured.fences,
+            );
+        }
+        let base = &cases[0];
+        assert!(base.stores > 0 && base.commits > 0);
+        assert_eq!(base.measured.flushes, 0, "Base never flushes in-region");
+    }
+
+    #[test]
+    fn report_displays_and_passes_for_one_kernel() {
+        let model = model();
+        let report = CostCheckReport {
+            cases: check_kernels(&[KernelId::Fft], &model),
+            deltas: wrule_deltas(),
+            model,
+        };
+        assert!(report.pass(), "{report}");
+        let text = report.to_string();
+        assert!(text.contains("cost-check: PASS"), "{text}");
+        assert!(text.contains("W4"), "{text}");
+    }
+}

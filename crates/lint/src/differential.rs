@@ -15,7 +15,7 @@ use lp_check::report::Rule;
 
 use crate::analysis::analyze_source;
 use crate::config::LintConfig;
-use crate::report::SRule;
+use crate::report::{SRule, Twin};
 
 /// How a mutation rig is expected to show up statically.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +151,53 @@ pub fn expectations() -> Vec<RigExpectation> {
     ]
 }
 
+/// Efficiency expectations: every W/S6 fixture must be flagged with its
+/// rule. Unlike the rig fixtures, these have no `lp_check` rule as
+/// ground truth — their dynamic twin is a simulator counter, and
+/// `lp-lint --cost-check` measures the flush/fence drop when each
+/// flagged redundancy is removed (S6 twins R2 and rides along here
+/// because its fixture exercises the same checksum-coverage lattice).
+pub fn efficiency_expectations() -> Vec<(&'static str, &'static str, &'static str, SRule)> {
+    vec![
+        (
+            "eff:redundant_flush",
+            "w1_redundant_flush.rs",
+            include_str!("../fixtures/w1_redundant_flush.rs"),
+            SRule::W1RedundantFlush,
+        ),
+        (
+            "eff:redundant_fence",
+            "w2_redundant_fence.rs",
+            include_str!("../fixtures/w2_redundant_fence.rs"),
+            SRule::W2RedundantFence,
+        ),
+        (
+            "eff:range_shadowed_flush",
+            "w3_range_shadowed_flush.rs",
+            include_str!("../fixtures/w3_range_shadowed_flush.rs"),
+            SRule::W3ShadowedFlush,
+        ),
+        (
+            "eff:unrolled_flush",
+            "w4_unrolled_flush.rs",
+            include_str!("../fixtures/w4_unrolled_flush.rs"),
+            SRule::W4MissedCoalescing,
+        ),
+        (
+            "eff:loop_barrier",
+            "w4_loop_barrier.rs",
+            include_str!("../fixtures/w4_loop_barrier.rs"),
+            SRule::W4MissedCoalescing,
+        ),
+        (
+            "eff:lp_unfolded_store",
+            "s6_lp_unfolded_store.rs",
+            include_str!("../fixtures/s6_lp_unfolded_store.rs"),
+            SRule::S6UncoveredData,
+        ),
+    ]
+}
+
 /// One rig's differential result.
 #[derive(Debug, Clone)]
 pub struct RigResult {
@@ -208,7 +255,7 @@ impl fmt::Display for DifferentialOutcome {
 /// Run the full differential: every fixture against its expected rule,
 /// plus the clean control.
 pub fn run_differential(cfg: &LintConfig) -> DifferentialOutcome {
-    let rigs = expectations()
+    let mut rigs: Vec<RigResult> = expectations()
         .into_iter()
         .map(|e| match e.verdict {
             Verdict::Static { fixture, src, rule } => {
@@ -257,6 +304,38 @@ pub fn run_differential(cfg: &LintConfig) -> DifferentialOutcome {
             },
         })
         .collect();
+    for (rig, file, src, rule) in efficiency_expectations() {
+        let stem = file.trim_end_matches(".rs");
+        let label = format!("fixtures/{file}");
+        let report = analyze_source(src, &label, stem, cfg);
+        let twin = match rule.dynamic_twin() {
+            Twin::DynamicRule(r) => format!("dynamic {r}"),
+            Twin::Counter(c) => format!("{c} counter"),
+        };
+        rigs.push(match report.of_rule(rule).first() {
+            Some(hit) if hit.line > 0 => RigResult {
+                rig,
+                expected: Some(rule),
+                ok: true,
+                note: format!(
+                    "{} ({twin}) flagged at {}:{}",
+                    rule.id(),
+                    hit.file,
+                    hit.line
+                ),
+            },
+            _ => RigResult {
+                rig,
+                expected: Some(rule),
+                ok: false,
+                note: format!(
+                    "expected {} on {label}, got {} finding(s)",
+                    rule.id(),
+                    report.findings.len()
+                ),
+            },
+        });
+    }
     let clean = analyze_source(
         CLEAN_FIXTURE.1,
         "fixtures/clean_control.rs",
@@ -301,19 +380,75 @@ mod tests {
 
     #[test]
     fn static_rules_agree_with_dynamic_twins() {
-        // The S rule each fixture trips must be the declared static twin
+        // The S rule each fixture trips must be a declared static twin
         // of the dynamic rule its rig was built around.
         for e in expectations() {
             if let Verdict::Static { rule, .. } = e.verdict {
-                assert_eq!(
-                    e.dynamic_rule.static_twin(),
-                    Some(rule.id()),
-                    "{} twin mismatch",
-                    e.rig
+                assert!(
+                    e.dynamic_rule.static_twins().contains(&rule.id()),
+                    "{} twin mismatch: {} not in {:?}",
+                    e.rig,
+                    rule.id(),
+                    e.dynamic_rule.static_twins()
                 );
             }
         }
         // Dynamic-only rigs: the *rig* is undecidable even when the rule
         // family has a twin (e.g. fmut rigs trip R2/R3 via faults).
+    }
+
+    #[test]
+    fn twin_mapping_is_total_and_round_trips() {
+        // Forward: every static twin a dynamic rule declares names a real
+        // S rule whose own twin points straight back at that rule.
+        for r in Rule::ALL {
+            for id in r.static_twins() {
+                let s = SRule::from_id(id)
+                    .unwrap_or_else(|| panic!("{} declares unknown twin {id}", r.id()));
+                assert_eq!(
+                    s.dynamic_twin(),
+                    Twin::DynamicRule(r.id()),
+                    "{id} does not round-trip to {}",
+                    r.id()
+                );
+            }
+        }
+        // Reverse: every safety rule is claimed by exactly one dynamic
+        // rule, and every efficiency rule twins a counter `--cost-check`
+        // can actually measure.
+        for s in SRule::all() {
+            match s.dynamic_twin() {
+                Twin::DynamicRule(rid) => {
+                    let owners: Vec<Rule> =
+                        Rule::ALL.into_iter().filter(|r| r.id() == rid).collect();
+                    assert_eq!(owners.len(), 1, "{} twins unknown {rid}", s.id());
+                    assert!(
+                        owners[0].static_twins().contains(&s.id()),
+                        "{rid} does not list {} back",
+                        s.id()
+                    );
+                }
+                Twin::Counter(c) => {
+                    assert!(c == "flushes" || c == "fences", "{}: {c}", s.id());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_efficiency_fixture_is_expected_exactly_once() {
+        let exp = efficiency_expectations();
+        let mut files: Vec<&str> = exp.iter().map(|(_, f, _, _)| *f).collect();
+        files.sort_unstable();
+        files.dedup();
+        assert_eq!(files.len(), exp.len());
+        // Every W rule has at least one fixture; S6 rides along.
+        for rule in SRule::all().into_iter().filter(|r| r.id().starts_with('W')) {
+            assert!(
+                exp.iter().any(|(_, _, _, r)| *r == rule),
+                "no efficiency fixture for {}",
+                rule.id()
+            );
+        }
     }
 }

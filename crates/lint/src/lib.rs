@@ -5,12 +5,16 @@
 //! *running* a workload against the simulated memory hierarchy. This
 //! crate decides the statically-decidable subset from *source*: it lexes
 //! the kernel and core persistency code (no external parser — the
-//! toolchain here is intentionally dependency-free), recovers a
-//! per-function control-flow tree over persistency-API calls, and
-//! abstract-interprets flush/fence/fold obligations along every path.
+//! toolchain here is intentionally dependency-free), lowers each function
+//! to a control-flow graph ([`cfg`]), and solves a must/may dataflow
+//! fixpoint over flush/fence/fold obligations — widening at loop heads,
+//! joining at branch merges, and flowing obligations through helper calls
+//! via per-function summaries.
 //!
-//! Five rules, each the static twin of a dynamic checker rule (see
-//! [`lp_check::report::Rule::static_twin`]):
+//! Safety rules S1–S6 are static twins of dynamic checker rules (see
+//! [`lp_check::report::Rule::static_twin`]); efficiency rules W1–W4 are
+//! validated against the simulator's `flushes`/`fences` counters (see
+//! [`costcheck`] and `lp-lint --cost-check`):
 //!
 //! | rule | property | dynamic twin |
 //! |------|----------|--------------|
@@ -19,19 +23,28 @@
 //! | S3 | WAL undo entries are appended and fenced before the first in-place overwrite | R4 |
 //! | S4 | recovery progress markers stored only after repair stores are flushed and fenced | R7 |
 //! | S5 | every `region_begin` is matched by `region_end`/abort on all paths | R1 |
+//! | S6 | every persisted LP data line is folded into a checksum before region commit | R2 |
+//! | W1 | no line is flushed twice without an intervening store on any path | `flushes` counter |
+//! | W2 | no fence is unreachable by any store or flush | `fences` counter |
+//! | W3 | no element flush of a line already covered by a range flush | `flushes` counter |
+//! | W4 | per-element loop flushes / non-publishing per-iteration barriers are coalesced | `flushes` counter |
 //!
 //! Findings carry `file:line` spans and are emitted as a structured
 //! [`report::LintReport`] (pretty text or JSON), mirroring lp-check's
 //! `ViolationReport`. The [`differential`] module cross-validates the
-//! rules against the ten lp-crashmc mutation rigs: every
-//! statically-decidable rig must be flagged with the right rule, the
-//! clean control must lint to zero findings.
+//! rules against the lp-crashmc mutation rigs and the W-rule fixtures;
+//! the [`cost`] module extracts a static per-scheme flush/fence cost
+//! model from the core sources, and [`costcheck`] holds the dynamic
+//! counters to it.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod analysis;
+pub mod cfg;
 pub mod config;
+pub mod cost;
+pub mod costcheck;
 pub mod differential;
 pub mod lexer;
 pub mod parser;
@@ -71,9 +84,13 @@ pub fn default_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 }
 
 /// Lint a set of files, labelling findings with paths relative to
-/// `root` when possible.
+/// `root` when possible. Runs in two passes: every file is parsed and
+/// summarized first, so helper-call obligations resolve across files
+/// (a kernel's sink types live in `common.rs`, their call sites in the
+/// kernel files).
 pub fn lint_paths(paths: &[PathBuf], root: &Path, cfg: &LintConfig) -> std::io::Result<LintReport> {
-    let mut total = LintReport::default();
+    let mut parsed = Vec::new();
+    let mut summaries = analysis::Summaries::new();
     for path in paths {
         let src = std::fs::read_to_string(path)?;
         let label = path
@@ -85,7 +102,13 @@ pub fn lint_paths(paths: &[PathBuf], root: &Path, cfg: &LintConfig) -> std::io::
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        total.merge(analyze_source(&src, &label, &stem, cfg));
+        let file = parser::parse_file(&src, &stem, cfg);
+        summaries.extend(analysis::summarize_file(&file, cfg));
+        parsed.push((file, label));
+    }
+    let mut total = LintReport::default();
+    for (file, label) in &parsed {
+        total.merge(analysis::analyze_parsed(file, label, cfg, &summaries));
     }
     total.sort();
     Ok(total)

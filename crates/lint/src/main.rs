@@ -4,11 +4,12 @@
 //! lp-lint --all                 # lint the default surface (kernels + core)
 //! lp-lint --all --json          # same, machine-readable
 //! lp-lint --differential        # cross-validate against the mutation rigs
+//! lp-lint --cost-check          # hold the static cost model to dynamic counters
 //! lp-lint path/to/file.rs ...   # lint specific files
 //! ```
 //!
-//! Exit codes: 0 clean / differential pass, 1 findings / differential
-//! failure, 2 usage or I/O error.
+//! Exit codes: 0 clean / check pass, 1 findings / check failure, 2 usage
+//! or I/O error.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -16,6 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use lp_lint::costcheck::run_cost_check;
 use lp_lint::differential::run_differential;
 use lp_lint::{default_targets, lint_paths, LintConfig};
 
@@ -23,12 +25,13 @@ struct Options {
     all: bool,
     json: bool,
     differential: bool,
+    cost_check: bool,
     root: PathBuf,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: lp-lint [--all] [--json] [--differential] [--root DIR] [FILES...]"
+    "usage: lp-lint [--all] [--json] [--differential] [--cost-check] [--root DIR] [FILES...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -36,6 +39,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         all: false,
         json: false,
         differential: false,
+        cost_check: false,
         root: PathBuf::from("."),
         files: Vec::new(),
     };
@@ -45,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--all" => opts.all = true,
             "--json" => opts.json = true,
             "--differential" => opts.differential = true,
+            "--cost-check" => opts.cost_check = true,
             "--root" => {
                 let dir = it.next().ok_or("--root requires a directory")?;
                 opts.root = PathBuf::from(dir);
@@ -54,7 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             f => opts.files.push(PathBuf::from(f)),
         }
     }
-    if !opts.differential && !opts.all && opts.files.is_empty() {
+    if !opts.differential && !opts.cost_check && !opts.all && opts.files.is_empty() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
     Ok(opts)
@@ -78,6 +83,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
+        };
+    }
+
+    if opts.cost_check {
+        return match run_cost_check(&opts.root, &cfg) {
+            Ok(report) => {
+                print!("{report}");
+                if report.pass() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("lp-lint: cost-check: {e}");
+                ExitCode::from(2)
+            }
         };
     }
 

@@ -26,8 +26,24 @@ pub struct RawCall {
     /// Needed for free helpers like `persist_store(ctx, arr, i, v)` where
     /// the target array is the second argument.
     pub arg1: String,
+    /// Full token text of the argument list (`arr . addr ( i )`), used as
+    /// an expression identity for the must-flushed lattice: two flushes
+    /// are "the same line(s)" only when this text matches exactly.
+    pub args_full: String,
     /// 1-based source line of the call name.
     pub line: u32,
+}
+
+/// One arm of a multi-way branch.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// For `match` arms: identifiers appearing in the pattern before any
+    /// guard (`Scheme Eager`, `Some x`). Empty for `if`/`else` arms and
+    /// implicit fallthroughs. Lets the cost model select the arm a given
+    /// scheme executes.
+    pub pat: Vec<String>,
+    /// The arm body.
+    pub body: Vec<Node>,
 }
 
 /// One node of a function body's control-flow tree.
@@ -37,9 +53,16 @@ pub enum Node {
     Call(RawCall),
     /// A multi-way branch (`if`/`else if`/`else`, `match`). An `if`
     /// without `else` carries an empty fallthrough arm.
-    Branch(Vec<Vec<Node>>),
+    Branch(Vec<Arm>),
     /// A loop body, executed zero or more times.
-    Loop(Vec<Node>),
+    Loop {
+        /// For `for` loops: dotted path of the iterable (`self.pending`),
+        /// empty for ranges, `while`, and `loop`. Lets the cost model
+        /// attribute per-element loop bodies to the collection iterated.
+        hint: String,
+        /// The loop body.
+        body: Vec<Node>,
+    },
     /// Control leaves the enclosing path (`return`, `break`, `continue`,
     /// `panic!`-family macro).
     Diverge,
@@ -56,6 +79,10 @@ pub struct FnItem {
     pub context: FnContext,
     /// Body as a control-flow tree.
     pub body: Vec<Node>,
+    /// `let`-bindings to constructor calls / struct literals seen in the
+    /// body: `(variable, TypeName)`. Resolves receivers like `sink.commit`
+    /// to a concrete impl for interprocedural summary lookup.
+    pub bindings: Vec<(String, String)>,
 }
 
 /// A parsed source file.
@@ -76,7 +103,11 @@ pub fn parse_file(src: &str, file_stem: &str, cfg: &LintConfig) -> ParsedFile {
     let directives = scan_directives(src);
     let toks = lex(src);
     let is_wal = cfg.is_wal_file(file_stem);
-    let mut p = P { t: &toks, i: 0 };
+    let mut p = P {
+        t: &toks,
+        i: 0,
+        bindings: Vec::new(),
+    };
     let mut fns = Vec::new();
     scan_items(&mut p, None, false, false, &mut fns);
     let bound = bind_context_directives(&directives, &fns);
@@ -120,6 +151,8 @@ fn bind_context_directives(
 struct P<'a> {
     t: &'a [Tok],
     i: usize,
+    /// `let` bindings collected while parsing the current fn body.
+    bindings: Vec<(String, String)>,
 }
 
 impl P<'_> {
@@ -258,10 +291,16 @@ impl P<'_> {
                     return;
                 }
                 "for" | "while" if *paren == 0 => {
+                    let is_for = tok.text == "for";
                     self.bump();
+                    let hint = if is_for {
+                        self.loop_hint()
+                    } else {
+                        String::new()
+                    };
                     self.scan_header(nodes);
                     let body = self.parse_block();
-                    nodes.push(Node::Loop(body));
+                    nodes.push(Node::Loop { hint, body });
                     return;
                 }
                 "loop" if *paren == 0 => {
@@ -270,7 +309,15 @@ impl P<'_> {
                         self.bump();
                     }
                     let body = self.parse_block();
-                    nodes.push(Node::Loop(body));
+                    nodes.push(Node::Loop {
+                        hint: String::new(),
+                        body,
+                    });
+                    return;
+                }
+                "let" if *paren == 0 => {
+                    self.record_binding();
+                    self.bump();
                     return;
                 }
                 "return" | "break" | "continue" if *paren == 0 => {
@@ -328,6 +375,75 @@ impl P<'_> {
         }
     }
 
+    /// Peek ahead in a `for` header for `in <path>` at depth 0 and return
+    /// the iterable's dotted path (`self.pending`), or empty for ranges
+    /// and complex iterator expressions. Does not consume.
+    fn loop_hint(&self) -> String {
+        let mut a = self.i;
+        let mut depth = 0i32;
+        while let Some(t) = self.t.get(a) {
+            if depth == 0 && t.is_punct('{') {
+                return String::new();
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = (depth - 1).max(0);
+            } else if depth == 0 && t.is_ident && t.text == "in" {
+                return self.arg_path(a + 1).0;
+            }
+            a += 1;
+        }
+        String::new()
+    }
+
+    /// At a `let` keyword, peek for `let [mut] var = TypeName …` and record
+    /// `(var, TypeName)` when the initializer starts with an
+    /// uppercase-leading path (constructor call or struct literal). Does
+    /// not consume.
+    fn record_binding(&mut self) {
+        let mut a = self.i + 1;
+        if self.t.get(a).is_some_and(|t| t.is_ident && t.text == "mut") {
+            a += 1;
+        }
+        let Some(var) = self.t.get(a).filter(|t| t.is_ident) else {
+            return;
+        };
+        if !var
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            return; // pattern binding (`let Some(x) = …`), not a variable
+        }
+        let var = var.text.clone();
+        // Find `=` at depth 0 (skipping an optional `: Type` ascription).
+        let mut depth = 0i32;
+        let mut b = a + 1;
+        loop {
+            let Some(t) = self.t.get(b) else { return };
+            if depth == 0 && t.is_punct('=') && !self.punct_at(b + 1, '=') {
+                break;
+            }
+            if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+                return;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth = (depth - 1).max(0);
+            }
+            b += 1;
+        }
+        let Some(ty) = self.t.get(b + 1).filter(|t| t.is_ident) else {
+            return;
+        };
+        if ty.text.chars().next().is_some_and(char::is_uppercase) {
+            self.bindings.push((var, ty.text.clone()));
+        }
+    }
+
     /// Scan a condition / scrutinee / loop header up to its `{` at paren
     /// depth 0, emitting any calls found along the way.
     fn scan_header(&mut self, nodes: &mut Vec<Node>) {
@@ -362,23 +478,27 @@ impl P<'_> {
     /// `if c1 { } else if c2 { } else { }` → one Branch with all arms;
     /// condition calls are emitted before the Branch node.
     fn parse_if(&mut self, nodes: &mut Vec<Node>) {
-        let mut arms: Vec<Vec<Node>> = Vec::new();
+        let mut arms: Vec<Arm> = Vec::new();
+        let arm = |body| Arm {
+            pat: Vec::new(),
+            body,
+        };
         loop {
             self.bump(); // 'if'
             self.scan_header(nodes);
-            arms.push(self.parse_block());
+            arms.push(arm(self.parse_block()));
             if self.at_ident("else") {
                 self.bump();
                 if self.at_ident("if") {
                     continue;
                 }
                 if self.at_punct('{') {
-                    arms.push(self.parse_block());
+                    arms.push(arm(self.parse_block()));
                 } else {
-                    arms.push(Vec::new());
+                    arms.push(arm(Vec::new()));
                 }
             } else {
-                arms.push(Vec::new()); // implicit fallthrough
+                arms.push(arm(Vec::new())); // implicit fallthrough
             }
             nodes.push(Node::Branch(arms));
             return;
@@ -394,13 +514,17 @@ impl P<'_> {
             return;
         }
         self.bump(); // '{'
-        let mut arms: Vec<Vec<Node>> = Vec::new();
+        let mut arms: Vec<Arm> = Vec::new();
         while !self.at_end() {
             if self.at_punct('}') {
                 self.bump();
                 break;
             }
-            // Pattern (and optional guard) up to `=>` at depth 0.
+            // Pattern (and optional guard) up to `=>` at depth 0. Idents
+            // before a depth-0 `if` are the pattern; after it, the guard
+            // (whose calls run pre-selection and are emitted here).
+            let mut pat: Vec<String> = Vec::new();
+            let mut in_guard = false;
             let mut depth = 0i32;
             while !self.at_end() {
                 if depth == 0 && self.at_punct('=') && self.punct_at(self.i + 1, '>') {
@@ -410,9 +534,17 @@ impl P<'_> {
                 }
                 let tok = &self.t[self.i];
                 if tok.is_ident {
-                    if let Some(call) = self.try_call() {
-                        nodes.push(Node::Call(call));
+                    if depth == 0 && tok.text == "if" {
+                        in_guard = true;
+                        self.bump();
+                    } else if in_guard {
+                        if let Some(call) = self.try_call() {
+                            nodes.push(Node::Call(call));
+                        } else {
+                            self.bump();
+                        }
                     } else {
+                        pat.push(tok.text.clone());
                         self.bump();
                     }
                 } else {
@@ -425,12 +557,16 @@ impl P<'_> {
                 }
             }
             if self.at_punct('{') {
-                arms.push(self.parse_block());
+                let body = self.parse_block();
                 if self.at_punct(',') {
                     self.bump();
                 }
+                arms.push(Arm { pat, body });
             } else {
-                arms.push(self.parse_flat());
+                arms.push(Arm {
+                    pat,
+                    body: self.parse_flat(),
+                });
             }
         }
         nodes.push(Node::Branch(arms));
@@ -470,14 +606,41 @@ impl P<'_> {
         } else {
             String::new()
         };
+        let args_full = self.args_full(j + 1);
         self.i = name_idx + 1;
         Some(RawCall {
             name: name_tok.text.clone(),
             receiver,
             arg0,
             arg1,
+            args_full,
             line: name_tok.line,
         })
+    }
+
+    /// Full token text of the argument list starting at `a`, up to the
+    /// call's closing `)` at depth 0. Tokens are space-joined and capped,
+    /// giving a stable expression identity for the must-flushed lattice.
+    fn args_full(&self, mut a: usize) -> String {
+        let mut depth = 0i32;
+        let mut parts: Vec<&str> = Vec::new();
+        while let Some(t) = self.t.get(a) {
+            if depth == 0 && t.is_punct(')') {
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            parts.push(&t.text);
+            if parts.len() >= 24 {
+                parts.push("…");
+                break;
+            }
+            a += 1;
+        }
+        parts.join(" ")
     }
 
     /// Read a dotted ident path at `a`, skipping `&`/`*`/`mut` prefixes.
@@ -608,7 +771,9 @@ fn scan_items(
                 if skip_all || pending_skip {
                     p.skip_block();
                 } else {
+                    p.bindings.clear();
                     let body = p.parse_block();
+                    let bindings = std::mem::take(&mut p.bindings);
                     let qualified = match impl_ty {
                         Some(ty) => format!("{ty}::{name}"),
                         None => name,
@@ -618,6 +783,7 @@ fn scan_items(
                         line,
                         context: FnContext::Forward,
                         body,
+                        bindings,
                     });
                 }
             }
@@ -682,10 +848,10 @@ mod tests {
                 Node::Call(c) => out.push(c.name.clone()),
                 Node::Branch(arms) => {
                     for a in arms {
-                        out.extend(call_names(a));
+                        out.extend(call_names(&a.body));
                     }
                 }
-                Node::Loop(b) => out.extend(call_names(b)),
+                Node::Loop { body, .. } => out.extend(call_names(body)),
                 Node::Diverge => {}
             }
         }
@@ -715,9 +881,9 @@ mod tests {
             panic!("want branch, got {:?}", f.fns[0].body)
         };
         assert_eq!(arms.len(), 3);
-        assert_eq!(call_names(&arms[0]), ["a"]);
-        assert_eq!(call_names(&arms[1]), ["b"]);
-        assert_eq!(call_names(&arms[2]), ["e"]);
+        assert_eq!(call_names(&arms[0].body), ["a"]);
+        assert_eq!(call_names(&arms[1].body), ["b"]);
+        assert_eq!(call_names(&arms[2].body), ["e"]);
     }
 
     #[test]
@@ -727,7 +893,7 @@ mod tests {
             panic!("want branch")
         };
         assert_eq!(arms.len(), 2);
-        assert!(arms[1].is_empty());
+        assert!(arms[1].body.is_empty());
     }
 
     #[test]
@@ -738,9 +904,12 @@ mod tests {
             panic!("want branch, got {:?}", f.fns[0].body)
         };
         assert_eq!(arms.len(), 3);
-        assert_eq!(call_names(&arms[0]), ["a"]);
-        assert_eq!(call_names(&arms[1]), ["b"]);
-        assert!(matches!(arms[2][0], Node::Diverge));
+        assert_eq!(call_names(&arms[0].body), ["a"]);
+        assert_eq!(call_names(&arms[1].body), ["b"]);
+        assert_eq!(arms[0].pat, ["A"]);
+        assert_eq!(arms[1].pat, ["B"]);
+        assert_eq!(arms[2].pat, ["_"]);
+        assert!(matches!(arms[2].body[0], Node::Diverge));
         let Node::Call(t) = &f.fns[0].body[1] else {
             panic!("want tail call")
         };
@@ -750,7 +919,7 @@ mod tests {
     #[test]
     fn loops_and_diverge() {
         let f = parse("fn f() { for i in 0..n { g(i); if z { continue; } } return; }");
-        let Node::Loop(body) = &f.fns[0].body[0] else {
+        let Node::Loop { body, .. } = &f.fns[0].body[0] else {
             panic!("want loop")
         };
         assert_eq!(call_names(body), ["g"]);

@@ -22,6 +22,22 @@ pub enum SRule {
     /// S5: every region begin has a matching commit/abort on all paths,
     /// and no persistent store happens outside a region in region code.
     S5UnbalancedRegion,
+    /// S6: every persisted data line on an LP path is folded into some
+    /// checksum before the region commits (coverage twin of dynamic R2).
+    S6UncoveredData,
+    /// W1: the same line(s) are flushed twice with no intervening store
+    /// on any path — the second flush is wasted write traffic.
+    W1RedundantFlush,
+    /// W2: a fence no store or flush can reach on any path — it orders
+    /// nothing.
+    W2RedundantFence,
+    /// W3: an element flush of a line already covered by a live range
+    /// flush of the same array.
+    W3ShadowedFlush,
+    /// W4: missed coalescing — adjacent per-element flushes in a loop
+    /// body (or a per-iteration commit barrier that publishes nothing)
+    /// that a single hoisted range flush/fence would cover.
+    W4MissedCoalescing,
 }
 
 impl SRule {
@@ -33,6 +49,11 @@ impl SRule {
             SRule::S3OverwriteBeforeLogFence => "S3",
             SRule::S4MarkerBeforeRepairFence => "S4",
             SRule::S5UnbalancedRegion => "S5",
+            SRule::S6UncoveredData => "S6",
+            SRule::W1RedundantFlush => "W1",
+            SRule::W2RedundantFence => "W2",
+            SRule::W3ShadowedFlush => "W3",
+            SRule::W4MissedCoalescing => "W4",
         }
     }
 
@@ -44,10 +65,15 @@ impl SRule {
             SRule::S3OverwriteBeforeLogFence => "logged data overwritten before undo log is fenced",
             SRule::S4MarkerBeforeRepairFence => "recovery marker stored before repair fence",
             SRule::S5UnbalancedRegion => "region begin/commit unbalanced or store outside region",
+            SRule::S6UncoveredData => "persisted data not folded into any checksum before commit",
+            SRule::W1RedundantFlush => "same line flushed twice with no intervening store",
+            SRule::W2RedundantFence => "fence that no unflushed store can reach",
+            SRule::W3ShadowedFlush => "element flush already covered by a range flush",
+            SRule::W4MissedCoalescing => "per-element flushes a single range flush would cover",
         }
     }
 
-    /// Parse `"S1"`..`"S5"`.
+    /// Parse `"S1"`..`"S6"`, `"W1"`..`"W4"`.
     pub fn from_id(id: &str) -> Option<SRule> {
         match id {
             "S1" => Some(SRule::S1StoreNotCovered),
@@ -55,20 +81,58 @@ impl SRule {
             "S3" => Some(SRule::S3OverwriteBeforeLogFence),
             "S4" => Some(SRule::S4MarkerBeforeRepairFence),
             "S5" => Some(SRule::S5UnbalancedRegion),
+            "S6" => Some(SRule::S6UncoveredData),
+            "W1" => Some(SRule::W1RedundantFlush),
+            "W2" => Some(SRule::W2RedundantFence),
+            "W3" => Some(SRule::W3ShadowedFlush),
+            "W4" => Some(SRule::W4MissedCoalescing),
             _ => None,
         }
     }
 
     /// All rules, in id order.
-    pub fn all() -> [SRule; 5] {
+    pub fn all() -> [SRule; 10] {
         [
             SRule::S1StoreNotCovered,
             SRule::S2PublishBeforeCover,
             SRule::S3OverwriteBeforeLogFence,
             SRule::S4MarkerBeforeRepairFence,
             SRule::S5UnbalancedRegion,
+            SRule::S6UncoveredData,
+            SRule::W1RedundantFlush,
+            SRule::W2RedundantFence,
+            SRule::W3ShadowedFlush,
+            SRule::W4MissedCoalescing,
         ]
     }
+
+    /// The dynamic ground truth this rule is validated against.
+    pub fn dynamic_twin(self) -> Twin {
+        match self {
+            SRule::S1StoreNotCovered => Twin::DynamicRule("R3"),
+            SRule::S2PublishBeforeCover => Twin::DynamicRule("R2"),
+            SRule::S3OverwriteBeforeLogFence => Twin::DynamicRule("R4"),
+            SRule::S4MarkerBeforeRepairFence => Twin::DynamicRule("R7"),
+            SRule::S5UnbalancedRegion => Twin::DynamicRule("R1"),
+            SRule::S6UncoveredData => Twin::DynamicRule("R2"),
+            SRule::W1RedundantFlush => Twin::Counter("flushes"),
+            SRule::W2RedundantFence => Twin::Counter("fences"),
+            SRule::W3ShadowedFlush => Twin::Counter("flushes"),
+            SRule::W4MissedCoalescing => Twin::Counter("flushes"),
+        }
+    }
+}
+
+/// How a static rule is cross-validated against the dynamic stack:
+/// safety rules (S*) have an `lp_check` rule twin that fires on a crash
+/// enumeration; efficiency rules (W*) are validated by a measured drop in
+/// a simulator `Stats` counter when the flagged redundancy is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Twin {
+    /// An `lp_check::report::Rule` id (`"R1"`..`"R7"`).
+    DynamicRule(&'static str),
+    /// A `Stats` counter name (`"flushes"` / `"fences"`).
+    Counter(&'static str),
 }
 
 impl fmt::Display for SRule {
@@ -267,6 +331,23 @@ mod tests {
             assert_eq!(SRule::from_id(r.id()), Some(r));
         }
         assert_eq!(SRule::from_id("S9"), None);
+        assert_eq!(SRule::from_id("W5"), None);
+    }
+
+    #[test]
+    fn safety_rules_twin_dynamic_rules_and_efficiency_rules_twin_counters() {
+        for r in SRule::all() {
+            match r.dynamic_twin() {
+                Twin::DynamicRule(id) => {
+                    assert!(r.id().starts_with('S'), "{r:?}");
+                    assert!(id.starts_with('R'), "{id}");
+                }
+                Twin::Counter(c) => {
+                    assert!(r.id().starts_with('W'), "{r:?}");
+                    assert!(c == "flushes" || c == "fences", "{c}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,62 @@ fn ep_skip_flush_pretty_golden() {
     golden_check("ep_skip_flush.txt", &pretty);
 }
 
+/// One combined report over the W1–W4/S6 efficiency-rule fixtures, linted
+/// through the same two-pass (summaries-first) pipeline as the real tree.
+fn efficiency_report() -> lp_lint::LintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let paths: Vec<PathBuf> = [
+        "w1_redundant_flush.rs",
+        "w2_redundant_fence.rs",
+        "w3_range_shadowed_flush.rs",
+        "w4_unrolled_flush.rs",
+        "w4_loop_barrier.rs",
+        "s6_lp_unfolded_store.rs",
+    ]
+    .iter()
+    .map(|n| root.join("fixtures").join(n))
+    .collect();
+    lint_paths(&paths, &root, &LintConfig::default()).expect("lint fixtures")
+}
+
+#[test]
+fn efficiency_fixtures_json_golden() {
+    let mut json = efficiency_report().to_json();
+    json.push('\n');
+    golden_check("efficiency.json", &json);
+}
+
+#[test]
+fn efficiency_fixtures_pretty_golden() {
+    let pretty = efficiency_report().to_string();
+    golden_check("efficiency.txt", &pretty);
+}
+
+#[test]
+fn each_efficiency_fixture_flags_its_own_rule() {
+    use lp_lint::SRule;
+    for (stem, rule) in [
+        ("w1_redundant_flush", SRule::W1RedundantFlush),
+        ("w2_redundant_fence", SRule::W2RedundantFence),
+        ("w3_range_shadowed_flush", SRule::W3ShadowedFlush),
+        ("w4_unrolled_flush", SRule::W4MissedCoalescing),
+        ("w4_loop_barrier", SRule::W4MissedCoalescing),
+        ("s6_lp_unfolded_store", SRule::S6UncoveredData),
+    ] {
+        let report = analyze_source(
+            &fixture(&format!("{stem}.rs")),
+            &format!("fixtures/{stem}.rs"),
+            stem,
+            &LintConfig::default(),
+        );
+        assert!(
+            report.findings.iter().any(|v| v.rule == rule),
+            "{stem} should flag {}:\n{report}",
+            rule.id()
+        );
+    }
+}
+
 #[test]
 fn clean_tree_has_zero_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
