@@ -32,6 +32,30 @@ cmp /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt \
   || { echo "fault campaign reports differ across thread counts"; exit 1; }
 rm -f /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt
 
+echo "== lp-crashmc smoke: dedup on/off must not change the report, only the wall-clock =="
+cargo run --release -q -p lp-crashmc -- --budget smoke --seed 42 --threads 4 --dedup on  > /tmp/lp_dedup_on.txt
+cargo run --release -q -p lp-crashmc -- --budget smoke --seed 42 --threads 4 --dedup off > /tmp/lp_dedup_off.txt
+cmp /tmp/lp_dedup_on.txt /tmp/lp_dedup_off.txt \
+  || { echo "reports differ between --dedup on and --dedup off"; exit 1; }
+rm -f /tmp/lp_dedup_on.txt /tmp/lp_dedup_off.txt
+
+echo "== lp-crashmc smoke: thread scaling must not regress (threads-8 vs threads-1) =="
+# The host may be a single-core container, so this gate cannot demand a
+# speedup; it catches pathological serialization (a contended sink or a
+# starved pool would push threads-8 well past threads-1). Slack: 1.5x.
+scale_t0=$(date +%s%N)
+cargo run --release -q -p lp-crashmc -- --budget smoke --seed 42 --threads 1 > /tmp/lp_scale_t1.txt
+scale_t1_ms=$(( ($(date +%s%N) - scale_t0) / 1000000 ))
+scale_t0=$(date +%s%N)
+cargo run --release -q -p lp-crashmc -- --budget smoke --seed 42 --threads 8 > /tmp/lp_scale_t8.txt
+scale_t8_ms=$(( ($(date +%s%N) - scale_t0) / 1000000 ))
+echo "smoke wall: threads-1 ${scale_t1_ms}ms, threads-8 ${scale_t8_ms}ms"
+[ $(( scale_t8_ms * 2 )) -le $(( scale_t1_ms * 3 )) ] \
+  || { echo "threads-8 wall exceeds 1.5x threads-1: parallel engine is serializing"; exit 1; }
+cmp /tmp/lp_scale_t1.txt /tmp/lp_scale_t8.txt \
+  || { echo "reports differ between threads 1 and 8"; exit 1; }
+rm -f /tmp/lp_scale_t1.txt /tmp/lp_scale_t8.txt
+
 echo "== lp-crashmc smoke: every fault mutation is flagged =="
 cargo run --release -q -p lp-crashmc -- --fault-mutations --threads 2
 
@@ -48,7 +72,12 @@ cargo run --release -q -p lp-lint -- --differential
 echo "== lp-lint: cost model vs measured flush/fence counters, all kernels x schemes =="
 cargo run --release -q -p lp-lint -- --cost-check
 
-echo "== perf baseline: refresh results/BENCH_7.json (warmup + median-of-3) =="
-cargo run --release -q -p lp-bench --bin perf_baseline -- --quick > /dev/null
+echo "== perf baseline: refresh results/BENCH_8.json + regression check vs BENCH_7 =="
+# --check compares fresh best-of-reps rates (units / wall_min — robust
+# to scheduler noise on millisecond cells) against the stored BENCH_7
+# baseline and exits nonzero past tolerance (best rate >= 0.5x baseline,
+# speedup_vs_1 >= baseline - 0.5; generous because CI hosts are shared
+# and may be single-core). JSON to stdout; check verdict to stderr.
+cargo run --release -q -p lp-bench --bin perf_baseline -- --quick --check results/BENCH_7.json > /dev/null
 
 echo "ci.sh: all gates passed"

@@ -1,33 +1,53 @@
 //! `perf_baseline` — machine-readable performance baseline for the repo's
 //! heavy consumers: the simulator (memops/sec), the crash-state model
-//! checker (states/sec) with thread-scaling of the parallel exploration
-//! engine at 1/2/4/8 host threads, the fault campaign's states/sec
-//! (torn + media + nested enabled), and the `lp-lint` dataflow engine's
-//! whole-tree throughput (lines/sec — the CI gate budgets its wall time).
+//! checker (states/sec) with thread-scaling of the snapshot-resume
+//! exploration engine at 1/2/4/8 host threads plus a full exhaustive
+//! kernel-matrix cell, the fault campaign's states/sec (torn + media +
+//! nested enabled, with its own thread scaling), and the `lp-lint`
+//! dataflow engine's whole-tree throughput (lines/sec — the CI gate
+//! budgets its wall time).
 //!
 //! Measurement protocol (fixed, not adaptive, so runs are comparable
 //! across commits): every cell uses a fixed workload size, runs one
 //! untimed warmup pass, then three timed repetitions, and reports the
 //! median wall time (min/max recorded as spread). Emits
-//! `results/BENCH_7.json` (hand-rolled JSON; the workspace carries no
-//! serde) so the perf trajectory is measured, not anecdotal. Run with
-//! `--quick` for the CI-sized workload.
+//! `results/BENCH_8.json` (hand-rolled JSON; the workspace carries no
+//! serde) and refreshes the perf section of `results/bench_summary.txt`.
+//! Run with `--quick` for the CI-sized workload.
 //!
-//! Run: `cargo run --release -p lp-bench --bin perf_baseline [--quick]`.
+//! Regression gate: `--check PATH` compares the fresh measurements
+//! against an older baseline JSON (BENCH_7 or BENCH_8 format) and exits
+//! nonzero when a matched entry rots past tolerance. Documented
+//! tolerances (generous, because CI runners are shared and the host may
+//! have a single core): a best-of-reps rate (units / `wall_min`, the
+//! noise-robust statistic for millisecond-scale cells) must stay above
+//! `0.5×` its baseline, and
+//! `speedup_vs_1` must not drop more than `0.5` absolute below its
+//! baseline. Entries present on only one side are reported but never
+//! fail the gate (BENCH_7 lacked `speedup_vs_1` on fault-campaign rows
+//! and had no exhaustive cell).
+//!
+//! Run: `cargo run --release -p lp-bench --bin perf_baseline
+//!       [--quick] [--check results/BENCH_7.json]`.
 
 #![forbid(unsafe_code)]
 
-use lp_bench::BenchArgs;
 use lp_core::scheme::Scheme;
 use lp_crashmc::cases::all_kernel_cases;
 use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
 use lp_kernels::driver::{run_kernel, KernelId, Scale};
+use lp_sim::config::MachineConfig;
 use lp_sim::fault::FaultConfig;
 
 /// Untimed passes before measurement (warms caches and allocators).
 const WARMUP_REPS: usize = 1;
 /// Timed repetitions per cell; the median is reported.
 const TIMED_REPS: usize = 3;
+
+/// A fresh rate must stay above this fraction of its baseline rate.
+const RATE_TOLERANCE: f64 = 0.5;
+/// `speedup_vs_1` may drop at most this much (absolute) below baseline.
+const SPEEDUP_TOLERANCE: f64 = 0.5;
 
 /// One emitted measurement.
 struct Entry {
@@ -36,6 +56,12 @@ struct Entry {
     rate: f64,
     rate_unit: &'static str,
     detail: Vec<(String, f64)>,
+}
+
+impl Entry {
+    fn detail_value(&self, key: &str) -> Option<f64> {
+        self.detail.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// Run `f` under the fixed protocol: `WARMUP_REPS` untimed passes, then
@@ -66,7 +92,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_7\",\n");
+    out.push_str("  \"bench\": \"BENCH_8\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"protocol\": {{\"warmup_reps\": {WARMUP_REPS}, \"timed_reps\": {TIMED_REPS}, \"statistic\": \"median\"}},\n"
@@ -98,17 +124,244 @@ fn render_json(quick: bool, entries: &[Entry]) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Baseline comparison (--check)
+// ----------------------------------------------------------------------
+
+/// One entry parsed back out of a baseline JSON (BENCH_7/BENCH_8 format).
+struct BaselineEntry {
+    name: String,
+    best_rate: f64,
+    speedup_vs_1: Option<f64>,
+}
+
+/// Extract the numeric value following `"key":` in `chunk`, if present.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = chunk.find(&tag)? + tag.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Best-of-reps rate: the reported rate rescaled from the median wall to
+/// the minimum wall. The gate compares best-case rates because the
+/// quick sim cells finish in ~1 ms, where the median soaks up scheduler
+/// noise that the minimum shrugs off.
+fn best_rate(rate: f64, wall_secs: Option<f64>, wall_min: Option<f64>) -> f64 {
+    match (wall_secs, wall_min) {
+        (Some(w), Some(m)) if m > 0.0 => rate * (w / m),
+        _ => rate,
+    }
+}
+
+/// Parse the baseline's entry list. Hand-rolled to match the hand-rolled
+/// writer: entries are `{...}` objects inside the `"entries"` array, one
+/// `"name"` each; unknown fields are ignored.
+fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"name\":").skip(1) {
+        let name = match chunk.split('"').nth(1) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        // Stop at the entry's closing brace so a field from the next
+        // entry is never attributed to this one.
+        let scope = chunk.split('}').next().unwrap_or(chunk);
+        let Some(rate) = json_number(scope, "rate") else {
+            continue;
+        };
+        out.push(BaselineEntry {
+            name,
+            best_rate: best_rate(
+                rate,
+                json_number(scope, "wall_secs"),
+                json_number(scope, "wall_min"),
+            ),
+            speedup_vs_1: json_number(scope, "speedup_vs_1"),
+        });
+    }
+    out
+}
+
+/// Compare fresh entries against a stored baseline. Returns the number of
+/// regressions past tolerance (0 ⇒ gate passes).
+fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
+    let json = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
+    let baseline = parse_baseline(&json);
+    assert!(
+        !baseline.is_empty(),
+        "--check: no entries found in {baseline_path}"
+    );
+    let mut regressions = 0usize;
+    eprintln!("\n== regression check vs {baseline_path} ==");
+    for e in entries {
+        let Some(b) = baseline.iter().find(|b| b.name == e.name) else {
+            eprintln!("  {:<44} new entry (no baseline) — informational", e.name);
+            continue;
+        };
+        let fresh = best_rate(e.rate, Some(e.wall_secs), e.detail_value("wall_min"));
+        let ratio = fresh / b.best_rate.max(1e-9);
+        let rate_ok = ratio >= RATE_TOLERANCE;
+        let mut line = format!(
+            "  {:<44} best rate {:>12.1} vs {:>12.1}  ({:.2}x{})",
+            e.name,
+            fresh,
+            b.best_rate,
+            ratio,
+            if rate_ok { "" } else { " REGRESSION" },
+        );
+        if !rate_ok {
+            regressions += 1;
+        }
+        if let (Some(now), Some(then)) = (e.detail_value("speedup_vs_1"), b.speedup_vs_1) {
+            let speedup_ok = now >= then - SPEEDUP_TOLERANCE;
+            line.push_str(&format!(
+                "  speedup {now:.2} vs {then:.2}{}",
+                if speedup_ok { "" } else { " REGRESSION" }
+            ));
+            if !speedup_ok {
+                regressions += 1;
+            }
+        }
+        eprintln!("{line}");
+    }
+    for b in &baseline {
+        if !entries.iter().any(|e| e.name == b.name) {
+            eprintln!("  {:<44} dropped (was in baseline) — informational", b.name);
+        }
+    }
+    eprintln!(
+        "tolerances: best rate >= {RATE_TOLERANCE}x baseline, speedup_vs_1 >= baseline - {SPEEDUP_TOLERANCE}; {regressions} regression(s)"
+    );
+    regressions
+}
+
+// ----------------------------------------------------------------------
+// bench_summary.txt refresh
+// ----------------------------------------------------------------------
+
+const SUMMARY_BEGIN: &str = "== perf_baseline (generated; do not hand-edit this section) ==";
+
+/// Rewrite the perf section of `results/bench_summary.txt`: everything up
+/// to the marker is preserved (hand-collected `cargo bench` output), the
+/// marker and everything after it is regenerated from this run — so the
+/// summary always carries the current rates *including* the
+/// fault-campaign `speedup_vs_1` rows the stale file lacked.
+fn refresh_summary(path: &std::path::Path, quick: bool, entries: &[Entry]) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let head = existing
+        .split(SUMMARY_BEGIN)
+        .next()
+        .unwrap_or("")
+        .trim_end();
+    let mut out = String::new();
+    if !head.is_empty() {
+        out.push_str(head);
+        out.push_str("\n\n");
+    }
+    out.push_str(SUMMARY_BEGIN);
+    out.push('\n');
+    out.push_str(&format!(
+        "source: perf_baseline (BENCH_8.json), quick={quick}, median of {TIMED_REPS} reps\n\n"
+    ));
+    out.push_str(&format!(
+        "{:<44} {:>14} {:>18} {:>12} {:>12}\n",
+        "entry", "wall_secs", "rate", "speedup_vs_1", "dedup_rate"
+    ));
+    for e in entries {
+        let speedup = e
+            .detail_value("speedup_vs_1")
+            .map_or_else(|| "-".into(), |v| format!("{v:.2}x"));
+        let dedup = e
+            .detail_value("dedup_rate")
+            .map_or_else(|| "-".into(), |v| format!("{:.1}%", v * 100.0));
+        out.push_str(&format!(
+            "{:<44} {:>14.3} {:>12.1} {:>5} {:>12} {:>12}\n",
+            e.name, e.wall_secs, e.rate, e.rate_unit, speedup, dedup
+        ));
+    }
+    std::fs::write(path, out).expect("write bench_summary.txt");
+}
+
+fn parse_args() -> (bool, Option<String>) {
+    let (mut quick, mut check) = (false, None);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check = Some(args.next().expect("--check needs a baseline JSON path"));
+            }
+            "--help" | "-h" => {
+                println!("usage: perf_baseline [--quick] [--check BASELINE.json]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    (quick, check)
+}
+
+/// Push one crashmc measurement (shared by the clean, faulted, and
+/// exhaustive cells).
+fn crashmc_entry(
+    entries: &mut Vec<Entry>,
+    name: String,
+    cases: &[lp_crashmc::mc::CheckCase],
+    budget: &Budget,
+    threads: usize,
+    wall_at_1: f64,
+) -> f64 {
+    let (wall, wall_min, wall_max, reports) = measure(|| check_cases(cases, budget, 42, threads));
+    let states: u64 = reports.iter().map(|r| r.states_checked).sum();
+    let dedup_hits: u64 = reports.iter().map(|r| r.dedup_hits).sum();
+    let replay_saved: u64 = reports.iter().map(|r| r.replay_saved_ops).sum();
+    assert!(
+        reports.iter().all(lp_crashmc::mc::McReport::clean),
+        "clean kernel matrix must stay clean"
+    );
+    let base = if wall_at_1 > 0.0 { wall_at_1 } else { wall };
+    let mut detail = vec![
+        ("states".into(), states as f64),
+        ("speedup_vs_1".into(), base / wall.max(1e-9)),
+        ("dedup_hits".into(), dedup_hits as f64),
+        (
+            "dedup_rate".into(),
+            dedup_hits as f64 / (states.max(1)) as f64,
+        ),
+        ("replay_saved_ops".into(), replay_saved as f64),
+        ("wall_min".into(), wall_min),
+        ("wall_max".into(), wall_max),
+    ];
+    if budget.faults.any() {
+        let torn: u64 = reports.iter().map(|r| r.tally.torn_states).sum();
+        let poisons: u64 = reports.iter().map(|r| r.tally.poisons).sum();
+        let nested: u64 = reports.iter().map(|r| r.tally.nested_crashes).sum();
+        detail.push(("torn_states".into(), torn as f64));
+        detail.push(("poisons".into(), poisons as f64));
+        detail.push(("nested_crashes".into(), nested as f64));
+    }
+    entries.push(Entry {
+        name,
+        wall_secs: wall,
+        rate: states as f64 / wall.max(1e-9),
+        rate_unit: "states_per_sec",
+        detail,
+    });
+    wall
+}
+
 fn main() {
-    let args = BenchArgs::parse();
+    let (quick, check) = parse_args();
     let mut entries = Vec::new();
 
     // --- Simulator throughput: one representative bench cell per scheme.
-    let scale = if args.quick {
-        Scale::Test
-    } else {
-        Scale::Bench
-    };
-    let cfg = args.base_config();
+    let scale = if quick { Scale::Test } else { Scale::Bench };
+    let cfg = MachineConfig::default().with_nvmm_bytes(512 << 20);
     for scheme in [Scheme::Base, Scheme::lazy_default(), Scheme::Eager] {
         eprintln!("perf_baseline: sim {scheme}...");
         let (wall, wall_min, wall_max, run) =
@@ -131,17 +384,19 @@ fn main() {
     }
 
     // --- Crashmc throughput and thread scaling over the kernel matrix.
-    let budget = if args.quick {
+    let budget = if quick {
         Budget {
             mode: BudgetMode::Smoke,
             k: 3,
             faults: FaultConfig::none(),
+            dedup: true,
         }
     } else {
         Budget {
             mode: BudgetMode::Sampled(24),
             k: 4,
             faults: FaultConfig::none(),
+            dedup: true,
         }
     };
     let cases = all_kernel_cases(Scale::Micro);
@@ -151,29 +406,36 @@ fn main() {
     let mut wall_at_1 = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         eprintln!("perf_baseline: crashmc @ {threads} thread(s)...");
-        let (wall, wall_min, wall_max, reports) =
-            measure(|| check_cases(&cases, &budget, 42, threads));
-        let states: u64 = reports.iter().map(|r| r.states_checked).sum();
-        assert!(
-            reports.iter().all(lp_crashmc::mc::McReport::clean),
-            "clean kernel matrix must stay clean"
+        let wall = crashmc_entry(
+            &mut entries,
+            format!("crashmc/kernel-matrix/threads-{threads}"),
+            &cases,
+            &budget,
+            threads,
+            wall_at_1,
         );
         if threads == 1 {
             wall_at_1 = wall;
         }
-        entries.push(Entry {
-            name: format!("crashmc/kernel-matrix/threads-{threads}"),
-            wall_secs: wall,
-            rate: states as f64 / wall.max(1e-9),
-            rate_unit: "states_per_sec",
-            detail: vec![
-                ("states".into(), states as f64),
-                ("speedup_vs_1".into(), wall_at_1 / wall.max(1e-9)),
-                ("wall_min".into(), wall_min),
-                ("wall_max".into(), wall_max),
-            ],
-        });
     }
+
+    // --- Full exhaustive budget over the same matrix: every crash point,
+    // the snapshot-resume + dedup engine's headline cell (the sampled
+    // cells above keep it comparable with the BENCH_7 lineage).
+    let exhaustive = Budget {
+        mode: BudgetMode::Exhaustive,
+        ..budget
+    };
+    eprintln!("perf_baseline: crashmc exhaustive...");
+    crashmc_entry(
+        &mut entries,
+        "crashmc/kernel-matrix-exhaustive/threads-8".into(),
+        &cases,
+        &exhaustive,
+        8,
+        0.0,
+    );
+
     // --- Fault-campaign throughput: the same matrix with every fault
     // class armed, so the injection layer's overhead is a measured ratio
     // (faulted states/sec vs the clean matrix above), not a guess.
@@ -181,32 +443,20 @@ fn main() {
         faults: FaultConfig::parse("torn,media,nested").expect("fault list"),
         ..budget
     };
+    let mut fault_wall_at_1 = 0.0f64;
     for threads in [1usize, 4] {
         eprintln!("perf_baseline: fault campaign @ {threads} thread(s)...");
-        let (wall, wall_min, wall_max, reports) =
-            measure(|| check_cases(&cases, &faulted, 42, threads));
-        let states: u64 = reports.iter().map(|r| r.states_checked).sum();
-        let torn: u64 = reports.iter().map(|r| r.tally.torn_states).sum();
-        let poisons: u64 = reports.iter().map(|r| r.tally.poisons).sum();
-        let nested: u64 = reports.iter().map(|r| r.tally.nested_crashes).sum();
-        assert!(
-            reports.iter().all(lp_crashmc::mc::McReport::clean),
-            "hardened kernel matrix must survive the fault campaign"
+        let wall = crashmc_entry(
+            &mut entries,
+            format!("crashmc/fault-campaign/threads-{threads}"),
+            &cases,
+            &faulted,
+            threads,
+            fault_wall_at_1,
         );
-        entries.push(Entry {
-            name: format!("crashmc/fault-campaign/threads-{threads}"),
-            wall_secs: wall,
-            rate: states as f64 / wall.max(1e-9),
-            rate_unit: "states_per_sec",
-            detail: vec![
-                ("states".into(), states as f64),
-                ("torn_states".into(), torn as f64),
-                ("poisons".into(), poisons as f64),
-                ("nested_crashes".into(), nested as f64),
-                ("wall_min".into(), wall_min),
-                ("wall_max".into(), wall_max),
-            ],
-        });
+        if threads == 1 {
+            fault_wall_at_1 = wall;
+        }
     }
     let _ = std::panic::take_hook();
 
@@ -239,10 +489,22 @@ fn main() {
         ],
     });
 
-    let json = render_json(args.quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_7.json");
+    let json = render_json(quick, &entries);
+    let path = std::path::Path::new("results").join("BENCH_8.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_7.json");
+    std::fs::write(&path, &json).expect("write BENCH_8.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
+    refresh_summary(
+        &std::path::Path::new("results").join("bench_summary.txt"),
+        quick,
+        &entries,
+    );
+    eprintln!("perf_baseline: refreshed results/bench_summary.txt");
+
+    if let Some(baseline) = check {
+        if check_against(&baseline, &entries) > 0 {
+            std::process::exit(1);
+        }
+    }
 }

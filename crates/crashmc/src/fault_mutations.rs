@@ -265,6 +265,7 @@ mod tests {
             mode: BudgetMode::Exhaustive,
             k: 4,
             faults,
+            dedup: true,
         }
     }
 

@@ -2,13 +2,16 @@
 //!
 //! Proves a persistency scheme's recovery correct over *every* NVMM state
 //! reachable from a crash, not just the handful a randomized campaign
-//! happens to visit. For each workload the checker replays execution up
-//! to every crash point (each store, flush, fence, and region commit),
-//! takes the [`lp_sim::memsys::CrashCensus`] of maybe-durable lines at
-//! that point, and forks one machine per reachable subset of the census
-//! (bounded exhaustive up to `K` undetermined lines, deterministic seeded
-//! sampling beyond). The scheme's real recovery then runs on each fork
-//! and the durable output must come back bit-identical to a crash-free
+//! happens to visit. For each workload the checker runs one snapshot
+//! pass that executes the trace once and captures a COW snapshot — the
+//! [`lp_sim::memsys::CrashCensus`] of maybe-durable lines plus a forked
+//! NVMM base — at every selected crash point (each store, flush, fence,
+//! and region commit), then forks one machine per reachable subset of
+//! each census (bounded exhaustive up to `K` undetermined lines,
+//! deterministic seeded sampling beyond). Repeat crash states are
+//! deduplicated by content hash so recovery runs once per *distinct*
+//! state. The scheme's real recovery then runs on each fork and the
+//! durable output must come back bit-identical to a crash-free
 //! reference — anything else is reported as silent corruption (recovery
 //! "succeeded" on wrong data) or a stuck state (recovery panicked).
 //!

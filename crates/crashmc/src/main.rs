@@ -37,6 +37,10 @@ OPTIONS:
                     [default: the machine's available parallelism]
                     Reports (stdout and JSON) are byte-identical at any
                     thread count.
+  --dedup on|off    skip recovery on crash states whose dedup key was
+                    already judged at the same point  [default: on]
+                    Counting is unaffected: reports are byte-identical
+                    either way, off only costs wall-clock.
   --report PATH     write a JSON campaign report (states, verdicts, and
                     per-class fault tallies) to PATH
   --list            list the cases that would run, then exit
@@ -68,6 +72,7 @@ fn parse_args() -> Args {
             mode: BudgetMode::Sampled(48),
             k: 4,
             faults: FaultConfig::none(),
+            dedup: true,
         },
         seed: 42,
         kernel: None,
@@ -178,6 +183,16 @@ fn parse_args() -> Args {
                     },
                 ));
             }
+            "--dedup" => {
+                out.budget.dedup = match value(&mut args, "--dedup").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--dedup takes on|off, got {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--report" => out.report = Some(value(&mut args, "--report")),
             "--mutations" => out.mutations = true,
             "--fault-mutations" => out.fault_mutations = true,
@@ -287,17 +302,21 @@ fn campaign_json(reports: &[McReport], seed: u64) -> String {
     let mut cases = Vec::new();
     let mut total = lp_crashmc::mc::FaultTally::default();
     let (mut states, mut consistent, mut corrupt, mut stuck) = (0u64, 0u64, 0u64, 0u64);
+    let (mut dedup_hits, mut replay_saved) = (0u64, 0u64);
     for r in reports {
         total.merge(&r.tally);
         states += r.states_checked;
         consistent += r.consistent;
         corrupt += r.corrupt;
         stuck += r.stuck;
+        dedup_hits += r.dedup_hits;
+        replay_saved += r.replay_saved_ops;
         cases.push(format!(
             concat!(
                 "    {{\"case\":\"{}\",\"mode\":\"{}\",\"k\":{},\"faults\":\"{}\",",
                 "\"points_total\":{},\"points_visited\":{},\"max_census\":{},",
                 "\"states\":{},\"consistent\":{},\"corrupt\":{},\"stuck\":{},",
+                "\"dedup_hits\":{},\"dedup_rate\":{:.4},\"replay_saved_ops\":{},",
                 "\"tally\":{}}}"
             ),
             json_escape(&r.case_name),
@@ -311,6 +330,9 @@ fn campaign_json(reports: &[McReport], seed: u64) -> String {
             r.consistent,
             r.corrupt,
             r.stuck,
+            r.dedup_hits,
+            r.dedup_hits as f64 / (r.states_checked.max(1)) as f64,
+            r.replay_saved_ops,
             tally_json(&r.tally),
         ));
     }
@@ -318,6 +340,7 @@ fn campaign_json(reports: &[McReport], seed: u64) -> String {
         concat!(
             "{{\n  \"tool\": \"lp-crashmc\",\n  \"seed\": {},\n  \"cases\": [\n{}\n  ],\n",
             "  \"total\": {{\"states\":{},\"consistent\":{},\"corrupt\":{},\"stuck\":{},",
+            "\"dedup_hits\":{},\"dedup_rate\":{:.4},\"replay_saved_ops\":{},",
             "\"tally\":{}}}\n}}\n"
         ),
         seed,
@@ -326,6 +349,9 @@ fn campaign_json(reports: &[McReport], seed: u64) -> String {
         consistent,
         corrupt,
         stuck,
+        dedup_hits,
+        dedup_hits as f64 / (states.max(1)) as f64,
+        replay_saved,
         tally_json(&total),
     )
 }

@@ -508,6 +508,7 @@ mod tests {
             mode: BudgetMode::Exhaustive,
             k: 4,
             faults: lp_sim::fault::FaultConfig::none(),
+            dedup: true,
         }
     }
 

@@ -1,0 +1,108 @@
+//! The dedup contract: `--dedup` controls whether recovery is *re-run*
+//! on repeat crash states, never what the report says. Reports must be
+//! byte-identical for `--dedup on` vs `--dedup off`, at every thread
+//! count, with and without fault injection — memoization and
+//! parallelism may only change the wall-clock.
+
+use lp_crashmc::cases::kernel_case;
+use lp_crashmc::mc::{check_cases, Budget, BudgetMode, McReport};
+use lp_kernels::driver::{KernelId, Scale};
+use lp_sim::fault::FaultConfig;
+
+fn budget(dedup: bool, faults: FaultConfig) -> Budget {
+    Budget {
+        mode: BudgetMode::Sampled(8),
+        k: 3,
+        faults,
+        dedup,
+    }
+}
+
+/// Render a report set the way `lp-crashmc` prints it, so the comparison
+/// covers exactly what a user would diff.
+fn render(reports: &[McReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&r.summary_line());
+        out.push('\n');
+        out.push_str(&r.tally.summary_line());
+        out.push('\n');
+        for ex in &r.examples {
+            out.push_str(&format!(
+                "    {:?} at op {} (census {}, subset {})\n",
+                ex.class, ex.op, ex.census, ex.subset
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn reports_are_byte_identical_across_dedup_settings_and_thread_counts() {
+    let cases = || {
+        vec![
+            kernel_case(
+                KernelId::Tmm,
+                lp_core::scheme::Scheme::lazy_default(),
+                Scale::Micro,
+            ),
+            kernel_case(KernelId::Gauss, lp_core::scheme::Scheme::Wal, Scale::Micro),
+        ]
+    };
+    let baseline = check_cases(&cases(), &budget(true, FaultConfig::none()), 42, 1);
+    for threads in [1usize, 2, 4, 8] {
+        for dedup in [true, false] {
+            let got = check_cases(&cases(), &budget(dedup, FaultConfig::none()), 42, threads);
+            assert_eq!(
+                baseline, got,
+                "report diverged at threads={threads} dedup={dedup}"
+            );
+            assert_eq!(render(&baseline), render(&got));
+        }
+    }
+}
+
+#[test]
+fn fault_campaign_reports_are_byte_identical_across_dedup_and_threads() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cases = || {
+        vec![kernel_case(
+            KernelId::Cholesky,
+            lp_core::scheme::Scheme::lazy_default(),
+            Scale::Micro,
+        )]
+    };
+    let faults = FaultConfig::parse("torn,media,nested").unwrap();
+    let baseline = check_cases(&cases(), &budget(true, faults), 7, 1);
+    for threads in [1usize, 2, 4, 8] {
+        for dedup in [true, false] {
+            let got = check_cases(&cases(), &budget(dedup, faults), 7, threads);
+            assert_eq!(
+                baseline, got,
+                "faulted report diverged at threads={threads} dedup={dedup}"
+            );
+        }
+    }
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn dedup_savings_are_reported() {
+    let reports = check_cases(
+        &[kernel_case(
+            KernelId::Tmm,
+            lp_core::scheme::Scheme::lazy_default(),
+            Scale::Micro,
+        )],
+        &budget(true, FaultConfig::none()),
+        42,
+        2,
+    );
+    let r = &reports[0];
+    assert!(
+        r.replay_saved_ops > 0,
+        "snapshot-resume must save replay work on a multi-point case"
+    );
+    assert!(r.dedup_hits <= r.states_checked);
+}

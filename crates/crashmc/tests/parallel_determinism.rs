@@ -12,6 +12,7 @@ fn budget() -> Budget {
         mode: BudgetMode::Sampled(8),
         k: 3,
         faults: FaultConfig::none(),
+        dedup: true,
     }
 }
 
@@ -70,9 +71,9 @@ fn mutation_reports_are_byte_identical_and_still_flagged() {
 
 #[test]
 fn faulted_reports_are_byte_identical_across_thread_counts() {
-    // Per-unit fault RNG streams are keyed by (case, point, chunk), so
+    // Fault RNG streams are keyed by (case, point, subset index), so
     // torn masks, flip positions, and nested-crash offsets must not move
-    // when the work is spread across threads.
+    // when the work is spread (and re-chunked) across threads.
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let b = Budget {
@@ -118,6 +119,7 @@ fn chunked_subset_exploration_matches_unchunked_counts() {
         mode: BudgetMode::Sampled(4),
         k: 8,
         faults: FaultConfig::none(),
+        dedup: true,
     };
     let seq = check_cases(&cases, &b, 3, 1);
     let par = check_cases(&cases, &b, 3, 6);

@@ -55,7 +55,7 @@ impl std::fmt::Display for KernelId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Smallest meaningful inputs, sized so exhaustive crash-state model
-    /// checking (one replay per crash point) stays tractable.
+    /// checking (one census snapshot per crash point) stays tractable.
     Micro,
     /// Tiny inputs for unit/integration tests (sub-second per run).
     Test,

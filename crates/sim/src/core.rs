@@ -266,7 +266,8 @@ impl<'a> CoreCtx<'a> {
         let v = self.mem.l1_read_scalar::<T>(self.core.id, addr);
         self.mem
             .observe_load(self.core.id, self.core.cycles, addr, T::SIZE);
-        self.mem.after_op(self.core.cycles);
+        // Loads advance the op clock but are not crash-point candidates.
+        self.mem.after_op(self.core.cycles, false);
         v
     }
 
@@ -305,7 +306,7 @@ impl<'a> CoreCtx<'a> {
         self.core.pending_drain = self.core.pending_drain.max(completion);
         self.mem
             .observe_store(self.core.id, self.core.cycles, addr, v.to_bits64(), T::SIZE);
-        self.mem.after_op(self.core.cycles);
+        self.mem.after_op(self.core.cycles, true);
     }
 
     /// `clflushopt`: flush the line containing `addr` out of all caches,
@@ -352,7 +353,7 @@ impl<'a> CoreCtx<'a> {
         self.core.pending_drain = self.core.pending_drain.max(completion);
         self.mem
             .observe_flush(self.core.id, self.core.cycles, addr.line(), keep);
-        self.mem.after_op(self.core.cycles);
+        self.mem.after_op(self.core.cycles, true);
     }
 
     /// Flush every line covering elements `[start, start+count)` of `arr`
@@ -388,7 +389,7 @@ impl<'a> CoreCtx<'a> {
         // guaranteed durable (crash-state tracking only).
         self.mem.retire_pending_flushes(self.core.id);
         self.mem.observe_sfence(self.core.id, self.core.cycles);
-        self.mem.after_op(self.core.cycles);
+        self.mem.after_op(self.core.cycles, true);
     }
 
     /// Announce the start of a persistency region with checksum-table /

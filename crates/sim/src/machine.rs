@@ -359,6 +359,34 @@ impl Machine {
         self.mem.take_crash_census()
     }
 
+    /// Arm non-destructive census snapshots at the given op indices (see
+    /// [`MemSystem::set_snapshot_points`]); requires ADR tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless ADR tracking is enabled.
+    pub fn set_snapshot_points(&mut self, points: &[u64]) {
+        self.mem.set_snapshot_points(points);
+    }
+
+    /// Take the `(op, census)` snapshots collected by the armed points, in
+    /// op order (see [`MemSystem::take_snapshots`]).
+    pub fn take_snapshots(&mut self) -> Vec<(u64, crate::memsys::CrashCensus)> {
+        self.mem.take_snapshots()
+    }
+
+    /// Enable or disable crash-point candidate recording (see
+    /// [`MemSystem::set_candidate_tracking`]). Purely observational.
+    pub fn set_candidate_tracking(&mut self, on: bool) {
+        self.mem.set_candidate_tracking(on);
+    }
+
+    /// Take the recorded crash-point candidate op indices, ascending and
+    /// deduplicated (see [`MemSystem::take_crash_candidates`]).
+    pub fn take_crash_candidates(&mut self) -> Vec<u64> {
+        self.mem.take_crash_candidates()
+    }
+
     /// A copy-on-write fork of the current durable image.
     pub fn nvmm_fork(&self) -> crate::mem::Nvmm {
         self.mem.nvmm().fork()

@@ -218,6 +218,15 @@ pub struct MemSystem {
     adr_tracking: bool,
     pending_flushes: Vec<PendingFlush>,
     crash_census: Option<CrashCensus>,
+    /// Ascending op indices at which to capture a census snapshot without
+    /// crashing (the model checker's snapshot-resume forward pass).
+    snapshot_points: Vec<u64>,
+    snapshot_cursor: usize,
+    snapshots: Vec<(u64, CrashCensus)>,
+    /// When set, every store/flush/sfence op index (and each region
+    /// commit) is recorded as a crash-point candidate.
+    candidate_tracking: bool,
+    crash_candidates: Vec<u64>,
     /// Per-core open persistency region `(id, key)` announced via
     /// [`crate::core::CoreCtx::region_begin`].
     open_regions: Vec<Option<(RegionId, usize)>>,
@@ -263,6 +272,11 @@ impl MemSystem {
             adr_tracking: false,
             pending_flushes: Vec::new(),
             crash_census: None,
+            snapshot_points: Vec::new(),
+            snapshot_cursor: 0,
+            snapshots: Vec::new(),
+            candidate_tracking: false,
+            crash_candidates: Vec::new(),
             open_regions,
             next_region: 0,
         }
@@ -280,6 +294,9 @@ impl MemSystem {
         if !on {
             self.pending_flushes.clear();
             self.crash_census = None;
+            self.snapshot_points.clear();
+            self.snapshot_cursor = 0;
+            self.snapshots.clear();
         }
     }
 
@@ -292,6 +309,63 @@ impl MemSystem {
     /// tracking was enabled when it fired.
     pub fn take_crash_census(&mut self) -> Option<CrashCensus> {
         self.crash_census.take()
+    }
+
+    /// Arm non-destructive census snapshots at the given op indices: when
+    /// `mem_ops` reaches each point, [`MemSystem::after_op`] captures the
+    /// same [`CrashCensus`] a crash at that op would have, without
+    /// crashing. Points are sorted and deduplicated; any previously
+    /// collected snapshots are discarded.
+    ///
+    /// This is the model checker's snapshot-resume pass: one forward run
+    /// replaces a replay-from-op-0 per crash point, because the simulator
+    /// is deterministic and an armed crash has no effect before it fires —
+    /// the machine state at op `p` is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless ADR tracking is enabled (a census needs the pending
+    /// flush deltas).
+    pub fn set_snapshot_points(&mut self, points: &[u64]) {
+        assert!(
+            self.adr_tracking,
+            "census snapshots require ADR tracking to be enabled first"
+        );
+        let mut pts = points.to_vec();
+        pts.sort_unstable();
+        pts.dedup();
+        self.snapshot_points = pts;
+        self.snapshot_cursor = 0;
+        self.snapshots.clear();
+    }
+
+    /// Take the `(op, census)` snapshots collected since
+    /// [`MemSystem::set_snapshot_points`], in op order, and disarm
+    /// snapshotting. Points the run never reached produce no entry.
+    pub fn take_snapshots(&mut self) -> Vec<(u64, CrashCensus)> {
+        self.snapshot_points.clear();
+        self.snapshot_cursor = 0;
+        std::mem::take(&mut self.snapshots)
+    }
+
+    /// Enable or disable crash-point candidate recording (see
+    /// [`MemSystem::take_crash_candidates`]). Enabling clears any
+    /// previously recorded candidates. Purely observational: no timing or
+    /// functional effect.
+    pub fn set_candidate_tracking(&mut self, on: bool) {
+        self.candidate_tracking = on;
+        self.crash_candidates.clear();
+    }
+
+    /// Take the recorded crash-point candidates — the op indices of every
+    /// store, flush, and sfence (loads advance the op clock but expose no
+    /// new NVMM write), plus each region commit's last op — ascending and
+    /// deduplicated — and disarm tracking.
+    pub fn take_crash_candidates(&mut self) -> Vec<u64> {
+        self.candidate_tracking = false;
+        let mut out = std::mem::take(&mut self.crash_candidates);
+        out.dedup();
+        out
     }
 
     /// Retire every pending (maybe-durable) flush issued by `core`: called
@@ -312,9 +386,10 @@ impl MemSystem {
         }
     }
 
-    /// Build the census of maybe-durable lines at crash time. Must run
-    /// before the caches are wiped.
-    fn capture_crash_census(&mut self) {
+    /// Build the census of maybe-durable lines for the machine's *current*
+    /// state, non-destructively: callable both at crash time (before the
+    /// caches are wiped) and mid-run by the snapshot pass.
+    fn build_census(&self) -> CrashCensus {
         // Floor image: revert un-fenced flush writes, newest first, so the
         // oldest pre-image of a multiply-flushed line wins.
         let mut base = self.nvmm.fork();
@@ -323,7 +398,7 @@ impl MemSystem {
         }
         let mut entries: Vec<CensusEntry> = self
             .pending_flushes
-            .drain(..)
+            .iter()
             .map(|p| CensusEntry {
                 line: p.line,
                 data: p.data,
@@ -360,7 +435,7 @@ impl MemSystem {
                 entries.push(e);
             }
         }
-        self.crash_census = Some(CrashCensus { base, entries });
+        CrashCensus { base, entries }
     }
 
     // ------------------------------------------------------------------
@@ -406,6 +481,11 @@ impl MemSystem {
     /// Announce that `core` committed (closed) its open region, if any.
     pub fn announce_region_end(&mut self, core: usize, cycle: u64) {
         if let Some((region, key)) = self.open_regions[core].take() {
+            // A commit is a crash-point candidate at its last constituent
+            // op (usually already recorded; deduplicated on take).
+            if self.candidate_tracking && self.mem_ops > 0 {
+                self.crash_candidates.push(self.mem_ops);
+            }
             self.observer.emit(MemEvent::RegionCommit {
                 core,
                 cycle,
@@ -500,7 +580,8 @@ impl MemSystem {
     /// back* (volatile contents are lost) and power the machine back on.
     pub fn acknowledge_crash(&mut self) {
         if self.adr_tracking {
-            self.capture_crash_census();
+            self.crash_census = Some(self.build_census());
+            self.pending_flushes.clear();
         }
         for l1 in &mut self.l1s {
             l1.wipe();
@@ -1056,15 +1137,36 @@ impl MemSystem {
     }
 
     /// Bookkeeping after every core-issued memory operation: advance the
-    /// global clock, run the cleaner if due, and evaluate the crash trigger.
-    pub fn after_op(&mut self, core_now: u64) {
+    /// global clock, record a crash-point candidate if tracking is on,
+    /// run the cleaner if due, capture any due census snapshot, and
+    /// evaluate the crash trigger.
+    ///
+    /// `candidate` marks ops after which a crash can expose a new NVMM
+    /// state (stores, flushes, fences — not loads).
+    pub fn after_op(&mut self, core_now: u64, candidate: bool) {
         self.global_time = self.global_time.max(core_now);
         self.mem_ops += 1;
+        if self.candidate_tracking && candidate {
+            self.crash_candidates.push(self.mem_ops);
+        }
         if let Some(cleaner) = &mut self.cleaner {
             if cleaner.due(self.global_time) {
                 let t = self.global_time;
                 self.writeback_all_dirty(t, WriteCause::Cleaner);
             }
+        }
+        // Snapshot capture sits exactly where the crash trigger evaluates
+        // (after the cleaner), so the census recorded here is
+        // byte-identical to the one a crash at this op would capture.
+        while self
+            .snapshot_points
+            .get(self.snapshot_cursor)
+            .is_some_and(|&p| self.mem_ops >= p)
+        {
+            let p = self.snapshot_points[self.snapshot_cursor];
+            let census = self.build_census();
+            self.snapshots.push((p, census));
+            self.snapshot_cursor += 1;
         }
         if let Some(trigger) = self.trigger {
             let fire = match trigger {
@@ -1441,7 +1543,7 @@ mod tests {
         ms.set_crash_trigger(Some(CrashTrigger::AfterMemOps(3)));
         for i in 0..5u64 {
             ms.ensure_in_l1(0, LineAddr(i), i, false);
-            ms.after_op(i);
+            ms.after_op(i, true);
         }
         assert!(ms.crashed());
         // Only 3 ops were actually processed as real accesses.
@@ -1557,5 +1659,87 @@ mod tests {
         assert_eq!(ms.stats.nvmm_writes(), 0);
         let v = read_u64(&mut ms, 0, Addr(0), 1);
         assert_eq!(v, 0);
+    }
+
+    /// Drive the same store/flush/store sequence on a fresh machine,
+    /// either crashing at op 3 or snapshotting op 3, and return the
+    /// census either way.
+    fn census_at_op_3(snapshot: bool) -> CrashCensus {
+        let mut ms = MemSystem::new(small_cfg());
+        ms.set_adr_tracking(true);
+        if snapshot {
+            ms.set_snapshot_points(&[3]);
+        } else {
+            ms.set_crash_trigger(Some(CrashTrigger::AfterMemOps(3)));
+        }
+        write_u64(&mut ms, 0, Addr(0), 7, 0);
+        ms.after_op(0, true); // op 1
+        ms.flush_line(LineAddr(0), 1, false, 0); // un-fenced: maybe-durable
+        ms.after_op(1, true); // op 2
+        write_u64(&mut ms, 0, Addr(64), 9, 2);
+        ms.after_op(2, true); // op 3 — crash / snapshot here
+        if !ms.crashed() {
+            write_u64(&mut ms, 0, Addr(128), 11, 3);
+            ms.after_op(3, true); // op 4 — only reached without a crash
+        }
+        if snapshot {
+            let mut snaps = ms.take_snapshots();
+            assert_eq!(snaps.len(), 1);
+            assert_eq!(snaps[0].0, 3);
+            snaps.pop().unwrap().1
+        } else {
+            ms.acknowledge_crash();
+            ms.take_crash_census().expect("crash captured a census")
+        }
+    }
+
+    #[test]
+    fn snapshot_census_matches_crash_census_at_same_op() {
+        let crashed = census_at_op_3(false);
+        let snapped = census_at_op_3(true);
+        assert_eq!(crashed.entries.len(), snapped.entries.len());
+        for (a, b) in crashed.entries.iter().zip(snapped.entries.iter()) {
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.data, b.data);
+            assert_eq!(a.origin, b.origin);
+        }
+        for line in [0u64, 64, 128] {
+            let mut a = [0u8; 8];
+            let mut b = [0u8; 8];
+            crashed.base.peek_bytes(Addr(line), &mut a);
+            snapped.base.peek_bytes(Addr(line), &mut b);
+            assert_eq!(a, b, "floor image differs at byte {line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_run_continues_past_the_point() {
+        let mut ms = MemSystem::new(small_cfg());
+        ms.set_adr_tracking(true);
+        ms.set_snapshot_points(&[2, 2, 1]); // dedup + sort
+        for i in 0..4u64 {
+            write_u64(&mut ms, 0, Addr(i * 64), i, i);
+            ms.after_op(i, true);
+        }
+        assert!(!ms.crashed(), "snapshots never crash the machine");
+        assert_eq!(ms.mem_ops(), 4, "the run completed");
+        let snaps = ms.take_snapshots();
+        assert_eq!(snaps.iter().map(|(p, _)| *p).collect::<Vec<_>>(), [1, 2]);
+        // Later snapshots see strictly more maybe-durable lines.
+        assert!(snaps[0].1.entries.len() <= snaps[1].1.entries.len());
+        assert!(ms.take_snapshots().is_empty(), "taking disarms");
+    }
+
+    #[test]
+    fn candidate_tracking_records_marked_ops_only() {
+        let mut ms = MemSystem::new(small_cfg());
+        ms.set_candidate_tracking(true);
+        ms.after_op(0, true); // op 1: store-like
+        ms.after_op(1, false); // op 2: load-like
+        ms.after_op(2, true); // op 3: flush-like
+        assert_eq!(ms.take_crash_candidates(), vec![1, 3]);
+        // Taking disarms: later ops are not recorded.
+        ms.after_op(3, true);
+        assert!(ms.take_crash_candidates().is_empty());
     }
 }

@@ -104,6 +104,18 @@ impl Rng64 {
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
+
+    /// The generator's current internal state, as an opaque fingerprint.
+    ///
+    /// Two generators with equal fingerprints produce identical streams
+    /// from here on, so the fingerprint can key memoization of any
+    /// computation whose remaining randomness comes from this generator
+    /// (the crash-state deduplication table uses it to keep states with
+    /// different pending fault draws apart). Not an inverse of
+    /// [`Rng64::new_stream`]; only equality is meaningful.
+    pub fn fingerprint(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +204,25 @@ mod tests {
         let mut r = Rng64::new(11);
         let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_remaining_stream() {
+        let mut a = Rng64::new_stream(42, 3);
+        let mut b = Rng64::new_stream(42, 3);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.next_u64();
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "advancing changes the fingerprint"
+        );
+        b.next_u64();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.next_u64(),
+            b.next_u64(),
+            "equal fingerprints resume equal"
+        );
     }
 }
