@@ -72,12 +72,17 @@ cargo run --release -q -p lp-lint -- --differential
 echo "== lp-lint: cost model vs measured flush/fence counters, all kernels x schemes =="
 cargo run --release -q -p lp-lint -- --cost-check
 
-echo "== perf baseline: refresh results/BENCH_8.json + regression check vs BENCH_7 =="
+echo "== perf baseline: refresh results/BENCH_9.json + regression + cycle-invariance check vs BENCH_8 =="
 # --check compares fresh best-of-reps rates (units / wall_min — robust
-# to scheduler noise on millisecond cells) against the stored BENCH_7
+# to scheduler noise on millisecond cells) against the stored BENCH_8
 # baseline and exits nonzero past tolerance (best rate >= 0.5x baseline,
-# speedup_vs_1 >= baseline - 0.5; generous because CI hosts are shared
-# and may be single-core). JSON to stdout; check verdict to stderr.
-cargo run --release -q -p lp-bench --bin perf_baseline -- --quick --check results/BENCH_7.json > /dev/null
+# 0.6x for the steadier single-threaded sim/ cells; speedup_vs_1 >=
+# baseline - 0.5, skipped when host_cpus differ from the baseline host).
+# It is also the cycle-invariance gate: the sim/ cells' sim_cycles and
+# memops must match the stored baseline EXACTLY (the timing model is
+# pinned; any drift is a semantic regression, not noise), and each sim
+# cell must finish within its wall-time budget. JSON to stdout; check
+# verdict to stderr.
+cargo run --release -q -p lp-bench --bin perf_baseline -- --quick --check results/BENCH_8.json > /dev/null
 
 echo "ci.sh: all gates passed"

@@ -41,4 +41,41 @@ fn main() {
             1e3 / per_elem,
         );
     }
+
+    println!("checksum_update_slice (u64-lane bulk): same stream per iteration");
+    for kind in ChecksumKind::ALL {
+        let mut iters = 0u64;
+        let mut sink = 0u64;
+        for _ in 0..20 {
+            let mut ck = RunningChecksum::new(kind);
+            ck.update_slice(black_box(&values));
+            sink ^= black_box(ck.value());
+        }
+        // Sanity: the lane path must agree with per-word updates before we
+        // bother timing it.
+        {
+            let mut scalar = RunningChecksum::new(kind);
+            for &v in &values {
+                scalar.update(v);
+            }
+            let mut lane = RunningChecksum::new(kind);
+            lane.update_slice(&values);
+            assert_eq!(scalar.value(), lane.value(), "{kind} lane/scalar mismatch");
+        }
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 500 {
+            let mut ck = RunningChecksum::new(kind);
+            ck.update_slice(black_box(&values));
+            sink ^= black_box(ck.value());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        let per_elem = elapsed.as_nanos() as f64 / (iters * values.len() as u64) as f64;
+        println!(
+            "  {:16} {:8.2} ns/elem  ({:.1} Melem/s)  [{iters} iters, sink {sink:#x}]",
+            kind.name(),
+            per_elem,
+            1e3 / per_elem,
+        );
+    }
 }

@@ -11,24 +11,36 @@
 //! across commits): every cell uses a fixed workload size, runs one
 //! untimed warmup pass, then three timed repetitions, and reports the
 //! median wall time (min/max recorded as spread). Emits
-//! `results/BENCH_8.json` (hand-rolled JSON; the workspace carries no
-//! serde) and refreshes the perf section of `results/bench_summary.txt`.
-//! Run with `--quick` for the CI-sized workload.
+//! `results/BENCH_9.json` (hand-rolled JSON; the workspace carries no
+//! serde) with the host's logical CPU count, and refreshes the perf
+//! section of `results/bench_summary.txt`. Run with `--quick` for the
+//! CI-sized workload.
 //!
 //! Regression gate: `--check PATH` compares the fresh measurements
-//! against an older baseline JSON (BENCH_7 or BENCH_8 format) and exits
+//! against an older baseline JSON (BENCH_7/8/9 format) and exits
 //! nonzero when a matched entry rots past tolerance. Documented
 //! tolerances (generous, because CI runners are shared and the host may
 //! have a single core): a best-of-reps rate (units / `wall_min`, the
 //! noise-robust statistic for millisecond-scale cells) must stay above
-//! `0.5×` its baseline, and
-//! `speedup_vs_1` must not drop more than `0.5` absolute below its
-//! baseline. Entries present on only one side are reported but never
-//! fail the gate (BENCH_7 lacked `speedup_vs_1` on fault-campaign rows
-//! and had no exhaustive cell).
+//! `0.5×` its baseline (`0.6×` for the `sim/` cells, which are
+//! single-threaded and steadier), and `speedup_vs_1` must not drop more
+//! than `0.5` absolute below its baseline. Thread-scaling rows carry the
+//! measuring host's `host_cpus`; when the baseline was taken on a host
+//! with a different CPU count, the speedup comparison is annotated and
+//! skipped rather than failed (not like-for-like). Entries present on
+//! only one side are reported but never fail the gate (BENCH_7 lacked
+//! `speedup_vs_1` on fault-campaign rows and had no exhaustive cell).
+//!
+//! Cycle-invariance gate: the `sim/` cells record `sim_cycles` and
+//! `memops`; when fresh and baseline runs used the same workload size
+//! (same `quick` flag), both must match the baseline *exactly* — the
+//! simulator's timing model is pinned, so any drift is a semantic
+//! regression, not noise. The `sim/` cells are also held to a wall-time
+//! budget per rep so a pathological slowdown fails fast even while the
+//! rate ratio is still within tolerance.
 //!
 //! Run: `cargo run --release -p lp-bench --bin perf_baseline
-//!       [--quick] [--check results/BENCH_7.json]`.
+//!       [--quick] [--check results/BENCH_8.json]`.
 
 #![forbid(unsafe_code)]
 
@@ -46,8 +58,27 @@ const TIMED_REPS: usize = 3;
 
 /// A fresh rate must stay above this fraction of its baseline rate.
 const RATE_TOLERANCE: f64 = 0.5;
+/// The `sim/` cells run single-threaded with no exploration randomness,
+/// so they are steadier than the crashmc cells; hold them tighter.
+const SIM_RATE_TOLERANCE: f64 = 0.6;
 /// `speedup_vs_1` may drop at most this much (absolute) below baseline.
 const SPEEDUP_TOLERANCE: f64 = 0.5;
+/// Per-rep wall-time budget for one `sim/` cell (seconds): quick cells
+/// finish in ~1 ms and full cells well under this; blowing the budget
+/// means the hot path degenerated, regardless of the rate ratio.
+fn sim_wall_budget(quick: bool) -> f64 {
+    if quick {
+        0.25
+    } else {
+        60.0
+    }
+}
+
+/// Logical CPUs on the measuring host — recorded so `--check` can tell
+/// whether thread-scaling rows are like-for-like comparable.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
 
 /// One emitted measurement.
 struct Entry {
@@ -92,8 +123,9 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_8\",\n");
+    out.push_str("  \"bench\": \"BENCH_9\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
     out.push_str(&format!(
         "  \"protocol\": {{\"warmup_reps\": {WARMUP_REPS}, \"timed_reps\": {TIMED_REPS}, \"statistic\": \"median\"}},\n"
     ));
@@ -128,11 +160,14 @@ fn render_json(quick: bool, entries: &[Entry]) -> String {
 // Baseline comparison (--check)
 // ----------------------------------------------------------------------
 
-/// One entry parsed back out of a baseline JSON (BENCH_7/BENCH_8 format).
+/// One entry parsed back out of a baseline JSON (BENCH_7/8/9 format).
 struct BaselineEntry {
     name: String,
     best_rate: f64,
     speedup_vs_1: Option<f64>,
+    sim_cycles: Option<f64>,
+    memops: Option<f64>,
+    host_cpus: Option<f64>,
 }
 
 /// Extract the numeric value following `"key":` in `chunk`, if present.
@@ -181,14 +216,29 @@ fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
                 json_number(scope, "wall_min"),
             ),
             speedup_vs_1: json_number(scope, "speedup_vs_1"),
+            sim_cycles: json_number(scope, "sim_cycles"),
+            memops: json_number(scope, "memops"),
+            host_cpus: json_number(scope, "host_cpus"),
         });
     }
     out
 }
 
+/// The baseline's top-level `quick` flag (absent in BENCH_7 ⇒ `None`).
+fn parse_baseline_quick(json: &str) -> Option<bool> {
+    let head = json.split("\"entries\"").next().unwrap_or(json);
+    if head.contains("\"quick\": true") {
+        Some(true)
+    } else if head.contains("\"quick\": false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 /// Compare fresh entries against a stored baseline. Returns the number of
 /// regressions past tolerance (0 ⇒ gate passes).
-fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
+fn check_against(baseline_path: &str, quick: bool, entries: &[Entry]) -> usize {
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
     let baseline = parse_baseline(&json);
@@ -196,6 +246,10 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
         !baseline.is_empty(),
         "--check: no entries found in {baseline_path}"
     );
+    // The cycle gate only makes sense when both runs simulated the same
+    // workload; a BENCH_7-era baseline without the flag is treated as
+    // incomparable rather than guessed at.
+    let cycles_comparable = parse_baseline_quick(&json) == Some(quick);
     let mut regressions = 0usize;
     eprintln!("\n== regression check vs {baseline_path} ==");
     for e in entries {
@@ -203,9 +257,15 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
             eprintln!("  {:<44} new entry (no baseline) — informational", e.name);
             continue;
         };
+        let is_sim = e.name.starts_with("sim/");
         let fresh = best_rate(e.rate, Some(e.wall_secs), e.detail_value("wall_min"));
         let ratio = fresh / b.best_rate.max(1e-9);
-        let rate_ok = ratio >= RATE_TOLERANCE;
+        let tolerance = if is_sim {
+            SIM_RATE_TOLERANCE
+        } else {
+            RATE_TOLERANCE
+        };
+        let rate_ok = ratio >= tolerance;
         let mut line = format!(
             "  {:<44} best rate {:>12.1} vs {:>12.1}  ({:.2}x{})",
             e.name,
@@ -217,14 +277,50 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
         if !rate_ok {
             regressions += 1;
         }
-        if let (Some(now), Some(then)) = (e.detail_value("speedup_vs_1"), b.speedup_vs_1) {
-            let speedup_ok = now >= then - SPEEDUP_TOLERANCE;
-            line.push_str(&format!(
-                "  speedup {now:.2} vs {then:.2}{}",
-                if speedup_ok { "" } else { " REGRESSION" }
-            ));
-            if !speedup_ok {
+        if is_sim {
+            // Cycle invariance: the simulated timing model is pinned, so
+            // the cell's cycle and memop counts must match the baseline
+            // exactly (same workload size only).
+            if cycles_comparable {
+                for (key, then) in [("sim_cycles", b.sim_cycles), ("memops", b.memops)] {
+                    if let (Some(now), Some(then)) = (e.detail_value(key), then) {
+                        if now == then {
+                            continue;
+                        }
+                        line.push_str(&format!("  {key} {now} vs {then} CYCLE-DRIFT"));
+                        regressions += 1;
+                    }
+                }
+            } else {
+                line.push_str("  (cycle gate skipped: baseline workload size differs)");
+            }
+            let budget = sim_wall_budget(quick);
+            let wall = e.detail_value("wall_min").unwrap_or(e.wall_secs);
+            if wall > budget {
+                line.push_str(&format!(
+                    "  wall_min {wall:.3}s exceeds {budget:.2}s budget REGRESSION"
+                ));
                 regressions += 1;
+            }
+        }
+        if let (Some(now), Some(then)) = (e.detail_value("speedup_vs_1"), b.speedup_vs_1) {
+            let like_for_like = match (e.detail_value("host_cpus"), b.host_cpus) {
+                (Some(a), Some(c)) => a == c,
+                _ => true, // older baselines carry no host_cpus; keep the gate
+            };
+            if like_for_like {
+                let speedup_ok = now >= then - SPEEDUP_TOLERANCE;
+                line.push_str(&format!(
+                    "  speedup {now:.2} vs {then:.2}{}",
+                    if speedup_ok { "" } else { " REGRESSION" }
+                ));
+                if !speedup_ok {
+                    regressions += 1;
+                }
+            } else {
+                line.push_str(&format!(
+                    "  speedup {now:.2} vs {then:.2} (host_cpus differ; informational)"
+                ));
             }
         }
         eprintln!("{line}");
@@ -235,7 +331,10 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> usize {
         }
     }
     eprintln!(
-        "tolerances: best rate >= {RATE_TOLERANCE}x baseline, speedup_vs_1 >= baseline - {SPEEDUP_TOLERANCE}; {regressions} regression(s)"
+        "tolerances: best rate >= {RATE_TOLERANCE}x baseline ({SIM_RATE_TOLERANCE}x for sim/ cells), \
+         speedup_vs_1 >= baseline - {SPEEDUP_TOLERANCE}, sim cycles/memops exact, \
+         sim wall_min <= {:.2}s; {regressions} regression(s)",
+        sim_wall_budget(quick)
     );
     regressions
 }
@@ -266,7 +365,8 @@ fn refresh_summary(path: &std::path::Path, quick: bool, entries: &[Entry]) {
     out.push_str(SUMMARY_BEGIN);
     out.push('\n');
     out.push_str(&format!(
-        "source: perf_baseline (BENCH_8.json), quick={quick}, median of {TIMED_REPS} reps\n\n"
+        "source: perf_baseline (BENCH_9.json), quick={quick}, median of {TIMED_REPS} reps, host_cpus={}\n\n",
+        host_cpus()
     ));
     out.push_str(&format!(
         "{:<44} {:>14} {:>18} {:>12} {:>12}\n",
@@ -328,6 +428,7 @@ fn crashmc_entry(
     let mut detail = vec![
         ("states".into(), states as f64),
         ("speedup_vs_1".into(), base / wall.max(1e-9)),
+        ("host_cpus".into(), host_cpus() as f64),
         ("dedup_hits".into(), dedup_hits as f64),
         (
             "dedup_rate".into(),
@@ -490,9 +591,9 @@ fn main() {
     });
 
     let json = render_json(quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_8.json");
+    let path = std::path::Path::new("results").join("BENCH_9.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_8.json");
+    std::fs::write(&path, &json).expect("write BENCH_9.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
     refresh_summary(
@@ -503,7 +604,7 @@ fn main() {
     eprintln!("perf_baseline: refreshed results/bench_summary.txt");
 
     if let Some(baseline) = check {
-        if check_against(&baseline, &entries) > 0 {
+        if check_against(&baseline, quick, &entries) > 0 {
             std::process::exit(1);
         }
     }

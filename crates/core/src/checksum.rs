@@ -215,6 +215,45 @@ impl RunningChecksum {
         }
     }
 
+    /// Fold a run of 64-bit patterns into the checksum in one call — the
+    /// multi-lane bulk path for recovery-side and audit-side scans.
+    ///
+    /// Bit-identical to calling [`RunningChecksum::update`] once per word,
+    /// including across arbitrary stream splits: the carried state is the
+    /// same reduced accumulator either way, so any interleaving of
+    /// `update` and `update_slice` calls over the same word sequence
+    /// yields the same value.
+    ///
+    /// * Parity / Modular (and the parallel combination) fold four
+    ///   independent u64 lanes and recombine — XOR and wrapping addition
+    ///   are associative and commutative mod 2⁶⁴, so recombination is
+    ///   exact, not approximate.
+    /// * Adler-32 uses SWAR u16-lane prefix sums to get each word's byte
+    ///   sum and position-weighted byte sum in a handful of u64 ops, and
+    ///   defers the modulo across a chunk: the exact integer accumulators
+    ///   stay far below u64 overflow, and one reduction per chunk is
+    ///   congruent to the scalar per-byte modulo chain.
+    /// * CRC-32's bitwise feedback makes each byte depend on the previous
+    ///   register value, so it keeps the serial table walk.
+    pub fn update_slice(&mut self, words: &[u64]) {
+        match self {
+            RunningChecksum::Parity { x } => *x ^= xor_lanes(words),
+            RunningChecksum::Modular { sum } => *sum = sum.wrapping_add(sum_lanes(words)),
+            RunningChecksum::Adler32 { a, b } => adler_bulk(a, b, words),
+            RunningChecksum::ModularParity { sum, x } => {
+                *sum = sum.wrapping_add(sum_lanes(words));
+                *x ^= xor_lanes(words);
+            }
+            RunningChecksum::Crc32 { crc } => {
+                for &w in words {
+                    for byte in w.to_le_bytes() {
+                        *crc = (*crc >> 8) ^ CRC_TABLE[((*crc ^ byte as u32) & 0xff) as usize];
+                    }
+                }
+            }
+        }
+    }
+
     /// The checksum value to persist (the `GetCheckSum()` of Figure 8).
     ///
     /// Single codes fold to 32 bits like the paper's table entries; the
@@ -242,6 +281,103 @@ fn fold32(x: u64) -> u32 {
     (x as u32) ^ ((x >> 32) as u32)
 }
 
+/// XOR of all words, accumulated in four independent u64 lanes. XOR is
+/// associative and commutative, so lane recombination is exact.
+fn xor_lanes(words: &[u64]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let mut chunks = words.chunks_exact(4);
+    for c in chunks.by_ref() {
+        lanes[0] ^= c[0];
+        lanes[1] ^= c[1];
+        lanes[2] ^= c[2];
+        lanes[3] ^= c[3];
+    }
+    let mut x = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+    for &w in chunks.remainder() {
+        x ^= w;
+    }
+    x
+}
+
+/// Wrapping sum of all words in four independent u64 lanes — wrapping
+/// addition is associative and commutative mod 2⁶⁴, so this matches the
+/// sequential sum exactly.
+fn sum_lanes(words: &[u64]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let mut chunks = words.chunks_exact(4);
+    for c in chunks.by_ref() {
+        lanes[0] = lanes[0].wrapping_add(c[0]);
+        lanes[1] = lanes[1].wrapping_add(c[1]);
+        lanes[2] = lanes[2].wrapping_add(c[2]);
+        lanes[3] = lanes[3].wrapping_add(c[3]);
+    }
+    let mut sum = lanes[0]
+        .wrapping_add(lanes[1])
+        .wrapping_add(lanes[2])
+        .wrapping_add(lanes[3]);
+    for &w in chunks.remainder() {
+        sum = sum.wrapping_add(w);
+    }
+    sum
+}
+
+/// Words per deferred-modulo Adler chunk. Between reductions `a` grows by
+/// at most 2040 per word and `b` by `8·a + 9180`, so after `K` words
+/// `b ≲ 8160·K² + 5.4e5·K`; at `K = 2²⁰` that is ≈ 9×10¹⁵, five hundred
+/// times under `u64::MAX`.
+const ADLER_CHUNK_WORDS: usize = 1 << 20;
+
+/// Adler-32 over a run of little-endian u64 words with per-word SWAR byte
+/// sums and chunk-deferred modulo. Exactly congruent to the per-byte
+/// scalar chain: every addition is exact in u64 within a chunk, and the
+/// modulo is a ring homomorphism, so reducing once per chunk lands on the
+/// same residues the step-by-step reduction keeps.
+fn adler_bulk(a: &mut u32, b: &mut u32, words: &[u64]) {
+    let (mut au, mut bu) = (u64::from(*a), u64::from(*b));
+    for chunk in words.chunks(ADLER_CHUNK_WORDS) {
+        for &w in chunk {
+            let (s1, ws) = adler_word_sums(w);
+            bu += 8 * au + ws;
+            au += s1;
+        }
+        au %= u64::from(ADLER_MOD);
+        bu %= u64::from(ADLER_MOD);
+    }
+    *a = au as u32;
+    *b = bu as u32;
+}
+
+/// SWAR byte sums of one little-endian word: `(Σ dᵢ, Σ (8-i)·dᵢ)` for
+/// bytes `d₀..d₇` in feed order (least-significant first — the order
+/// [`RunningChecksum::update`] walks `to_le_bytes`).
+///
+/// Even/odd bytes are spread into u16 lanes; multiplying by
+/// `0x0001_0001_0001_0001` turns each lane into a prefix sum (lane sums
+/// stay ≤ 4·255, so no carry crosses lanes), the top lane is the plain
+/// byte sum, and the sum of all four lanes is `Σ (4-i)·vᵢ` — from which
+/// both weighted sums fall out:
+/// even positions `2i` have weight `8-2i = 2(4-i)`, odd positions `2i+1`
+/// have weight `7-2i = 2(4-i) - 1`.
+#[inline]
+fn adler_word_sums(w: u64) -> (u64, u64) {
+    const LO_BYTES: u64 = 0x00FF_00FF_00FF_00FF;
+    const LANE_ONES: u64 = 0x0001_0001_0001_0001;
+    let even = w & LO_BYTES;
+    let odd = (w >> 8) & LO_BYTES;
+    let pe = even.wrapping_mul(LANE_ONES);
+    let po = odd.wrapping_mul(LANE_ONES);
+    let se = pe >> 48; // Σ even bytes
+    let so = po >> 48; // Σ odd bytes
+    let s4e = sum_u16_lanes(pe); // Σ (4-i)·evenᵢ
+    let s4o = sum_u16_lanes(po); // Σ (4-i)·oddᵢ
+    (se + so, 2 * s4e + 2 * s4o - so)
+}
+
+#[inline]
+fn sum_u16_lanes(x: u64) -> u64 {
+    (x & 0xFFFF) + ((x >> 16) & 0xFFFF) + ((x >> 32) & 0xFFFF) + (x >> 48)
+}
+
 /// Checksum a slice of `f64` values in one call (recovery-side helper).
 ///
 /// # Examples
@@ -254,8 +390,14 @@ fn fold32(x: u64) -> u32 {
 /// ```
 pub fn checksum_f64s(kind: ChecksumKind, values: &[f64]) -> u64 {
     let mut ck = RunningChecksum::new(kind);
-    for v in values {
-        ck.update(v.to_bits());
+    // Stage bit patterns through a stack buffer so the u64-lane bulk path
+    // does the folding without a heap allocation.
+    let mut buf = [0u64; 256];
+    for chunk in values.chunks(buf.len()) {
+        for (slot, v) in buf.iter_mut().zip(chunk) {
+            *slot = v.to_bits();
+        }
+        ck.update_slice(&buf[..chunk.len()]);
     }
     ck.value()
 }
@@ -439,5 +581,84 @@ mod tests {
             ck.update(v.to_bits());
         }
         assert_eq!(checksum_f64s(ChecksumKind::Adler32, &vals), ck.value());
+    }
+
+    /// Deterministic xorshift stream for the lane/scalar property tests
+    /// (std-only; no test-time RNG dependency).
+    fn word_stream(seed: u64, len: usize) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_bulk_matches_scalar_for_random_streams() {
+        // Lengths straddle the lane width (4), the SWAR word shape, and
+        // off-by-one remainders; values include the byte-overflow-prone
+        // all-0xFF pattern.
+        for kind in all_kinds() {
+            for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 256, 1000] {
+                for seed in [1u64, 0xdead_beef, 0x1234_5678_9abc_def0] {
+                    let mut words = word_stream(seed ^ len as u64, len);
+                    if len > 2 {
+                        words[0] = u64::MAX;
+                        words[len / 2] = 0;
+                    }
+                    let mut scalar = RunningChecksum::new(kind);
+                    for &w in &words {
+                        scalar.update(w);
+                    }
+                    let mut lane = RunningChecksum::new(kind);
+                    lane.update_slice(&words);
+                    assert_eq!(scalar, lane, "{kind} state diverged at len {len}");
+                    assert_eq!(scalar.value(), lane.value(), "{kind} value at len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bulk_split_resume_matches_one_shot() {
+        // A stream may arrive as any mix of per-word updates and bulk
+        // slices; every split point must land on the same state.
+        for kind in all_kinds() {
+            let words = word_stream(0x5eed, 97);
+            let mut oneshot = RunningChecksum::new(kind);
+            oneshot.update_slice(&words);
+            for split in [0usize, 1, 3, 8, 50, 96, 97] {
+                let (head, tail) = words.split_at(split);
+                let mut resumed = RunningChecksum::new(kind);
+                resumed.update_slice(head);
+                resumed.update_slice(tail);
+                assert_eq!(oneshot, resumed, "{kind} split at {split}");
+
+                let mut mixed = RunningChecksum::new(kind);
+                for &w in head {
+                    mixed.update(w);
+                }
+                mixed.update_slice(tail);
+                assert_eq!(oneshot, mixed, "{kind} scalar head, bulk tail at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn adler_deferred_modulo_survives_saturated_chunks() {
+        // All-0xFF words maximize per-word growth of both accumulators —
+        // the worst case for the deferred reduction's overflow headroom.
+        let words = vec![u64::MAX; 10_000];
+        let mut scalar = RunningChecksum::new(ChecksumKind::Adler32);
+        for &w in &words {
+            scalar.update(w);
+        }
+        let mut lane = RunningChecksum::new(ChecksumKind::Adler32);
+        lane.update_slice(&words);
+        assert_eq!(scalar.value(), lane.value());
     }
 }

@@ -47,9 +47,7 @@ impl AccuracyReport {
 
 fn checksum_of(kind: ChecksumKind, values: &[u64]) -> u64 {
     let mut ck = RunningChecksum::new(kind);
-    for &v in values {
-        ck.update(v);
-    }
+    ck.update_slice(values);
     ck.value()
 }
 

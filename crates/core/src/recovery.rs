@@ -83,10 +83,24 @@ pub fn region_consistent<T: Scalar>(
     indices: impl Iterator<Item = usize>,
 ) -> bool {
     let mut ck = RunningChecksum::new(kind);
+    let ops = kind.cost_ops();
+    // Coalesce consecutive indices into runs and dispatch each run as one
+    // batched load-fold — the per-element load/fold/compute order (and so
+    // every cycle and checksum step) is identical to the element-at-a-time
+    // loop; kernels' blocked iterators are long contiguous runs in disguise.
+    let mut run: Option<(usize, usize)> = None; // (start, len)
     for i in indices {
-        let v: T = ctx.load(arr, i);
-        ck.update(v.to_bits64());
-        ctx.compute(kind.cost_ops());
+        match run {
+            Some((start, len)) if start + len == i => run = Some((start, len + 1)),
+            Some((start, len)) => {
+                ctx.load_fold(arr, start, len, ops, |v: T| ck.update(v.to_bits64()));
+                run = Some((i, 1));
+            }
+            None => run = Some((i, 1)),
+        }
+    }
+    if let Some((start, len)) = run {
+        ctx.load_fold(arr, start, len, ops, |v: T| ck.update(v.to_bits64()));
     }
     table.matches(ctx, key, ck.value())
 }

@@ -48,7 +48,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lp_core::recovery::RecoveryStats;
 use lp_sim::addr::{LineAddr, LINE_BYTES};
-use lp_sim::fault::{draw_word_masks, flip_bit, FaultConfig};
+use lp_sim::fault::{draw_word_masks_into, flip_bit, FaultConfig};
 use lp_sim::machine::{Machine, Outcome, ThreadPlan};
 use lp_sim::mem::Nvmm;
 use lp_sim::memsys::CrashCensus;
@@ -513,18 +513,20 @@ fn materialize_state(
     flip_lines: &[LineAddr],
     poison_lines: &[LineAddr],
     frng: &mut Rng64,
+    scratch: &mut UnitScratch,
 ) -> Materialized {
     let (mut image, torn_words_dropped) = if faults.torn {
         // ADR is word-atomic, not line-atomic: each selected entry
         // persists only the words its drawn mask keeps.
-        let masks = draw_word_masks(frng, sel.len());
+        draw_word_masks_into(frng, sel.len(), &mut scratch.masks);
+        let masks = &scratch.masks;
         let mut dropped = 0u64;
         for (i, &s) in sel.iter().enumerate() {
             if s {
                 dropped += u64::from(masks[i].count_zeros());
             }
         }
-        (census.materialize_subset_torn(sel, &masks), dropped)
+        (census.materialize_subset_torn(sel, masks), dropped)
     } else {
         (census.materialize_subset(sel), 0)
     };
@@ -576,6 +578,16 @@ impl Fnv2 {
     }
 }
 
+/// Allocation arena reused across every state a work unit replays: the
+/// torn-mask draw buffer and the dedup-key line list are cleared and
+/// refilled per state instead of reallocated (the materialized images
+/// themselves are cheap COW overlay forks and are not pooled).
+#[derive(Default)]
+struct UnitScratch {
+    masks: Vec<u8>,
+    lines: Vec<LineAddr>,
+}
+
 /// The dedup key of one state: a fingerprint of every line the census (or
 /// a fault) may have touched in the materialized image, the pending
 /// poison draw, and — when nested-crash injection is live — the exact
@@ -583,8 +595,15 @@ impl Fnv2 {
 /// identically (same image, same recovery-time randomness), so a repeat
 /// key can replay the memoized verdict; the RNG fingerprint keeps states
 /// with different pending draws apart even when their images collide.
-fn state_key(census: &CrashCensus, mat: &Materialized, rng_fp: Option<u64>) -> (u64, u64) {
-    let mut lines: Vec<LineAddr> = census.entries.iter().map(|e| e.line).collect();
+fn state_key(
+    census: &CrashCensus,
+    mat: &Materialized,
+    rng_fp: Option<u64>,
+    scratch: &mut UnitScratch,
+) -> (u64, u64) {
+    let lines = &mut scratch.lines;
+    lines.clear();
+    lines.extend(census.entries.iter().map(|e| e.line));
     if let Some(l) = mat.flip_line {
         lines.push(l);
     }
@@ -592,7 +611,7 @@ fn state_key(census: &CrashCensus, mat: &Materialized, rng_fp: Option<u64>) -> (
     lines.dedup();
     let mut h = Fnv2::new();
     let mut buf = [0u8; LINE_BYTES];
-    for &line in &lines {
+    for &line in lines.iter() {
         h.write_u64(line.0);
         mat.image.read_line(line, &mut buf);
         h.write(&buf);
@@ -719,7 +738,7 @@ fn judge_state(
             if stats.regions_quarantined > 0 {
                 out.poison_detected = true;
             }
-            if post.mem().poisoned_lines().is_empty() {
+            if !post.mem().has_poisoned_lines() {
                 out.poison_scrubbed = true;
             }
         }
@@ -754,6 +773,7 @@ fn run_unit(rt: &CaseRuntime, budget: &Budget, seed: u64, unit: &WorkUnit) -> Un
     let faults = budget.faults;
     let mut seen: HashSet<(u64, u64)> = HashSet::new();
     let mut memo: HashMap<(u64, u64), StateOutcome> = HashMap::new();
+    let mut scratch = UnitScratch::default();
     for (idx, sel) in subsets.iter().enumerate().take(unit.end) {
         let mut frng = state_rng(seed, unit.case, point, idx);
         let mat = materialize_state(
@@ -763,12 +783,13 @@ fn run_unit(rt: &CaseRuntime, budget: &Budget, seed: u64, unit: &WorkUnit) -> Un
             &rt.flip_lines,
             &rt.poison_lines,
             &mut frng,
+            &mut scratch,
         );
         // The fingerprint pins the recovery-time draws; without nested
         // injection recovery consumes no randomness, so images alone
         // decide equality and dedup can actually fire.
         let fp = faults.nested.then(|| frng.fingerprint());
-        let key = state_key(census, &mat, fp);
+        let key = state_key(census, &mat, fp, &mut scratch);
         if idx < unit.start {
             seen.insert(key);
             continue;

@@ -1,0 +1,77 @@
+//! Pins the crashmc smoke verdicts for the kernel matrix: the explored
+//! crash points, state counts, verdict classes, and dedup hits must be
+//! byte-identical across simulator hot-path changes (the crash census,
+//! snapshot-resume materialization, and recovery replay all ride on the
+//! memory system, so any semantic drift there shows up here).
+//!
+//! Regenerate (only for intentional exploration-model changes) with:
+//!
+//! ```text
+//! LP_INVARIANCE_BLESS=1 cargo test -p lp-crashmc --test smoke_verdicts
+//! ```
+
+use lp_core::scheme::Scheme;
+use lp_crashmc::cases::kernel_case;
+use lp_crashmc::mc::{check_cases, Budget, BudgetMode};
+use lp_kernels::driver::{KernelId, Scale};
+use lp_sim::fault::FaultConfig;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/smoke_verdicts.txt")
+}
+
+#[test]
+fn kernel_matrix_smoke_verdicts_pinned() {
+    let cases: Vec<_> = KernelId::ALL
+        .iter()
+        .flat_map(|&k| {
+            [Scheme::lazy_default(), Scheme::Eager, Scheme::Wal]
+                .into_iter()
+                .map(move |s| kernel_case(k, s, Scale::Micro))
+        })
+        .collect();
+    let budget = Budget {
+        mode: BudgetMode::Smoke,
+        k: 3,
+        faults: FaultConfig::none(),
+        dedup: true,
+    };
+    let reports = check_cases(&cases, &budget, 42, 2);
+    let mut lines = Vec::new();
+    for r in &reports {
+        let points: Vec<String> = r
+            .points
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        lines.push(format!(
+            "{} points=[{}] states={} consistent={} corrupt={} stuck={} dedup={} max_census={}",
+            r.case_name,
+            points.join(","),
+            r.states_checked,
+            r.consistent,
+            r.corrupt,
+            r.stuck,
+            r.dedup_hits,
+            r.max_census,
+        ));
+    }
+    let actual = format!("{}\n", lines.join("\n"));
+    let path = golden_path();
+    if std::env::var_os("LP_INVARIANCE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir goldens");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless with LP_INVARIANCE_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "crashmc smoke verdicts drifted — the hot-path overhaul must keep \
+         census/recovery semantics byte-identical"
+    );
+}

@@ -205,10 +205,14 @@ impl Cholesky {
     /// Compute the diagonal value `l[j][j]` (loads row `j` of `l`).
     fn diag_value(&self, ctx: &mut CoreCtx<'_>, j: usize) -> f64 {
         let mut s = self.a.load(ctx, j, j);
-        for k in 0..j {
-            let v = self.l.load(ctx, j, k);
-            s -= v * v;
-            ctx.compute(MUL_ADD_OPS + IDX_OPS);
+        if j > 0 {
+            ctx.load_fold(
+                self.l.array(),
+                self.l.idx(j, 0),
+                j,
+                MUL_ADD_OPS + IDX_OPS,
+                |v: f64| s -= v * v,
+            );
         }
         ctx.compute(SQRT_OPS);
         s.sqrt()
@@ -229,11 +233,21 @@ impl Cholesky {
                 continue;
             }
             let mut s = self.a.load(ctx, r, j);
-            for k in 0..j {
-                let lik = self.l.load(ctx, r, k);
-                let ljk = self.l.load(ctx, j, k);
-                s -= lik * ljk;
-                ctx.compute(MUL_ADD_OPS + IDX_OPS);
+            if j > 0 {
+                // Rows `r` and `j` of `l` are both contiguous in `k`;
+                // `sign = -1.0` makes the batched accumulator bit-identical
+                // to the open-coded `s -= lik * ljk` loop.
+                s = ctx.fma_run(
+                    self.l.array(),
+                    self.l.idx(r, 0),
+                    self.l.array(),
+                    self.l.idx(j, 0),
+                    1,
+                    j,
+                    MUL_ADD_OPS + IDX_OPS,
+                    -1.0,
+                    s,
+                );
             }
             ctx.compute(MUL_ADD_OPS);
             sink.store(ctx, self.l.array(), self.l.idx(r, j), s / d);

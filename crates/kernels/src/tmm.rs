@@ -226,13 +226,18 @@ impl Tmm {
         for jj in (0..n).step_by(bsize) {
             for i in ii..ii + bsize {
                 for j in jj..jj + bsize {
-                    let mut sum = self.c.load(ctx, i, j);
-                    for k in kk..kk + bsize {
-                        let av = self.a.load(ctx, i, k);
-                        let bv = self.b.load(ctx, k, j);
-                        sum += av * bv;
-                        ctx.compute(MUL_ADD_OPS + IDX_OPS);
-                    }
+                    let init = self.c.load(ctx, i, j);
+                    let sum = self.a.fma_row_col(
+                        ctx,
+                        i,
+                        kk,
+                        &self.b,
+                        j,
+                        bsize,
+                        MUL_ADD_OPS + IDX_OPS,
+                        1.0,
+                        init,
+                    );
                     sink.store(ctx, self.c.array(), self.c.idx(i, j), sum);
                     ctx.compute(IDX_OPS);
                 }
@@ -367,9 +372,7 @@ impl Tmm {
         self.handles.table.persist(ctx, key);
         let ii = ib * bsize;
         for i in ii..ii + bsize {
-            for j in 0..n {
-                self.c.store(ctx, i, j, 0.0);
-            }
+            self.c.store_row_run(ctx, i, 0, n, 0.0);
         }
         self.c.flush_rows(ctx, ii, bsize);
         ctx.sfence();
@@ -460,9 +463,7 @@ impl Tmm {
                 // the same path.
                 let ii = ib * bsize;
                 for i in ii..ii + bsize {
-                    for j in 0..n {
-                        self.c.store(&mut ctx, i, j, 0.0);
-                    }
+                    self.c.store_row_run(&mut ctx, i, 0, n, 0.0);
                 }
                 self.c.flush_rows(&mut ctx, ii, bsize);
                 ctx.sfence();

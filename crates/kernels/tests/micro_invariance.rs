@@ -1,0 +1,131 @@
+//! Differential invariance suite for the simulator hot path.
+//!
+//! The timing model is a semantic contract: performance work on the
+//! memory system (paged NVMM overlays, flattened cache lookup, batched
+//! dispatch) must be *pure wall-clock* optimization. This suite pins, for
+//! the full kernel × scheme Micro matrix, everything the timing model and
+//! the durable image produce:
+//!
+//! - `sim_cycles` (max core cycle count at completion),
+//! - `mem_ops` (the memory system's global operation counter),
+//! - per-class op counts (loads / stores / flushes / fences),
+//! - total NVMM line writes, and
+//! - an FNV-1a hash of the final durable NVMM image (post-drain).
+//!
+//! The golden file was captured on the pre-overhaul memory system; any
+//! drift in any cell is a timing-model change and fails the suite.
+//! Regenerate (only when the timing model changes *on purpose*) with:
+//!
+//! ```text
+//! LP_INVARIANCE_BLESS=1 cargo test -p lp-kernels --test micro_invariance
+//! ```
+
+use lp_core::checksum::ChecksumKind;
+use lp_core::scheme::Scheme;
+use lp_kernels::driver::{prepare_kernel, KernelId, Scale};
+use lp_sim::addr::Addr;
+use lp_sim::config::MachineConfig;
+use lp_sim::machine::{Machine, Outcome};
+
+/// The scheme column of the matrix (kept in sync with the experiment
+/// harness's scheme sweep; Adler-32 included so the checksum fold order
+/// of a non-commutative code is pinned too).
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Base,
+        Scheme::Lazy(ChecksumKind::Modular),
+        Scheme::Lazy(ChecksumKind::Adler32),
+        Scheme::LazyEagerCk(ChecksumKind::Modular),
+        Scheme::Eager,
+        Scheme::Wal,
+    ]
+}
+
+/// FNV-1a over the heap-used prefix of the durable NVMM image.
+fn image_hash(machine: &Machine) -> u64 {
+    let used = machine.heap_used() as usize;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = vec![0u8; 4096];
+    let mut off = 0usize;
+    while off < used {
+        let n = buf.len().min(used - off);
+        machine
+            .mem()
+            .nvmm()
+            .peek_bytes(Addr(off as u64), &mut buf[..n]);
+        for &b in &buf[..n] {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        off += n;
+    }
+    h
+}
+
+/// One matrix cell, formatted as a golden line.
+fn run_cell(kernel: KernelId, scheme: Scheme) -> String {
+    let cfg = MachineConfig::default().with_nvmm_bytes(8 << 20);
+    let mut prep = prepare_kernel(kernel, Scale::Micro, &cfg, scheme);
+    let plans = std::mem::take(&mut prep.plans);
+    let outcome = prep.machine.run(plans);
+    assert_eq!(outcome, Outcome::Completed, "{kernel}/{scheme}");
+    // Stats snapshot *before* the drain, like the experiment harness.
+    let stats = prep.machine.stats();
+    let mem_ops = prep.machine.mem().mem_ops();
+    prep.machine.drain_caches();
+    assert!((prep.verify)(&prep.machine), "{kernel}/{scheme} verify");
+    let t = stats.core_totals();
+    format!(
+        "{}/{} cycles={} mem_ops={} loads={} stores={} flushes={} fences={} nvmm_writes={} image={:016x}",
+        kernel.name(),
+        scheme,
+        stats.exec_cycles(),
+        mem_ops,
+        t.loads,
+        t.stores,
+        t.flushes,
+        t.fences,
+        stats.nvmm_writes(),
+        image_hash(&prep.machine),
+    )
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/micro_invariance.txt")
+}
+
+#[test]
+fn micro_matrix_timing_and_image_pinned() {
+    let mut lines = Vec::new();
+    for kernel in KernelId::ALL {
+        for scheme in schemes() {
+            lines.push(run_cell(kernel, scheme));
+        }
+    }
+    let actual = format!("{}\n", lines.join("\n"));
+    let path = golden_path();
+    if std::env::var_os("LP_INVARIANCE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir goldens");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless with LP_INVARIANCE_BLESS=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .filter(|(e, a)| e != a)
+            .map(|(e, a)| format!("- {e}\n+ {a}"))
+            .collect();
+        panic!(
+            "timing-model drift in {} cell(s) — the hot-path overhaul must be \
+             cycle-invariant (bless only for intentional timing changes):\n{}",
+            diff.len(),
+            diff.join("\n"),
+        );
+    }
+}

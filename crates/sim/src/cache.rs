@@ -336,6 +336,12 @@ impl L2Cache {
         (0..self.lines.len()).filter(|&i| self.lines[i].valid)
     }
 
+    /// Total way count (valid or not), for index-based walks that must
+    /// mutate the cache mid-iteration without collecting indices first.
+    pub fn num_ways(&self) -> usize {
+        self.lines.len()
+    }
+
     /// Number of resident lines.
     pub fn resident(&self) -> usize {
         self.valid_ways().count()

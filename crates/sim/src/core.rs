@@ -38,6 +38,14 @@ pub struct CoreState {
     /// Completion of the youngest store-buffer entry: the buffer drains
     /// in order (x86-TSO), so later entries complete no earlier.
     sq_chain: u64,
+    /// `log2(issue_width)` when the width is a power of two, letting the
+    /// per-op issue accounting use shifts instead of hardware division.
+    width_shift: Option<u32>,
+    /// Whether `load_queue + store_queue >= rob_entries`, i.e. whether the
+    /// ROB-full condition in [`CoreCtx::compute`] is reachable at all for
+    /// this configuration (both queues are capped, so when their combined
+    /// capacity is below the ROB size the check can be skipped).
+    rob_reachable: bool,
     /// Event counters.
     pub stats: CoreStats,
 }
@@ -54,7 +62,27 @@ impl CoreState {
             mshr: vec![0u64; cfg.mshrs],
             pending_drain: 0,
             sq_chain: 0,
+            width_shift: if cfg.issue_width.is_power_of_two() {
+                Some(cfg.issue_width.trailing_zeros())
+            } else {
+                None
+            },
+            rob_reachable: cfg.load_queue + cfg.store_queue >= cfg.rob_entries,
             stats: CoreStats::default(),
+        }
+    }
+
+    /// Charge `slots` issue slots through the sub-width accumulator (the
+    /// shared cost model of `compute` and pipelined L1-hit loads).
+    #[inline]
+    fn advance_issue_slots(&mut self, slots: u64, width: u64) {
+        let total = self.compute_rem + slots;
+        if let Some(s) = self.width_shift {
+            self.cycles += total >> s;
+            self.compute_rem = total & (width - 1);
+        } else {
+            self.cycles += total / width;
+            self.compute_rem = total % width;
         }
     }
 
@@ -71,12 +99,37 @@ impl CoreState {
     }
 
     /// Number of in-flight ops (completion after `now`) across both queues.
+    ///
+    /// Both queues hold nondecreasing completion times (see
+    /// [`CoreState::push_sorted`]), so this is a binary search, not a scan.
     fn backlog(&self, now: u64) -> usize {
-        self.lq.iter().filter(|&&t| t > now).count() + self.sq.iter().filter(|&&t| t > now).count()
+        Self::in_flight(&self.lq, now) + Self::in_flight(&self.sq, now)
     }
 
+    /// Entries of a sorted queue with completion after `now`.
+    fn in_flight(q: &VecDeque<u64>, now: u64) -> usize {
+        let (a, b) = q.as_slices();
+        if b.first().is_some_and(|&t| t <= now) {
+            // Everything in `a` precedes (≤) b's first element.
+            b.len() - b.partition_point(|&t| t <= now)
+        } else {
+            (a.len() - a.partition_point(|&t| t <= now)) + b.len()
+        }
+    }
+
+    /// Drop completed entries (`<= now`) from the front of a sorted queue.
     fn drain_queue(q: &mut VecDeque<u64>, now: u64) {
-        q.retain(|&t| t > now);
+        while q.front().is_some_and(|&t| t <= now) {
+            q.pop_front();
+        }
+    }
+
+    /// Append a completion time, asserting (debug only) the queue stays
+    /// sorted: load completions are pushed at the core's nondecreasing
+    /// clock, and store/flush completions are chained through `sq_chain`.
+    fn push_sorted(q: &mut VecDeque<u64>, t: u64) {
+        debug_assert!(q.back().is_none_or(|&b| b <= t), "queue must stay sorted");
+        q.push_back(t);
     }
 
     /// Attribute a pipeline stall: while the core cannot issue, the
@@ -94,7 +147,7 @@ impl CoreState {
     fn acquire_lq_slot(&mut self, cap: usize, width: u64) {
         Self::drain_queue(&mut self.lq, self.cycles);
         if self.lq.len() >= cap {
-            let min = self.lq.iter().copied().min().expect("non-empty");
+            let min = *self.lq.front().expect("non-empty");
             self.stats.fur_events += 1;
             let stall = min.saturating_sub(self.cycles);
             self.account_blocked_issue(stall, width);
@@ -108,7 +161,7 @@ impl CoreState {
     fn acquire_sq_slot(&mut self, cap: usize, width: u64) {
         Self::drain_queue(&mut self.sq, self.cycles);
         if self.sq.len() >= cap {
-            let min = self.sq.iter().copied().min().expect("non-empty");
+            let min = *self.sq.front().expect("non-empty");
             self.stats.fuw_events += 1;
             let stall = min.saturating_sub(self.cycles);
             self.account_blocked_issue(stall, width);
@@ -186,27 +239,32 @@ impl<'a> CoreCtx<'a> {
         }
         self.core.stats.instructions += ops;
         let width = self.mem.cfg.issue_width;
-        let total = self.core.compute_rem + ops;
-        self.core.cycles += total / width;
-        self.core.compute_rem = total % width;
-        if self.core.backlog(self.core.cycles) >= self.mem.cfg.rob_entries {
+        self.core.advance_issue_slots(ops, width);
+        if self.core.rob_reachable
+            && self.core.backlog(self.core.cycles) >= self.mem.cfg.rob_entries
+        {
             self.core.stats.fui_events += 1;
         }
     }
 
-    fn access_line(&mut self, line: LineAddr, for_write: bool) -> crate::memsys::Access {
+    /// Ensure `line` is usable in this core's L1 and return the access
+    /// outcome plus the L1 way holding the line, so the caller's scalar
+    /// read/write needs no further lookup.
+    fn access_line(&mut self, line: LineAddr, for_write: bool) -> (crate::memsys::Access, usize) {
         // MSHR acquisition needs to know hit/miss before paying costs. A
         // resident line in any valid state counts as an L1 probe hit for
-        // MSHR purposes (upgrades do not take an MSHR).
-        let probe_hit = self.mem_probe(line);
-        let mshr_idx = if probe_hit {
+        // MSHR purposes (upgrades do not take an MSHR). The probe result
+        // (the resident way, if any) is handed to the memory system so
+        // the set-associative lookup happens exactly once per operation.
+        let probe = self.mem.l1_probe(self.core.id, line);
+        let mshr_idx = if probe.is_some() {
             None
         } else {
             Some(self.core.acquire_mshr(self.mem.cfg.issue_width))
         };
-        let access = self
-            .mem
-            .ensure_in_l1(self.core.id, line, self.core.cycles, for_write);
+        let (access, way) =
+            self.mem
+                .ensure_in_l1_probed(self.core.id, line, self.core.cycles, for_write, probe);
         if access.l1_hit {
             self.core.stats.l1_hits += 1;
         } else {
@@ -215,12 +273,7 @@ impl<'a> CoreCtx<'a> {
         if let Some(i) = mshr_idx {
             self.core.mshr[i] = self.core.cycles + access.cost;
         }
-        access
-    }
-
-    fn mem_probe(&self, line: LineAddr) -> bool {
-        // Probe through the public coherent view: cheap existence check.
-        self.mem.l1_has(self.core.id, line)
+        (access, way)
     }
 
     /// Timed load of element `i` of `arr`.
@@ -245,15 +298,13 @@ impl<'a> CoreCtx<'a> {
         self.core
             .acquire_lq_slot(self.mem.cfg.load_queue, self.mem.cfg.issue_width);
         let line = addr.line();
-        let access = self.access_line(line, false);
+        let (access, way) = self.access_line(line, false);
         if access.l1_hit {
             // L1 hits are fully pipelined on an out-of-order core: they
             // cost load-port throughput, not latency. Model as two issue
             // slots through the same accumulator `compute` uses.
             let width = self.mem.cfg.issue_width;
-            let total = self.core.compute_rem + 2;
-            self.core.cycles += total / width;
-            self.core.compute_rem = total % width;
+            self.core.advance_issue_slots(2, width);
         } else {
             // Misses: the L1 round-trip serializes, but everything beyond
             // it (L2 latency, queueing, NVMM residency) overlaps across
@@ -262,8 +313,8 @@ impl<'a> CoreCtx<'a> {
             let charged = l1 + access.cost.saturating_sub(l1) / self.mem.cfg.mlp;
             self.core.cycles += charged;
         }
-        self.core.lq.push_back(self.core.cycles);
-        let v = self.mem.l1_read_scalar::<T>(self.core.id, addr);
+        CoreState::push_sorted(&mut self.core.lq, self.core.cycles);
+        let v = self.mem.l1_read_scalar_at::<T>(self.core.id, way, addr);
         self.mem
             .observe_load(self.core.id, self.core.cycles, addr, T::SIZE);
         // Loads advance the op clock but are not crash-point candidates.
@@ -295,18 +346,92 @@ impl<'a> CoreCtx<'a> {
         self.core
             .acquire_sq_slot(self.mem.cfg.store_queue, self.mem.cfg.issue_width);
         let line = addr.line();
-        let access = self.access_line(line, true);
-        self.mem.l1_write_scalar::<T>(self.core.id, addr, v);
+        let (access, way) = self.access_line(line, true);
+        self.mem.l1_write_scalar_at::<T>(self.core.id, way, addr, v);
         self.core.cycles += 1; // issue; completion tracked in the SQ
                                // The store buffer drains in order (x86-TSO): this entry cannot
                                // complete before its elders.
         let completion = (self.core.cycles + access.cost).max(self.core.sq_chain);
         self.core.sq_chain = completion;
-        self.core.sq.push_back(completion);
+        CoreState::push_sorted(&mut self.core.sq, completion);
         self.core.pending_drain = self.core.pending_drain.max(completion);
         self.mem
             .observe_store(self.core.id, self.core.cycles, addr, v.to_bits64(), T::SIZE);
         self.mem.after_op(self.core.cycles, true);
+    }
+
+    /// Batched fused-multiply-add dispatch over paired load runs: starting
+    /// from accumulator `init`, for each `t` in `0..n` loads `a[a0 + t]`
+    /// and `b[b0 + t * b_stride]`, adds `sign` times their product, and
+    /// models `ops_per_iter` ALU ops. `sign` must be `1.0` or `-1.0`:
+    /// IEEE-754 negation is exact, so `sum + (-av) * bv` is bit-identical
+    /// to `sum - av * bv` and the accumulator matches the open-coded
+    /// add- or subtract-loop rounding step for rounding step. The per-op
+    /// order — and therefore every cycle and stat — is also identical;
+    /// batching only lets the kernel pay one dispatch per run while the
+    /// memory system services the ops in a tight loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run goes out of bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fma_run(
+        &mut self,
+        a: PArray<f64>,
+        a0: usize,
+        b: PArray<f64>,
+        b0: usize,
+        b_stride: usize,
+        n: usize,
+        ops_per_iter: u64,
+        sign: f64,
+        init: f64,
+    ) -> f64 {
+        debug_assert!(sign == 1.0 || sign == -1.0, "sign must be ±1.0");
+        let mut sum = init;
+        for t in 0..n {
+            let av: f64 = self.load(a, a0 + t);
+            let bv: f64 = self.load(b, b0 + t * b_stride);
+            sum += (sign * av) * bv;
+            self.compute(ops_per_iter);
+        }
+        sum
+    }
+
+    /// Batched store run: store `v` into `arr[start..start + count]` in
+    /// index order, timing-identical to `count` individual stores (used by
+    /// the kernels' strip-zeroing rebuild paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn store_run<T: Scalar>(&mut self, arr: PArray<T>, start: usize, count: usize, v: T) {
+        for i in start..start + count {
+            self.store(arr, i, v);
+        }
+    }
+
+    /// Batched load-and-fold run: load `arr[start..start + count]` in
+    /// index order, pass each value to `fold`, and model `ops_per_elem`
+    /// ALU ops after each load — the shape of a checksum recomputation —
+    /// timing-identical to the open-coded loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn load_fold<T: Scalar>(
+        &mut self,
+        arr: PArray<T>,
+        start: usize,
+        count: usize,
+        ops_per_elem: u64,
+        mut fold: impl FnMut(T),
+    ) {
+        for i in start..start + count {
+            let v = self.load(arr, i);
+            fold(v);
+            self.compute(ops_per_elem);
+        }
     }
 
     /// `clflushopt`: flush the line containing `addr` out of all caches,
@@ -349,7 +474,7 @@ impl<'a> CoreCtx<'a> {
         self.core.cycles += out.issue_cost;
         let completion = out.completion.max(self.core.cycles).max(self.core.sq_chain);
         self.core.sq_chain = completion;
-        self.core.sq.push_back(completion);
+        CoreState::push_sorted(&mut self.core.sq, completion);
         self.core.pending_drain = self.core.pending_drain.max(completion);
         self.mem
             .observe_flush(self.core.id, self.core.cycles, addr.line(), keep);

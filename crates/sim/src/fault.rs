@@ -105,9 +105,16 @@ impl std::fmt::Display for FaultConfig {
 /// over all 256 word subsets, so the atomic cases (`0x00`, `0xFF`) stay in
 /// the explored population alongside genuinely torn ones.
 pub fn draw_word_masks(rng: &mut Rng64, entries: usize) -> Vec<u8> {
-    (0..entries)
-        .map(|_| (rng.next_u64() & 0xFF) as u8)
-        .collect()
+    let mut out = Vec::new();
+    draw_word_masks_into(rng, entries, &mut out);
+    out
+}
+
+/// [`draw_word_masks`] into a caller-owned buffer (cleared first), so
+/// per-state exploration loops can reuse one allocation across replays.
+pub fn draw_word_masks_into(rng: &mut Rng64, entries: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend((0..entries).map(|_| (rng.next_u64() & 0xFF) as u8));
 }
 
 /// Flip bit `bit` (0..512) of `line` in `img` — a silent single-bit media

@@ -5,7 +5,7 @@
 //! flushed, cleaned, or drained) lives here; a crash discards all cache
 //! contents and keeps exactly this image.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::addr::{Addr, LineAddr, LINE_BYTES};
@@ -21,6 +21,33 @@ pub const POISON_WORD: u64 = u64::from_le_bytes([POISON_BYTE; 8]);
 /// Number of 8-byte words in a cache line (torn-write granularity).
 pub const WORDS_PER_LINE: usize = LINE_BYTES / 8;
 
+/// Lines per copy-on-write overlay page (64 lines = 4 KiB of data), so a
+/// line number splits into `page = lineno >> 6`, `slot = lineno & 63` with
+/// plain shifts — no hashing anywhere on the overlay path.
+const PAGE_LINES: usize = 64;
+/// `log2(PAGE_LINES)`.
+const PAGE_LINE_SHIFT: u32 = 6;
+
+/// One overlay page: a presence bitmap plus the line payloads. Pages are
+/// boxed so an unpopulated directory slot costs one null pointer, and the
+/// whole page (bitmap + 4 KiB) clones with a single memcpy on fork.
+#[derive(Debug, Clone)]
+struct OverlayPage {
+    /// Bit `s` set ⇒ line `s` of this page lives in `data`.
+    present: u64,
+    /// Line payloads; only `present` slots are meaningful.
+    data: [[u8; LINE_BYTES]; PAGE_LINES],
+}
+
+impl OverlayPage {
+    fn new_boxed() -> Box<OverlayPage> {
+        Box::new(OverlayPage {
+            present: 0,
+            data: [[0u8; LINE_BYTES]; PAGE_LINES],
+        })
+    }
+}
+
 /// The simulated non-volatile main memory: a flat byte image with
 /// copy-on-write forking.
 ///
@@ -29,13 +56,19 @@ pub const WORDS_PER_LINE: usize = LINE_BYTES / 8;
 /// `poke_*`/`peek_*` helpers that bypass the hierarchy for setup and
 /// post-crash inspection.
 ///
-/// The image is a shared base (`Arc<Vec<u8>>`) plus a per-handle line
-/// overlay. [`Nvmm::fork`] is O(overlay) — it shares the base and clones
-/// only the overlay — so a crash-state model checker can explore thousands
-/// of candidate post-crash images without deep-copying the heap. A handle
-/// that uniquely owns its base (the common, unforked case) flattens the
-/// overlay back into the base on write, so normal simulation pays no
-/// overlay cost.
+/// The image is a shared base (`Arc<Vec<u8>>`) plus a per-handle *paged*
+/// overlay: a directory of `Option<Box<OverlayPage>>` indexed by
+/// `lineno >> 6`, each page holding a presence bitmap and 64 line
+/// payloads. Every overlay access is line-index arithmetic (two shifts and
+/// a bit test) — no hashing. [`Nvmm::fork`] is O(touched pages) — it
+/// shares the base and clones only populated pages — so a crash-state
+/// model checker can explore thousands of candidate post-crash images
+/// without deep-copying the heap. The directory grows lazily to the
+/// highest written page, and the bump allocator hands out addresses from
+/// zero upward, so its span tracks the *used* heap, not the configured
+/// capacity. A handle that uniquely owns its base (the common, unforked
+/// case) flattens the overlay back into the base on write, so normal
+/// simulation pays no overlay cost.
 ///
 /// The base is atomically reference-counted so a whole image (and hence a
 /// machine) can move across host threads: the parallel exploration engine
@@ -53,7 +86,11 @@ pub const WORDS_PER_LINE: usize = LINE_BYTES / 8;
 #[derive(Debug, Clone)]
 pub struct Nvmm {
     base: Arc<Vec<u8>>,
-    overlay: HashMap<u64, [u8; LINE_BYTES]>,
+    /// Paged overlay directory, indexed by `lineno >> PAGE_LINE_SHIFT`.
+    overlay: Vec<Option<Box<OverlayPage>>>,
+    /// Lines currently present across all overlay pages (O(1) emptiness
+    /// test for the read fast path).
+    overlay_count: usize,
     /// Lines currently poisoned (ordered for deterministic reporting).
     poisoned: BTreeSet<u64>,
 }
@@ -63,9 +100,56 @@ impl Nvmm {
     pub fn new(bytes: usize) -> Self {
         Nvmm {
             base: Arc::new(vec![0u8; bytes]),
-            overlay: HashMap::new(),
+            overlay: Vec::new(),
+            overlay_count: 0,
             poisoned: BTreeSet::new(),
         }
+    }
+
+    /// The overlay payload for `lineno`, if that line has been written
+    /// since the base was last uniquely owned.
+    #[inline]
+    fn overlay_get(&self, lineno: u64) -> Option<&[u8; LINE_BYTES]> {
+        let page = (lineno >> PAGE_LINE_SHIFT) as usize;
+        let slot = (lineno & (PAGE_LINES as u64 - 1)) as usize;
+        match self.overlay.get(page) {
+            Some(Some(p)) if p.present & (1u64 << slot) != 0 => Some(&p.data[slot]),
+            _ => None,
+        }
+    }
+
+    /// A writable overlay payload for `lineno`, seeded from the base image
+    /// when the line was not yet present (read-modify-write path).
+    fn overlay_line_mut(&mut self, lineno: u64) -> &mut [u8; LINE_BYTES] {
+        let page = (lineno >> PAGE_LINE_SHIFT) as usize;
+        let slot = (lineno & (PAGE_LINES as u64 - 1)) as usize;
+        if page >= self.overlay.len() {
+            self.overlay.resize_with(page + 1, || None);
+        }
+        let p = self.overlay[page].get_or_insert_with(OverlayPage::new_boxed);
+        if p.present & (1u64 << slot) == 0 {
+            p.present |= 1u64 << slot;
+            self.overlay_count += 1;
+            let lb = lineno as usize * LINE_BYTES;
+            p.data[slot].copy_from_slice(&self.base[lb..lb + LINE_BYTES]);
+        }
+        &mut self.overlay[page].as_mut().expect("page just ensured").data[slot]
+    }
+
+    /// Install `buf` as the overlay payload for `lineno` (full-line write;
+    /// no base seed needed).
+    fn overlay_insert(&mut self, lineno: u64, buf: &[u8; LINE_BYTES]) {
+        let page = (lineno >> PAGE_LINE_SHIFT) as usize;
+        let slot = (lineno & (PAGE_LINES as u64 - 1)) as usize;
+        if page >= self.overlay.len() {
+            self.overlay.resize_with(page + 1, || None);
+        }
+        let p = self.overlay[page].get_or_insert_with(OverlayPage::new_boxed);
+        if p.present & (1u64 << slot) == 0 {
+            p.present |= 1u64 << slot;
+            self.overlay_count += 1;
+        }
+        p.data[slot] = *buf;
     }
 
     /// Capacity in bytes.
@@ -76,11 +160,12 @@ impl Nvmm {
     /// A copy-on-write fork of the current image. The fork shares the
     /// base bytes with `self`; writes on either side land in that side's
     /// private overlay (or in a freshly-owned base once the other handles
-    /// are dropped), so forking is O(current overlay size), not O(heap).
+    /// are dropped), so forking is O(touched overlay pages), not O(heap).
     pub fn fork(&self) -> Nvmm {
         Nvmm {
             base: Arc::clone(&self.base),
             overlay: self.overlay.clone(),
+            overlay_count: self.overlay_count,
             poisoned: self.poisoned.clone(),
         }
     }
@@ -88,7 +173,7 @@ impl Nvmm {
     /// Number of lines currently living in this handle's overlay (0 when
     /// the handle uniquely owns its base). Exposed for fork-cost metrics.
     pub fn overlay_lines(&self) -> usize {
-        self.overlay.len()
+        self.overlay_count
     }
 
     /// Whether the base image is shared with other forks.
@@ -100,15 +185,22 @@ impl Nvmm {
     /// subsequent writes take the direct path. Early-outs on an empty
     /// overlay (the common unforked case) before touching the refcount.
     fn flatten(&mut self) {
-        if self.overlay.is_empty() {
+        if self.overlay_count == 0 {
             return;
         }
         if let Some(data) = Arc::get_mut(&mut self.base) {
-            for (&lineno, buf) in &self.overlay {
-                let base = lineno as usize * LINE_BYTES;
-                data[base..base + LINE_BYTES].copy_from_slice(buf);
+            for (pi, slot) in self.overlay.iter().enumerate() {
+                let Some(p) = slot else { continue };
+                let mut present = p.present;
+                while present != 0 {
+                    let s = present.trailing_zeros() as usize;
+                    present &= present - 1;
+                    let base = (pi * PAGE_LINES + s) * LINE_BYTES;
+                    data[base..base + LINE_BYTES].copy_from_slice(&p.data[s]);
+                }
             }
             self.overlay.clear();
+            self.overlay_count = 0;
         }
     }
 
@@ -131,11 +223,11 @@ impl Nvmm {
     /// Panics if the line is outside the image.
     pub fn read_line(&self, line: LineAddr, buf: &mut [u8; LINE_BYTES]) {
         self.check_line(line);
-        // Fast path: an unforked image has no overlay, so skip the hash
+        // Fast path: an unforked image has no overlay, so skip the page
         // probe entirely (this runs on every simulated line fill).
-        if !self.overlay.is_empty() {
-            if let Some(over) = self.overlay.get(&line.0) {
-                buf.copy_from_slice(over);
+        if self.overlay_count != 0 {
+            if let Some(over) = self.overlay_get(line.0) {
+                *buf = *over;
                 return;
             }
         }
@@ -160,7 +252,7 @@ impl Nvmm {
             let data = Arc::get_mut(&mut self.base).expect("uniquely owned");
             data[base..base + LINE_BYTES].copy_from_slice(buf);
         } else {
-            self.overlay.insert(line.0, *buf);
+            self.overlay_insert(line.0, buf);
         }
     }
 
@@ -217,7 +309,16 @@ impl Nvmm {
 
     /// All currently poisoned lines, in ascending address order.
     pub fn poisoned_lines(&self) -> Vec<LineAddr> {
-        self.poisoned.iter().map(|&l| LineAddr(l)).collect()
+        let mut out = Vec::new();
+        self.poisoned_lines_into(&mut out);
+        out
+    }
+
+    /// [`Nvmm::poisoned_lines`] into a caller-owned buffer (cleared
+    /// first), so tight loops can reuse the allocation.
+    pub fn poisoned_lines_into(&self, out: &mut Vec<LineAddr>) {
+        out.clear();
+        out.extend(self.poisoned.iter().map(|&l| LineAddr(l)));
     }
 
     /// Number of currently poisoned lines.
@@ -229,17 +330,22 @@ impl Nvmm {
     pub fn peek_bytes(&self, addr: Addr, out: &mut [u8]) {
         let base = addr.0 as usize;
         assert!(base + out.len() <= self.base.len(), "peek out of bounds");
-        if self.overlay.is_empty() {
+        if self.overlay_count == 0 {
             out.copy_from_slice(&self.base[base..base + out.len()]);
             return;
         }
-        for (k, b) in out.iter_mut().enumerate() {
-            let at = base + k;
-            let lineno = (at / LINE_BYTES) as u64;
-            *b = match self.overlay.get(&lineno) {
-                Some(over) => over[at % LINE_BYTES],
-                None => self.base[at],
-            };
+        // Forked image: stitch base and overlay line-chunk by line-chunk.
+        let end = base + out.len();
+        let mut at = base;
+        while at < end {
+            let off = at % LINE_BYTES;
+            let n = (LINE_BYTES - off).min(end - at);
+            let dst = &mut out[at - base..at - base + n];
+            match self.overlay_get((at / LINE_BYTES) as u64) {
+                Some(over) => dst.copy_from_slice(&over[off..off + n]),
+                None => dst.copy_from_slice(&self.base[at..at + n]),
+            }
+            at += n;
         }
     }
 
@@ -254,16 +360,16 @@ impl Nvmm {
             data[base..base + bytes.len()].copy_from_slice(bytes);
             return;
         }
-        for (k, &b) in bytes.iter().enumerate() {
-            let at = base + k;
-            let lineno = (at / LINE_BYTES) as u64;
-            let over = self.overlay.entry(lineno).or_insert_with(|| {
-                let lb = lineno as usize * LINE_BYTES;
-                let mut buf = [0u8; LINE_BYTES];
-                buf.copy_from_slice(&self.base[lb..lb + LINE_BYTES]);
-                buf
-            });
-            over[at % LINE_BYTES] = b;
+        // Forked image: splice line-chunk by line-chunk into the overlay,
+        // seeding each newly-present line from the base.
+        let end = base + bytes.len();
+        let mut at = base;
+        while at < end {
+            let off = at % LINE_BYTES;
+            let n = (LINE_BYTES - off).min(end - at);
+            let over = self.overlay_line_mut((at / LINE_BYTES) as u64);
+            over[off..off + n].copy_from_slice(&bytes[at - base..at - base + n]);
+            at += n;
         }
     }
 }

@@ -194,8 +194,18 @@ pub struct FlushOutcome {
     pub wrote: bool,
 }
 
-fn sharer_bits(mask: u64) -> impl Iterator<Item = usize> {
-    (0..64).filter(move |i| mask & (1u64 << i) != 0)
+fn sharer_bits(mut mask: u64) -> impl Iterator<Item = usize> {
+    // Walk set bits directly (ascending) instead of scanning all 64
+    // positions; directory masks are almost always 0- or 1-bit.
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
 }
 
 /// The complete shared memory system of a simulated machine.
@@ -231,6 +241,15 @@ pub struct MemSystem {
     /// [`crate::core::CoreCtx::region_begin`].
     open_regions: Vec<Option<(RegionId, usize)>>,
     next_region: u64,
+    /// Per-core last-accessed L1 `(line, way)` memo. Validated against the
+    /// cache on every use (the way may have been reused), so it is purely
+    /// a lookup shortcut with no semantic weight.
+    l1_memo: Vec<(u64, usize)>,
+    /// Cached dispatch mode: `true` when no per-op instrumentation
+    /// (candidate tracking, cleaner, census snapshots, crash trigger) is
+    /// armed, letting [`MemSystem::after_op`] skip all of those checks.
+    /// Maintained by [`MemSystem::refresh_dispatch_mode`].
+    quiet_ops: bool,
 }
 
 impl MemSystem {
@@ -256,6 +275,8 @@ impl MemSystem {
         let nvmm = Nvmm::new(cfg.nvmm_bytes);
         let cleaner = cfg.cleaner.map(CleanerState::new);
         let open_regions = vec![None; cfg.cores];
+        let l1_memo = vec![(u64::MAX, 0usize); cfg.cores];
+        let quiet_ops = cleaner.is_none();
         MemSystem {
             cfg,
             l1s,
@@ -279,7 +300,19 @@ impl MemSystem {
             crash_candidates: Vec::new(),
             open_regions,
             next_region: 0,
+            l1_memo,
+            quiet_ops,
         }
+    }
+
+    /// Recompute the cached dispatch mode after any instrumentation
+    /// toggle. `quiet_ops` must be `true` iff [`MemSystem::after_op`] has
+    /// no work beyond the clock/op-counter updates.
+    fn refresh_dispatch_mode(&mut self) {
+        self.quiet_ops = !self.candidate_tracking
+            && self.cleaner.is_none()
+            && self.snapshot_points.is_empty()
+            && self.trigger.is_none();
     }
 
     // ------------------------------------------------------------------
@@ -297,6 +330,7 @@ impl MemSystem {
             self.snapshot_points.clear();
             self.snapshot_cursor = 0;
             self.snapshots.clear();
+            self.refresh_dispatch_mode();
         }
     }
 
@@ -337,6 +371,7 @@ impl MemSystem {
         self.snapshot_points = pts;
         self.snapshot_cursor = 0;
         self.snapshots.clear();
+        self.refresh_dispatch_mode();
     }
 
     /// Take the `(op, census)` snapshots collected since
@@ -345,6 +380,7 @@ impl MemSystem {
     pub fn take_snapshots(&mut self) -> Vec<(u64, CrashCensus)> {
         self.snapshot_points.clear();
         self.snapshot_cursor = 0;
+        self.refresh_dispatch_mode();
         std::mem::take(&mut self.snapshots)
     }
 
@@ -355,6 +391,7 @@ impl MemSystem {
     pub fn set_candidate_tracking(&mut self, on: bool) {
         self.candidate_tracking = on;
         self.crash_candidates.clear();
+        self.refresh_dispatch_mode();
     }
 
     /// Take the recorded crash-point candidates — the op indices of every
@@ -363,6 +400,7 @@ impl MemSystem {
     /// deduplicated — and disarm tracking.
     pub fn take_crash_candidates(&mut self) -> Vec<u64> {
         self.candidate_tracking = false;
+        self.refresh_dispatch_mode();
         let mut out = std::mem::take(&mut self.crash_candidates);
         out.dedup();
         out
@@ -408,7 +446,7 @@ impl MemSystem {
         // Dirty lines, freshest copy first (L1 Modified owner over L2).
         // They rank after pending flushes: a line that was flushed and
         // then re-dirtied holds strictly newer data in the cache.
-        for idx in self.l2.valid_ways().collect::<Vec<_>>() {
+        for idx in self.l2.valid_ways() {
             let w = self.l2.way(idx);
             let mut entry = if w.dirty {
                 Some(CensusEntry {
@@ -566,6 +604,7 @@ impl MemSystem {
     /// Arm (or disarm, with `None`) the crash trigger.
     pub fn set_crash_trigger(&mut self, trigger: Option<CrashTrigger>) {
         self.trigger = trigger;
+        self.refresh_dispatch_mode();
     }
 
     /// Force an immediate crash.
@@ -589,6 +628,7 @@ impl MemSystem {
         self.l2.wipe();
         self.crashed = false;
         self.trigger = None;
+        self.refresh_dispatch_mode();
     }
 
     /// Direct access to the durable image (setup/inspection).
@@ -616,6 +656,17 @@ impl MemSystem {
     /// [`crate::mem::Nvmm::poisoned_lines`]).
     pub fn poisoned_lines(&self) -> Vec<LineAddr> {
         self.nvmm.poisoned_lines()
+    }
+
+    /// [`MemSystem::poisoned_lines`] into a caller-owned buffer (cleared
+    /// first), so tight loops can reuse the allocation.
+    pub fn poisoned_lines_into(&self, out: &mut Vec<LineAddr>) {
+        self.nvmm.poisoned_lines_into(out);
+    }
+
+    /// Whether any NVMM line is currently poisoned (no allocation).
+    pub fn has_poisoned_lines(&self) -> bool {
+        self.nvmm.poisoned_count() != 0
     }
 
     /// Replace the durable image wholesale (crash-state exploration).
@@ -667,7 +718,15 @@ impl MemSystem {
     /// [`crate::debug::dirty_inventory`] for the sorted, user-facing view).
     pub fn collect_dirty_lines(&self) -> Vec<crate::debug::DirtyLine> {
         let mut out = Vec::new();
-        for idx in self.l2.valid_ways().collect::<Vec<_>>() {
+        self.collect_dirty_lines_into(&mut out);
+        out
+    }
+
+    /// [`MemSystem::collect_dirty_lines`] into a caller-owned buffer
+    /// (cleared first), so tight loops can reuse the allocation.
+    pub fn collect_dirty_lines_into(&self, out: &mut Vec<crate::debug::DirtyLine>) {
+        out.clear();
+        for idx in self.l2.valid_ways() {
             let w = self.l2.way(idx);
             let mut entry: Option<crate::debug::DirtyLine> = None;
             if w.dirty {
@@ -695,13 +754,12 @@ impl MemSystem {
                 out.push(e);
             }
         }
-        out
     }
 
     /// Number of currently dirty lines anywhere in the hierarchy.
     pub fn dirty_lines(&self) -> usize {
         let mut n = 0;
-        for idx in self.l2.valid_ways().collect::<Vec<_>>() {
+        for idx in self.l2.valid_ways() {
             let w = self.l2.way(idx);
             let mut dirty = w.dirty;
             if let Some(o) = w.owner {
@@ -739,10 +797,51 @@ impl MemSystem {
                 nvmm_cycles: 0,
             };
         }
+        let probe = self.l1s[core].find(line);
+        self.ensure_in_l1_probed(core, line, now, for_write, probe)
+            .0
+    }
+
+    /// Way of `core`'s L1 holding `line`, if resident. A per-core
+    /// last-way memo short-circuits the set-associative find; the memo is
+    /// validated against the cache on every use, so stale entries (after
+    /// evictions, invalidations, or wipes) are harmless.
+    pub(crate) fn l1_probe(&mut self, core: usize, line: LineAddr) -> Option<usize> {
+        let (memo_line, memo_way) = self.l1_memo[core];
+        if memo_line == line.0 {
+            let w = self.l1s[core].way(memo_way);
+            if w.state != Mesi::Invalid && w.line == line {
+                return Some(memo_way);
+            }
+        }
+        let found = self.l1s[core].find(line);
+        if let Some(idx) = found {
+            self.l1_memo[core] = (line.0, idx);
+        }
+        found
+    }
+
+    /// [`MemSystem::ensure_in_l1`] with the residence probe hoisted out:
+    /// `probe` is `core`'s way holding `line` (`None` = definitively
+    /// absent), normally from [`MemSystem::l1_probe`]. Returns the access
+    /// plus the way now holding the line, which
+    /// [`MemSystem::l1_read_scalar_at`] / [`MemSystem::l1_write_scalar_at`]
+    /// accept to skip re-finding it. No other cache operation may
+    /// intervene between the probe and this call, and the machine must not
+    /// be crashed (callers in [`crate::core::CoreCtx`] check once per op).
+    pub(crate) fn ensure_in_l1_probed(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        now: u64,
+        for_write: bool,
+        probe: Option<usize>,
+    ) -> (Access, usize) {
+        debug_assert!(!self.crashed, "ensure_in_l1_probed on a crashed machine");
         let l1_lat = self.cfg.l1_latency;
         let l2_lat = self.cfg.l2_latency;
 
-        if let Some(idx) = self.l1s[core].find(line) {
+        if let Some(idx) = probe {
             self.l1s[core].touch(idx);
             let state = self.l1s[core].way(idx).state;
             let cost = match (state, for_write) {
@@ -774,11 +873,14 @@ impl MemSystem {
                 }
                 (Mesi::Invalid, _) => unreachable!("find() returned an invalid way"),
             };
-            return Access {
-                l1_hit: true,
-                cost,
-                nvmm_cycles: 0,
-            };
+            return (
+                Access {
+                    l1_hit: true,
+                    cost,
+                    nvmm_cycles: 0,
+                },
+                idx,
+            );
         }
 
         // L1 miss: consult the L2.
@@ -879,16 +981,19 @@ impl MemSystem {
                 (buf, Mesi::Exclusive, 0)
             }
         };
-        self.install_in_l1(core, line, data, state, dirty_since);
-        Access {
-            l1_hit: false,
-            cost,
-            nvmm_cycles,
-        }
+        let way = self.install_in_l1(core, line, data, state, dirty_since);
+        (
+            Access {
+                l1_hit: false,
+                cost,
+                nvmm_cycles,
+            },
+            way,
+        )
     }
 
     /// Install a line in `core`'s L1, propagating any dirty victim into the
-    /// (inclusive) L2 and fixing the directory.
+    /// (inclusive) L2 and fixing the directory. Returns the way used.
     fn install_in_l1(
         &mut self,
         core: usize,
@@ -896,8 +1001,9 @@ impl MemSystem {
         data: [u8; LINE_BYTES],
         state: Mesi,
         dirty_since: u64,
-    ) {
-        let (_, victim) = self.l1s[core].insert(line, data, state, dirty_since);
+    ) -> usize {
+        let (way, victim) = self.l1s[core].insert(line, data, state, dirty_since);
+        self.l1_memo[core] = (line.0, way);
         if let Some(ev) = victim {
             let l2idx = self
                 .l2
@@ -918,6 +1024,7 @@ impl MemSystem {
                 w.dirty = true;
             }
         }
+        way
     }
 
     /// Evict the occupant of L2 way `way`: back-invalidate L1 copies,
@@ -1088,9 +1195,11 @@ impl MemSystem {
     /// Used by the periodic cleaner and by harness-requested drains.
     /// Returns the number of lines written.
     pub fn writeback_all_dirty(&mut self, now: u64, cause: WriteCause) -> u64 {
-        let ways: Vec<usize> = self.l2.valid_ways().collect();
         let mut written = 0;
-        for way in ways {
+        for way in 0..self.l2.num_ways() {
+            if !self.l2.way(way).valid {
+                continue;
+            }
             let (line, owner) = {
                 let w = self.l2.way(way);
                 (w.line, w.owner)
@@ -1143,9 +1252,19 @@ impl MemSystem {
     ///
     /// `candidate` marks ops after which a crash can expose a new NVMM
     /// state (stores, flushes, fences — not loads).
+    #[inline]
     pub fn after_op(&mut self, core_now: u64, candidate: bool) {
         self.global_time = self.global_time.max(core_now);
         self.mem_ops += 1;
+        if !self.quiet_ops {
+            self.after_op_instrumented(candidate);
+        }
+    }
+
+    /// The instrumented tail of [`MemSystem::after_op`]: candidate
+    /// recording, cleaner sweeps, census snapshots, and the crash trigger.
+    /// Split out so uninstrumented runs pay a single predicted branch.
+    fn after_op_instrumented(&mut self, candidate: bool) {
         if self.candidate_tracking && candidate {
             self.crash_candidates.push(self.mem_ops);
         }
@@ -1259,6 +1378,46 @@ impl MemSystem {
         );
         let bits = v.to_bits64().to_le_bytes();
         self.l1s[core].way_mut(idx).data[off..off + T::SIZE].copy_from_slice(&bits[..T::SIZE]);
+    }
+
+    /// [`MemSystem::l1_read_scalar`] with the residence lookup already
+    /// done: `way` must come from [`MemSystem::ensure_in_l1_probed`] for
+    /// `addr`'s line, with no intervening cache operation.
+    pub(crate) fn l1_read_scalar_at<T: crate::mem::Scalar>(
+        &self,
+        core: usize,
+        way: usize,
+        addr: crate::addr::Addr,
+    ) -> T {
+        let off = addr.line_offset();
+        debug_assert!(off + T::SIZE <= LINE_BYTES, "scalar straddles a line");
+        let w = self.l1s[core].way(way);
+        debug_assert_eq!(w.line, addr.line(), "stale way index");
+        let mut bits = [0u8; 8];
+        bits[..T::SIZE].copy_from_slice(&w.data[off..off + T::SIZE]);
+        T::from_bits64(u64::from_le_bytes(bits))
+    }
+
+    /// [`MemSystem::l1_write_scalar`] with the residence lookup already
+    /// done (same contract as [`MemSystem::l1_read_scalar_at`]).
+    pub(crate) fn l1_write_scalar_at<T: crate::mem::Scalar>(
+        &mut self,
+        core: usize,
+        way: usize,
+        addr: crate::addr::Addr,
+        v: T,
+    ) {
+        let off = addr.line_offset();
+        debug_assert!(off + T::SIZE <= LINE_BYTES, "scalar straddles a line");
+        let w = self.l1s[core].way_mut(way);
+        debug_assert_eq!(w.line, addr.line(), "stale way index");
+        debug_assert_eq!(
+            w.state,
+            Mesi::Modified,
+            "writing a line without write permission"
+        );
+        let bits = v.to_bits64().to_le_bytes();
+        w.data[off..off + T::SIZE].copy_from_slice(&bits[..T::SIZE]);
     }
 
     /// Check the structural coherence invariants and return the first
