@@ -16,8 +16,11 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
-echo "== lp-check mutation suite =="
-cargo run --release -q -p lp-check -- --mutations
+echo "== lp-check mutation suite (R8 parity-before-data rig included) =="
+cargo run --release -q -p lp-check -- --mutations | tee /tmp/lp_check_muts.txt
+grep -q "parity_before_data.*flagged" /tmp/lp_check_muts.txt \
+  || { echo "R8 mutation rig (parity_before_data) missing or not flagged"; exit 1; }
+rm -f /tmp/lp_check_muts.txt
 
 echo "== lp-crashmc smoke: kernels recover on every sampled crash state (multi-threaded) =="
 cargo run --release -q -p lp-crashmc -- --budget smoke --threads 8
@@ -31,6 +34,24 @@ cargo run --release -q -p lp-crashmc -- --budget smoke --faults torn,media,neste
 cmp /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt \
   || { echo "fault campaign reports differ across thread counts"; exit 1; }
 rm -f /tmp/lp_faults_t2.txt /tmp/lp_faults_t4.txt
+
+echo "== lp-crashmc smoke: LazyParity repair ladder (single-line poisons repair, bursts escalate, 0 corrupt) =="
+# Exit status enforces 0 corrupt / 0 stuck; the grep-derived sum enforces
+# that rung-1 parity repairs actually fired (the ladder is exercised, not
+# bypassed), and the cmp that the report is byte-identical across thread
+# counts.
+cargo run --release -q -p lp-crashmc -- --budget smoke --scheme lazy-parity --faults media --seed 42 --threads 2 > /tmp/lp_par_media_t2.txt
+cargo run --release -q -p lp-crashmc -- --budget smoke --scheme lazy-parity --faults media --seed 42 --threads 4 > /tmp/lp_par_media_t4.txt
+cmp /tmp/lp_par_media_t2.txt /tmp/lp_par_media_t4.txt \
+  || { echo "LazyParity media reports differ across thread counts"; exit 1; }
+par_repairs=$(awk '{for(i=1;i<NF;i++) if($i=="repair") s+=$(i+1)} END{print s+0}' /tmp/lp_par_media_t2.txt)
+[ "$par_repairs" -gt 0 ] \
+  || { echo "LazyParity media campaign performed no rung-1 repairs"; exit 1; }
+cargo run --release -q -p lp-crashmc -- --budget smoke --scheme lazy-parity --faults media-burst --seed 42 --threads 4 > /tmp/lp_par_burst.txt
+par_escalations=$(awk '{for(i=1;i<NF;i++) if($i=="escalated") s+=$(i+1)} END{print s+0}' /tmp/lp_par_burst.txt)
+[ "$par_escalations" -gt 0 ] \
+  || { echo "LazyParity burst campaign never escalated past rung 1"; exit 1; }
+rm -f /tmp/lp_par_media_t2.txt /tmp/lp_par_media_t4.txt /tmp/lp_par_burst.txt
 
 echo "== lp-crashmc smoke: dedup on/off must not change the report, only the wall-clock =="
 cargo run --release -q -p lp-crashmc -- --budget smoke --seed 42 --threads 4 --dedup on  > /tmp/lp_dedup_on.txt
@@ -59,30 +80,34 @@ rm -f /tmp/lp_scale_t1.txt /tmp/lp_scale_t8.txt
 echo "== lp-crashmc smoke: every fault mutation is flagged =="
 cargo run --release -q -p lp-crashmc -- --fault-mutations --threads 2
 
-echo "== lp-lint: clean tree must have zero findings (S1-S6, W1-W4), within the wall-time budget =="
+echo "== lp-lint: clean tree must have zero findings (S1-S7, W1-W4), within the wall-time budget =="
 lint_t0=$(date +%s%N)
 cargo run --release -q -p lp-lint -- --all
 lint_ms=$(( ($(date +%s%N) - lint_t0) / 1000000 ))
 echo "lp-lint --all wall time: ${lint_ms}ms (budget 2000ms)"
 [ "$lint_ms" -le 2000 ] || { echo "lp-lint exceeded its 2s wall-time budget"; exit 1; }
 
-echo "== lp-lint: differential vs the mutation rigs + efficiency fixtures (control clean) =="
-cargo run --release -q -p lp-lint -- --differential
+echo "== lp-lint: differential vs the mutation rigs + efficiency fixtures (control clean, S7 twin included) =="
+cargo run --release -q -p lp-lint -- --differential | tee /tmp/lp_lint_diff.txt
+grep -q "parity_before_data.*S7" /tmp/lp_lint_diff.txt \
+  || { echo "S7 fixture (parity_before_data) missing from the differential"; exit 1; }
+rm -f /tmp/lp_lint_diff.txt
 
 echo "== lp-lint: cost model vs measured flush/fence counters, all kernels x schemes =="
 cargo run --release -q -p lp-lint -- --cost-check
 
-echo "== perf baseline: refresh results/BENCH_9.json + regression + cycle-invariance check vs BENCH_8 =="
+echo "== perf baseline: refresh results/BENCH_10.json + regression + cycle-invariance check vs BENCH_9 =="
 # --check compares fresh best-of-reps rates (units / wall_min — robust
-# to scheduler noise on millisecond cells) against the stored BENCH_8
+# to scheduler noise on millisecond cells) against the stored BENCH_9
 # baseline and exits nonzero past tolerance (best rate >= 0.5x baseline,
 # 0.6x for the steadier single-threaded sim/ cells; speedup_vs_1 >=
 # baseline - 0.5, skipped when host_cpus differ from the baseline host).
 # It is also the cycle-invariance gate: the sim/ cells' sim_cycles and
 # memops must match the stored baseline EXACTLY (the timing model is
 # pinned; any drift is a semantic regression, not noise), and each sim
-# cell must finish within its wall-time budget. JSON to stdout; check
-# verdict to stderr.
-cargo run --release -q -p lp-bench --bin perf_baseline -- --quick --check results/BENCH_8.json > /dev/null
+# cell must finish within its wall-time budget. The BENCH_10 refresh
+# adds a sim/tmm/LP+par(crc32) cell (new vs BENCH_9 — informational this
+# round, pinned from the next). JSON to stdout; check verdict to stderr.
+cargo run --release -q -p lp-bench --bin perf_baseline -- --quick --check results/BENCH_9.json > /dev/null
 
 echo "ci.sh: all gates passed"

@@ -87,7 +87,7 @@ fn main() {
             label.to_string(),
             r.regions_checked.to_string(),
             r.regions_inconsistent.to_string(),
-            r.regions_repaired.to_string(),
+            r.recomputed_regions.to_string(),
             r.cycles.to_string(),
         ]);
     }

@@ -126,7 +126,7 @@ macro_rules! drive {
             let r = work.recover(&mut machine);
             println!(
                 "recover: checked {} regions, {} inconsistent, recomputed {} in {} cycles",
-                r.regions_checked, r.regions_inconsistent, r.regions_repaired, r.cycles
+                r.regions_checked, r.regions_inconsistent, r.recomputed_regions, r.cycles
             );
         }
         machine.drain_caches();

@@ -11,13 +11,13 @@
 //! across commits): every cell uses a fixed workload size, runs one
 //! untimed warmup pass, then three timed repetitions, and reports the
 //! median wall time (min/max recorded as spread). Emits
-//! `results/BENCH_9.json` (hand-rolled JSON; the workspace carries no
+//! `results/BENCH_10.json` (hand-rolled JSON; the workspace carries no
 //! serde) with the host's logical CPU count, and refreshes the perf
 //! section of `results/bench_summary.txt`. Run with `--quick` for the
 //! CI-sized workload.
 //!
 //! Regression gate: `--check PATH` compares the fresh measurements
-//! against an older baseline JSON (BENCH_7/8/9 format) and exits
+//! against an older baseline JSON (BENCH_7/8/9/10 format) and exits
 //! nonzero when a matched entry rots past tolerance. Documented
 //! tolerances (generous, because CI runners are shared and the host may
 //! have a single core): a best-of-reps rate (units / `wall_min`, the
@@ -40,7 +40,7 @@
 //! rate ratio is still within tolerance.
 //!
 //! Run: `cargo run --release -p lp-bench --bin perf_baseline
-//!       [--quick] [--check results/BENCH_8.json]`.
+//!       [--quick] [--check results/BENCH_9.json]`.
 
 #![forbid(unsafe_code)]
 
@@ -123,7 +123,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(quick: bool, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"BENCH_9\",\n");
+    out.push_str("  \"bench\": \"BENCH_10\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
     out.push_str(&format!(
@@ -365,7 +365,7 @@ fn refresh_summary(path: &std::path::Path, quick: bool, entries: &[Entry]) {
     out.push_str(SUMMARY_BEGIN);
     out.push('\n');
     out.push_str(&format!(
-        "source: perf_baseline (BENCH_9.json), quick={quick}, median of {TIMED_REPS} reps, host_cpus={}\n\n",
+        "source: perf_baseline (BENCH_10.json), quick={quick}, median of {TIMED_REPS} reps, host_cpus={}\n\n",
         host_cpus()
     ));
     out.push_str(&format!(
@@ -463,7 +463,12 @@ fn main() {
     // --- Simulator throughput: one representative bench cell per scheme.
     let scale = if quick { Scale::Test } else { Scale::Bench };
     let cfg = MachineConfig::default().with_nvmm_bytes(512 << 20);
-    for scheme in [Scheme::Base, Scheme::lazy_default(), Scheme::Eager] {
+    for scheme in [
+        Scheme::Base,
+        Scheme::lazy_default(),
+        Scheme::lazy_parity_default(),
+        Scheme::Eager,
+    ] {
         eprintln!("perf_baseline: sim {scheme}...");
         let (wall, wall_min, wall_max, run) =
             measure(|| run_kernel(KernelId::Tmm, scale, &cfg, scheme));
@@ -591,9 +596,9 @@ fn main() {
     });
 
     let json = render_json(quick, &entries);
-    let path = std::path::Path::new("results").join("BENCH_9.json");
+    let path = std::path::Path::new("results").join("BENCH_10.json");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write(&path, &json).expect("write BENCH_9.json");
+    std::fs::write(&path, &json).expect("write BENCH_10.json");
     println!("{json}");
     eprintln!("perf_baseline: wrote {}", path.display());
     refresh_summary(

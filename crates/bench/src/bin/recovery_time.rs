@@ -29,7 +29,7 @@ fn run_case(cfg: &MachineConfig, params: TmmParams, crash_ops: u64) -> (u64, u64
     assert!(tmm.verify(&machine), "recovery failed");
     (
         r.regions_inconsistent,
-        r.regions_repaired,
+        r.recomputed_regions,
         r.cycles,
         run_stats.nvmm_writes(),
         run_stats.mem.nvmm_writes_cleaner,

@@ -58,6 +58,10 @@ struct OpenRegion {
     /// Lines this region rewrote that belong to an earlier committed Lazy
     /// region whose checksum is not yet durable.
     rewrites: Vec<(Addr, RegionId)>,
+    /// Whether a parity-arena line was stored by this region (drives R8:
+    /// parity is a summary of the region's data and must be published
+    /// last, so no protected store may follow it).
+    parity_stored: bool,
 }
 
 impl OpenRegion {
@@ -66,7 +70,9 @@ impl OpenRegion {
             id,
             key,
             ck: match scheme {
-                Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => Some(RunningChecksum::new(kind)),
+                Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) | Scheme::LazyParity(kind) => {
+                    Some(RunningChecksum::new(kind))
+                }
                 _ => None,
             },
             ck_stored: false,
@@ -76,6 +82,7 @@ impl OpenRegion {
             logged: HashMap::new(),
             last_log_target: None,
             rewrites: Vec::new(),
+            parity_stored: false,
         }
     }
 
@@ -270,8 +277,22 @@ impl Checker {
                         self.epoch_writers.insert(line, (core, region_id));
                     }
                 }
+                // R8: parity summarizes the region's protected stores, so
+                // a protected store after the parity publication leaves a
+                // crash window where durable parity describes data that
+                // never reached NVMM — a later repair would reconstruct
+                // from the wrong lanes.
+                if open.parity_stored {
+                    findings.push((
+                        Rule::R8,
+                        format!(
+                            "protected store of bits {bits:#018x} after the \
+                             region's parity line was already published"
+                        ),
+                    ));
+                }
                 // R6: rewrite of a committed-but-not-durable Lazy line.
-                if matches!(self.scheme, Scheme::Lazy(_)) {
+                if matches!(self.scheme, Scheme::Lazy(_) | Scheme::LazyParity(_)) {
                     if let Some(p) = self
                         .pending
                         .iter()
@@ -368,6 +389,9 @@ impl Checker {
                 }
                 open.log_lines.insert(line, LineStage::Dirty);
             }
+            Some(RangeRole::ParityArena) => {
+                open.parity_stored = true;
+            }
             Some(RangeRole::WalHeader | RangeRole::Scratch) | None => {}
         }
         *self.open_mut(core) = Some(open);
@@ -381,7 +405,7 @@ impl Checker {
         let Some(open) = self.open_mut(core).take() else {
             return;
         };
-        if matches!(self.scheme, Scheme::Lazy(_)) {
+        if matches!(self.scheme, Scheme::Lazy(_) | Scheme::LazyParity(_)) {
             if !open.rewrites.is_empty() && !open.ck_stored {
                 let (addr, victim) = open.rewrites[0];
                 self.flag(
@@ -476,6 +500,37 @@ impl Checker {
             } => match self.role_of(addr).map(|(role, _)| role) {
                 Some(RangeRole::Protected) => {
                     self.rec_lines.insert(addr.line().0, LineStage::Dirty);
+                }
+                Some(RangeRole::ParityArena) => {
+                    // R8 in recovery: parity vouches for repaired data, so
+                    // it may only be (re)published once every protected
+                    // recovery store is flushed and fenced — otherwise a
+                    // nested crash persists parity for data that died in
+                    // the caches.
+                    let mut unfenced: Vec<u64> = self
+                        .rec_lines
+                        .iter()
+                        .filter(|&(_, stage)| *stage != LineStage::Fenced)
+                        .map(|(&l, _)| l)
+                        .collect();
+                    if !unfenced.is_empty() {
+                        unfenced.sort_unstable();
+                        self.flag(
+                            Rule::R8,
+                            core,
+                            cycle,
+                            Some(addr),
+                            region,
+                            None,
+                            format!(
+                                "recovery parity line {bits:#018x} stored while \
+                                 {} protected recovery line(s) lack a covering \
+                                 flush+sfence, e.g. L{:#x}",
+                                unfenced.len(),
+                                unfenced[0]
+                            ),
+                        );
+                    }
                 }
                 Some(RangeRole::Markers | RangeRole::WalHeader | RangeRole::ChecksumTable) => {
                     let mut unfenced: Vec<u64> = self

@@ -2,7 +2,7 @@
 //!
 //! `lp-check` replays the simulator's memory-event stream (see
 //! `lp_sim::observe`) against the contract of the persistency scheme in
-//! force and reports violations. It enforces seven rules:
+//! force and reports violations. It enforces eight rules:
 //!
 //! * **R1** — store to protected persistent memory outside any
 //!   begin/commit region.
@@ -22,6 +22,10 @@
 //!   header, or checksum-table entry) while protected recovery stores it
 //!   vouches for still lacked a covering flush + `sfence` — a nested crash
 //!   in that window would trust the promise and skip the repair.
+//! * **R8** — parity published ahead of the data it summarizes: a
+//!   parity-arena line stored before the region's protected stores were
+//!   all issued, or persisted by recovery while a repaired line it
+//!   vouches for was still unfenced.
 //!
 //! The checker is an observer: it cannot perturb the timing or functional
 //! model, and a machine without one installed pays nothing. Because the
@@ -92,11 +96,12 @@ pub fn check_kernel(
 
 /// The scheme matrix the clean-run suite audits (one representative
 /// checksum kind for each Lazy variant).
-pub fn default_schemes() -> [Scheme; 5] {
+pub fn default_schemes() -> [Scheme; 6] {
     use lp_core::checksum::ChecksumKind;
     [
         Scheme::Base,
         Scheme::Lazy(ChecksumKind::Modular),
+        Scheme::lazy_parity_default(),
         Scheme::LazyEagerCk(ChecksumKind::Modular),
         Scheme::Eager,
         Scheme::Wal,

@@ -12,6 +12,7 @@
 use std::sync::{Arc, Mutex};
 
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
+use lp_core::parity::lane_of;
 use lp_core::scheme::{Scheme, SchemeHandles};
 use lp_core::track::{RangeRole, TrackedRange};
 use lp_sim::config::MachineConfig;
@@ -401,6 +402,57 @@ pub fn recovery_marker_first() -> MutationOutcome {
     }
 }
 
+/// A LazyParity region that publishes its parity line *before* the
+/// region's protected stores are all issued (rule R8): a crash between
+/// the early parity store and the remaining data stores leaves durable
+/// parity summarizing data that never existed, so a later media repair
+/// would reconstruct garbage and certify it.
+pub fn parity_before_data() -> MutationOutcome {
+    let kind = ChecksumKind::Crc32;
+    let scheme = Scheme::LazyParity(kind);
+    let Rig {
+        machine,
+        arr,
+        handles,
+        ranges,
+    } = rig(scheme, 1);
+    let table = handles.table;
+    let parity = handles.parity;
+    let mut plans = machine.plans();
+    plans[0].region(move |ctx| {
+        ctx.region_begin(9);
+        let mut ck = RunningChecksum::new(kind);
+        let mut lanes = [0u64; 8];
+        for i in 0..4 {
+            let v = (i + 1) as f64;
+            ctx.store(arr, i, v);
+            ck.update(v.to_bits());
+            lanes[lane_of(arr.addr(i))] ^= v.to_bits();
+        }
+        // The mutant: parity published mid-region, while half the stores
+        // it will end up summarizing are still to come.
+        parity.store_lanes(ctx, 9, &lanes);
+        for i in 4..8 {
+            let v = (i + 1) as f64;
+            ctx.store(arr, i, v);
+            ck.update(v.to_bits());
+        }
+        table.store(ctx, 9, ck.value());
+        ctx.region_end();
+    });
+    MutationOutcome {
+        name: "parity_before_data",
+        expected: Rule::R8,
+        report: audit(
+            machine,
+            scheme,
+            ranges,
+            plans,
+            "mutation parity_before_data",
+        ),
+    }
+}
+
 /// Control: the same shape as the mutants but fully disciplined — the
 /// checker must stay silent.
 pub fn disciplined_control(scheme: Scheme) -> ViolationReport {
@@ -442,6 +494,7 @@ pub fn run_all() -> Vec<MutationOutcome> {
         overlap_write_sets(),
         torn_rewrite(),
         recovery_marker_first(),
+        parity_before_data(),
     ]
 }
 
@@ -474,6 +527,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::LazyEagerCk(ChecksumKind::Modular),
             Scheme::Eager,
             Scheme::Wal,

@@ -33,11 +33,18 @@ pub enum Rule {
     /// flush + `sfence`, so a nested crash could persist the promise
     /// without the data and the re-entry would skip the repair.
     R7,
+    /// Parity published ahead of the data it summarizes: a parity-arena
+    /// line stored before every protected store of its region (forward
+    /// path), or persisted by recovery while a repaired line it vouches
+    /// for still lacked a covering flush + `sfence` — a crash would leave
+    /// parity describing data that never reached NVMM, and a later repair
+    /// would reconstruct from the wrong lanes.
+    R8,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -45,9 +52,10 @@ impl Rule {
         Rule::R5,
         Rule::R6,
         Rule::R7,
+        Rule::R8,
     ];
 
-    /// Short identifier (`"R1"` … `"R7"`).
+    /// Short identifier (`"R1"` … `"R8"`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::R1 => "R1",
@@ -57,6 +65,7 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
         }
     }
 
@@ -70,6 +79,7 @@ impl Rule {
             Rule::R5 => "overlapping write sets between concurrently scheduled regions",
             Rule::R6 => "committed region's line rewritten before its checksum was durable",
             Rule::R7 => "recovery progress stored before the repairs it vouches for were durable",
+            Rule::R8 => "parity line published ahead of the region data it summarizes",
         }
     }
 
@@ -92,6 +102,7 @@ impl Rule {
             Rule::R4 => &["S3"],
             Rule::R5 | Rule::R6 => &[],
             Rule::R7 => &["S4"],
+            Rule::R8 => &["S7"],
         }
     }
 }
@@ -183,7 +194,7 @@ impl ViolationReport {
         self.of_rule(rule).next().is_some()
     }
 
-    /// Per-rule counts, ordered R1..R7, rules with zero hits omitted.
+    /// Per-rule counts, ordered R1..R8, rules with zero hits omitted.
     pub fn counts(&self) -> Vec<(Rule, usize)> {
         Rule::ALL
             .into_iter()
@@ -287,7 +298,7 @@ mod tests {
                 Some(s) => {
                     assert!(s.starts_with('S'), "{s}");
                     let n: u32 = s[1..].parse().unwrap();
-                    assert!((1..=6).contains(&n), "{s}");
+                    assert!((1..=7).contains(&n), "{s}");
                 }
                 None => assert!(matches!(r, Rule::R5 | Rule::R6)),
             }

@@ -53,6 +53,7 @@
 
 pub mod checksum;
 pub mod ep;
+pub mod parity;
 pub mod recovery;
 pub mod scheme;
 pub mod table;
@@ -63,6 +64,7 @@ pub mod wal;
 pub mod prelude {
     pub use crate::checksum::{ChecksumKind, RunningChecksum};
     pub use crate::ep::{persist_range, persist_store, EagerCommitter};
+    pub use crate::parity::{ParityArena, RepairVerdict};
     pub use crate::recovery::{region_consistent, RecoveryStats};
     pub use crate::scheme::{RegionSession, Scheme, SchemeHandles, ThreadPersist};
     pub use crate::table::ChecksumTable;

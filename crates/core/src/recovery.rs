@@ -26,8 +26,21 @@ pub struct RecoveryStats {
     pub regions_checked: u64,
     /// Regions found inconsistent (checksum mismatch or never written).
     pub regions_inconsistent: u64,
-    /// Regions recomputed/repair work units executed.
-    pub regions_repaired: u64,
+    /// Regions *recomputed* — rung 2/3 of the escalation ladder: the
+    /// region's values were re-derived (from inputs or by EP re-execution)
+    /// and re-persisted eagerly.
+    pub recomputed_regions: u64,
+    /// Lines *repaired* in place — rung 1: reconstructed from the region's
+    /// XOR parity plus its surviving lines and re-verified, without
+    /// recomputing anything.
+    pub repaired_lines: u64,
+    /// Rung-1 attempts that failed (unrepairable burst, partial line
+    /// ownership, missing checksum, or a reconstruction that did not
+    /// re-verify). Each failure precedes an escalation.
+    pub repair_failures: u64,
+    /// Transitions down the ladder: a region that rung 1 could not fix
+    /// and had to fall through to recompute / re-execution.
+    pub escalations: u64,
     /// Regions rebuilt because their lines intersected poisoned (media
     /// fault) NVMM — the checksum verdict was never trusted for these.
     pub regions_quarantined: u64,
@@ -40,7 +53,10 @@ impl RecoveryStats {
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.regions_checked += other.regions_checked;
         self.regions_inconsistent += other.regions_inconsistent;
-        self.regions_repaired += other.regions_repaired;
+        self.recomputed_regions += other.recomputed_regions;
+        self.repaired_lines += other.repaired_lines;
+        self.repair_failures += other.repair_failures;
+        self.escalations += other.escalations;
         self.regions_quarantined += other.regions_quarantined;
         self.cycles += other.cycles;
     }
@@ -221,20 +237,29 @@ mod tests {
         let mut a = RecoveryStats {
             regions_checked: 2,
             regions_inconsistent: 1,
-            regions_repaired: 1,
+            recomputed_regions: 1,
+            repaired_lines: 2,
+            repair_failures: 1,
+            escalations: 1,
             regions_quarantined: 1,
             cycles: 100,
         };
         let b = RecoveryStats {
             regions_checked: 3,
             regions_inconsistent: 0,
-            regions_repaired: 0,
+            recomputed_regions: 0,
+            repaired_lines: 1,
+            repair_failures: 0,
+            escalations: 0,
             regions_quarantined: 2,
             cycles: 50,
         };
         a.merge(&b);
         assert_eq!(a.regions_checked, 5);
         assert_eq!(a.regions_quarantined, 3);
+        assert_eq!(a.repaired_lines, 3);
+        assert_eq!(a.repair_failures, 1);
+        assert_eq!(a.escalations, 1);
         assert_eq!(a.cycles, 150);
     }
 

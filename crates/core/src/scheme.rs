@@ -11,12 +11,14 @@
 //! |--------|-----------|-----------|
 //! | `Base` | plain store | nothing |
 //! | `Lazy(kind)` | store + checksum update | one lazy store of the checksum |
+//! | `LazyParity(kind)` | store + checksum update + parity-lane XOR | checksum store, then the parity line |
 //! | `LazyEagerCk(kind)` | store + checksum update | checksum store + flush + fence |
 //! | `Eager` | store + immediate `clflushopt` | fence, then durable marker |
 //! | `Wal` | undo-log append (flushed) + staged store | Figure 2's flush+fence rounds |
 
 use crate::checksum::{ChecksumKind, RunningChecksum};
 use crate::ep::EagerCommitter;
+use crate::parity::{lane_of, ParityArena, PARITY_FOLD_OPS};
 use crate::table::ChecksumTable;
 use crate::track::{RangeRole, TrackedRange};
 use crate::wal::{WalArena, WalTx};
@@ -31,6 +33,11 @@ pub enum Scheme {
     Base,
     /// Lazy Persistency with the given checksum (this paper's proposal).
     Lazy(ChecksumKind),
+    /// Lazy Persistency plus a per-region XOR parity line, so recovery can
+    /// *repair* a single lost line in place (Pangolin-style) instead of
+    /// recomputing the whole region — the rung-1 entry of the escalation
+    /// ladder parity repair → region recompute → EP re-execution.
+    LazyParity(ChecksumKind),
     /// Lazy Persistency for the data but *eager* persistence for the
     /// checksum itself (flush + fence at commit) — the alternative
     /// Section III-D weighs and rejects; kept as an ablation.
@@ -47,6 +54,7 @@ impl Scheme {
         match self {
             Scheme::Base => "base".into(),
             Scheme::Lazy(k) => format!("LP({k})"),
+            Scheme::LazyParity(k) => format!("LP+par({k})"),
             Scheme::LazyEagerCk(k) => format!("LP({k}, eager-ck)"),
             Scheme::Eager => "EP".into(),
             Scheme::Wal => "WAL".into(),
@@ -56,6 +64,15 @@ impl Scheme {
     /// Lazy Persistency with the paper's default checksum (Modular).
     pub fn lazy_default() -> Self {
         Scheme::Lazy(ChecksumKind::Modular)
+    }
+
+    /// Parity-repairing Lazy Persistency with CRC-32 — the cheapest
+    /// checksum that can *certify* a rung-1 parity reconstruction at any
+    /// region size (see [`crate::parity::can_certify`]; Modular falls to
+    /// transfer cancellation against a coexisting single-bit flip, so a
+    /// Modular-paired parity arena detects but never repairs).
+    pub fn lazy_parity_default() -> Self {
+        Scheme::LazyParity(ChecksumKind::Crc32)
     }
 }
 
@@ -72,6 +89,9 @@ pub struct SchemeHandles {
     pub scheme: Scheme,
     /// Checksum table (used by `Lazy`; allocated tiny otherwise).
     pub table: ChecksumTable,
+    /// Per-region XOR parity lines (used by `LazyParity`; sized like the
+    /// table so region keys index it collision-free).
+    pub parity: ParityArena,
     /// Per-thread durable progress markers (used by `Eager`): `0` = no
     /// region completed, else `1 + key` of the last committed region.
     pub markers: PArray<u64>,
@@ -100,6 +120,10 @@ impl SchemeHandles {
         // normal execution, and the shared recovery sinks repair entries
         // under any scheme.
         let table = ChecksumTable::alloc(machine, table_entries.max(1))?;
+        // The parity arena mirrors the table: allocated for every scheme
+        // (one line per key) so recovery sinks can repair parity alongside
+        // checksums; only `LazyParity` writes it in the forward path.
+        let parity = ParityArena::alloc(machine, table_entries.max(1))?;
         let markers = machine.alloc::<u64>(threads.max(1))?;
         for t in 0..threads.max(1) {
             machine.poke(markers, t, 0);
@@ -114,6 +138,7 @@ impl SchemeHandles {
         Ok(SchemeHandles {
             scheme,
             table,
+            parity,
             markers,
             arenas,
         })
@@ -124,6 +149,7 @@ impl SchemeHandles {
     pub fn ranges(&self) -> Vec<TrackedRange> {
         let mut out = vec![
             TrackedRange::of("ck-table", self.table.array(), RangeRole::ChecksumTable),
+            TrackedRange::of("parity", self.parity.array(), RangeRole::ParityArena),
             TrackedRange::of("markers", self.markers, RangeRole::Markers),
         ];
         for (t, arena) in self.arenas.iter().enumerate() {
@@ -150,6 +176,7 @@ impl SchemeHandles {
         ThreadPersist {
             scheme: self.scheme,
             table: self.table,
+            parity: self.parity,
             markers: self.markers,
             tid,
             arena: if matches!(self.scheme, Scheme::Wal) {
@@ -168,6 +195,8 @@ pub struct ThreadPersist {
     pub scheme: Scheme,
     /// Checksum table handle.
     pub table: ChecksumTable,
+    /// Parity arena handle.
+    pub parity: ParityArena,
     /// Marker array handle.
     pub markers: PArray<u64>,
     /// This thread's id (marker slot).
@@ -180,6 +209,7 @@ pub struct ThreadPersist {
 pub struct RegionSession {
     key: usize,
     ck: Option<RunningChecksum>,
+    par: Option<[u64; 8]>,
     eager: Option<EagerCommitter>,
     wal: Option<WalTx>,
 }
@@ -202,9 +232,12 @@ impl ThreadPersist {
         RegionSession {
             key,
             ck: match self.scheme {
-                Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => Some(RunningChecksum::new(kind)),
+                Scheme::Lazy(kind) | Scheme::LazyParity(kind) | Scheme::LazyEagerCk(kind) => {
+                    Some(RunningChecksum::new(kind))
+                }
                 _ => None,
             },
+            par: matches!(self.scheme, Scheme::LazyParity(_)).then_some([0u64; 8]),
             eager: matches!(self.scheme, Scheme::Eager).then(EagerCommitter::new),
             wal: self.arena.map(|a| a.begin()),
         }
@@ -232,6 +265,14 @@ impl ThreadPersist {
                 ck.update(v.to_bits64());
                 ctx.compute(kind.cost_ops());
             }
+            Scheme::LazyParity(kind) => {
+                ctx.store(arr, i, v);
+                let ck = rs.ck.as_mut().expect("lazy session has a checksum");
+                ck.update(v.to_bits64());
+                let par = rs.par.as_mut().expect("parity session has lanes");
+                par[lane_of(arr.addr(i))] ^= v.to_bits64();
+                ctx.compute(kind.cost_ops() + PARITY_FOLD_OPS);
+            }
             Scheme::Eager => {
                 // EagerRecompute persists computation *as it goes*
                 // (Section V-C): every result store is immediately pushed
@@ -257,6 +298,17 @@ impl ThreadPersist {
             Scheme::Lazy(_) => {
                 let ck = rs.ck.expect("lazy session has a checksum");
                 self.table.store(ctx, rs.key, ck.value());
+            }
+            Scheme::LazyParity(_) => {
+                // Publication order is part of the R8 discipline: the
+                // parity line is the *last* thing the region publishes —
+                // never observable ahead of data it summarizes. All stores
+                // are lazy; the failure-free path still has no flush or
+                // fence.
+                let ck = rs.ck.expect("lazy session has a checksum");
+                self.table.store(ctx, rs.key, ck.value());
+                let par = rs.par.expect("parity session has lanes");
+                self.parity.store_lanes(ctx, rs.key, &par);
             }
             Scheme::LazyEagerCk(_) => {
                 let ck = rs.ck.expect("lazy session has a checksum");
@@ -355,6 +407,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::LazyParity(ChecksumKind::Modular),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -424,6 +477,25 @@ mod tests {
     }
 
     #[test]
+    fn lazy_parity_publishes_checksum_and_parity_without_flushes() {
+        let (mut m, h, arr) = run_region(Scheme::LazyParity(ChecksumKind::Modular));
+        let s = m.stats();
+        assert_eq!(s.core_totals().flushes, 0, "LP+par never flushes");
+        assert_eq!(s.core_totals().fences, 0, "LP+par never fences");
+        let mut ctx = m.ctx(0);
+        assert!(h.table.load(&mut ctx, 3).is_some(), "checksum recorded");
+        let mut expected = [0u64; 8];
+        for i in 0..16 {
+            expected[crate::parity::lane_of(arr.addr(i))] ^= ((i + 1) as f64).to_bits();
+        }
+        assert_eq!(
+            h.parity.load_lanes(&mut ctx, 3),
+            expected,
+            "parity lanes are the XOR of the region's stores by word slot"
+        );
+    }
+
+    #[test]
     fn marker_zero_before_any_commit() {
         let mut m = machine();
         let h = SchemeHandles::alloc(&mut m, Scheme::Eager, 1, 2, 0).unwrap();
@@ -464,6 +536,9 @@ mod tests {
             Scheme::Base,
             Scheme::lazy_default(),
             Scheme::Lazy(ChecksumKind::Crc32),
+            Scheme::Lazy(ChecksumKind::Parity),
+            Scheme::LazyParity(ChecksumKind::Modular),
+            Scheme::LazyParity(ChecksumKind::Parity),
             Scheme::LazyEagerCk(ChecksumKind::Modular),
             Scheme::Eager,
             Scheme::Wal,

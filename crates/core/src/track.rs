@@ -14,6 +14,9 @@ pub enum RangeRole {
     Protected,
     /// The checksum table (`Lazy` commit target).
     ChecksumTable,
+    /// The per-region XOR parity lines (`LazyParity` commit target; must
+    /// never be observable ahead of the data it summarizes — rule R8).
+    ParityArena,
     /// Per-thread durable progress markers (`Eager` commit target).
     Markers,
     /// A WAL arena's `(address, old bits)` undo-log entries.
@@ -30,6 +33,7 @@ impl std::fmt::Display for RangeRole {
         f.write_str(match self {
             RangeRole::Protected => "protected",
             RangeRole::ChecksumTable => "checksum-table",
+            RangeRole::ParityArena => "parity-arena",
             RangeRole::Markers => "markers",
             RangeRole::WalEntries => "wal-entries",
             RangeRole::WalHeader => "wal-header",
@@ -120,6 +124,7 @@ mod tests {
         let names: Vec<String> = [
             RangeRole::Protected,
             RangeRole::ChecksumTable,
+            RangeRole::ParityArena,
             RangeRole::Markers,
             RangeRole::WalEntries,
             RangeRole::WalHeader,

@@ -9,8 +9,11 @@ use crate::mc::{CheckCase, PreparedCase};
 
 /// The recoverable schemes the checker proves (Base has no recovery and
 /// LazyEagerCk is an ablation of Lazy's commit path, already covered).
-pub const CLEAN_SCHEMES: [Scheme; 3] = [
+/// LazyParity runs the full repair ladder, so media campaigns exercise
+/// rung-1 parity repair alongside Lazy's recompute-only recovery.
+pub const CLEAN_SCHEMES: [Scheme; 4] = [
     Scheme::Lazy(ChecksumKind::Modular),
+    Scheme::LazyParity(ChecksumKind::Crc32),
     Scheme::Eager,
     Scheme::Wal,
 ];
@@ -36,7 +39,7 @@ pub fn kernel_case(kernel: KernelId, scheme: Scheme, scale: Scale) -> CheckCase 
             // so the campaign does not charge them with flips. Poison is
             // not silent — every scheme must quarantine and rebuild.
             let flip_lines = match scheme {
-                Scheme::Lazy(_) | Scheme::LazyEagerCk(_) => pk.flip_lines,
+                Scheme::Lazy(_) | Scheme::LazyEagerCk(_) | Scheme::LazyParity(_) => pk.flip_lines,
                 _ => Vec::new(),
             };
             PreparedCase {

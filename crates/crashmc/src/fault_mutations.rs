@@ -74,7 +74,7 @@ pub fn torn_blind_word() -> (CheckCase, FaultConfig) {
                             continue;
                         }
                         st.regions_inconsistent += 1;
-                        st.regions_repaired += 1;
+                        st.recomputed_regions += 1;
                         ctx.store(arr, i, a);
                         ctx.store(arr, i + 1, b);
                         ctx.clflushopt(arr.addr(i));
@@ -154,7 +154,7 @@ pub fn poison_pattern_collision() -> (CheckCase, FaultConfig) {
                     let mut ctx = m.ctx(0);
                     if !region_consistent(&mut ctx, &table, KEY, CK, vals, 0..8) {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         let mut ck = RunningChecksum::new(CK);
                         for (i, v) in VALS.into_iter().enumerate() {
                             ctx.store(vals, i, v);
@@ -216,7 +216,7 @@ pub fn marker_first_recovery() -> (CheckCase, FaultConfig) {
                     };
                     if m.peek(markers, 0) != KEY as u64 + 1 {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         let mut ctx = m.ctx(0);
                         // BUG: the marker becomes durable before the data
                         // it promises; a crash in between convinces the

@@ -19,7 +19,7 @@
 //!
 //! - [`mc`] — the engine: crash-point discovery, budget selection, census
 //!   subset enumeration, fork/recover/verify classification.
-//! - [`cases`] — the paper's five kernels × {LP, EagerRecompute, WAL}
+//! - [`cases`] — the paper's five kernels × {LP, LP+parity, EagerRecompute, WAL}
 //!   wired into the engine through [`lp_kernels::driver::prepare_kernel`].
 //! - [`mutations`] — seven single-discipline-bug workloads (one per
 //!   `lp-check` rule violation) for which the checker must find at least

@@ -26,12 +26,15 @@ OPTIONS:
   --k K             census bound: up to 2^K states per crash point [default: 4]
   --seed S          seed for every sampling decision  [default: 42]
   --faults LIST     comma-separated fault classes injected on top of the
-                    clean ADR crash model: torn, media, nested
+                    clean ADR crash model: torn, media, media-burst, nested
                     (e.g. --faults torn,media,nested)  [default: none]
+                    media-burst widens each poison draw to two adjacent
+                    lines: single-line poisons are repairable from parity
+                    under lazy-parity, bursts must escalate to recompute
   --nested-bound K  crashes injected per recovery before the final
                     crash-free attempt (with nested)  [default: 2]
   --kernel NAME     tmm | cholesky | conv2d | gauss | fft | all [default: all]
-  --scheme NAME     lazy | eager | wal | all          [default: all]
+  --scheme NAME     lazy | lazy-parity | eager | wal | all [default: all]
   --scale NAME      micro | test                      [default: micro]
   --threads N       host worker threads for the exploration
                     [default: the machine's available parallelism]
@@ -140,6 +143,7 @@ fn parse_args() -> Args {
                 out.scheme = match value(&mut args, "--scheme").as_str() {
                     "all" => None,
                     "lazy" => Some(Scheme::Lazy(ChecksumKind::Modular)),
+                    "lazy-parity" => Some(Scheme::LazyParity(ChecksumKind::Crc32)),
                     "eager" => Some(Scheme::Eager),
                     "wal" => Some(Scheme::Wal),
                     other => {
@@ -278,7 +282,8 @@ fn tally_json(t: &lp_crashmc::mc::FaultTally) -> String {
         concat!(
             "{{\"torn_states\":{},\"torn_words_dropped\":{},",
             "\"flips\":{},\"flips_detected\":{},\"flips_benign\":{},\"flips_missed\":{},",
-            "\"poisons\":{},\"poisons_detected\":{},\"poisons_scrubbed\":{},",
+            "\"poisons\":{},\"bursts\":{},\"poisons_detected\":{},\"poisons_scrubbed\":{},",
+            "\"repaired_lines\":{},\"repair_failures\":{},\"escalations\":{},",
             "\"nested_crashes\":{},\"retries\":{},\"retry_exhausted\":{}}}"
         ),
         t.torn_states,
@@ -288,8 +293,12 @@ fn tally_json(t: &lp_crashmc::mc::FaultTally) -> String {
         t.flips_benign,
         t.flips_missed,
         t.poisons,
+        t.bursts,
         t.poisons_detected,
         t.poisons_scrubbed,
+        t.repaired_lines,
+        t.repair_failures,
+        t.escalations,
         t.nested_crashes,
         t.retries,
         t.retry_exhausted,

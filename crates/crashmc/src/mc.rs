@@ -170,7 +170,11 @@ pub struct FaultTally {
     pub flips_missed: u64,
     /// Poisoned (unreadable) lines injected into post-crash images.
     pub poisons: u64,
-    /// Poison states recovery quarantined (regions_quarantined > 0).
+    /// Poison draws widened to two adjacent lines (media bursts). Each
+    /// burst also counts twice in `poisons` (one per poisoned line).
+    pub bursts: u64,
+    /// Poison states recovery quarantined or repaired in place
+    /// (regions_quarantined > 0 or repaired_lines > 0).
     pub poisons_detected: u64,
     /// Poison states whose image held no poisoned line after recovery —
     /// every poisoned line was rebuilt and scrubbed.
@@ -182,6 +186,14 @@ pub struct FaultTally {
     /// States that consumed the full nested-crash bound before the final
     /// crash-free attempt converged.
     pub retry_exhausted: u64,
+    /// Lines rebuilt in place from the parity arena (repair-ladder rung 1)
+    /// across all converged recoveries.
+    pub repaired_lines: u64,
+    /// Rung-1 repair attempts that refused or failed verification.
+    pub repair_failures: u64,
+    /// Regions that fell from rung 1 to rung 2 (recompute/quarantine)
+    /// after a failed repair attempt.
+    pub escalations: u64,
 }
 
 impl FaultTally {
@@ -194,18 +206,23 @@ impl FaultTally {
         self.flips_benign += o.flips_benign;
         self.flips_missed += o.flips_missed;
         self.poisons += o.poisons;
+        self.bursts += o.bursts;
         self.poisons_detected += o.poisons_detected;
         self.poisons_scrubbed += o.poisons_scrubbed;
         self.nested_crashes += o.nested_crashes;
         self.retries += o.retries;
         self.retry_exhausted += o.retry_exhausted;
+        self.repaired_lines += o.repaired_lines;
+        self.repair_failures += o.repair_failures;
+        self.escalations += o.escalations;
     }
 
     /// One indented summary line for fault-campaign tables.
     pub fn summary_line(&self) -> String {
         format!(
             "    faults: torn {} ({} words)  flips {} (det {} benign {} missed {})  \
-             poison {} (det {} scrubbed {})  nested {} (retries {} exhausted {})",
+             poison {} (bursts {} det {} scrubbed {})  \
+             repair {} (failed {} escalated {})  nested {} (retries {} exhausted {})",
             self.torn_states,
             self.torn_words_dropped,
             self.flips,
@@ -213,8 +230,12 @@ impl FaultTally {
             self.flips_benign,
             self.flips_missed,
             self.poisons,
+            self.bursts,
             self.poisons_detected,
             self.poisons_scrubbed,
+            self.repaired_lines,
+            self.repair_failures,
+            self.escalations,
             self.nested_crashes,
             self.retries,
             self.retry_exhausted,
@@ -501,11 +522,17 @@ struct Materialized {
     torn_words_dropped: u64,
     flip_line: Option<LineAddr>,
     poison_line: Option<LineAddr>,
+    /// Second poisoned line of a media burst (an address-adjacent
+    /// repairable neighbour of `poison_line`), when `burst` is on and
+    /// such a neighbour exists.
+    poison_partner: Option<LineAddr>,
 }
 
 /// Materialize the post-crash image for one census subset, drawing every
 /// fault decision for this state from `frng` (draw order is part of the
-/// determinism contract: torn masks, flip line, flip bit, poison line).
+/// determinism contract: torn masks, flip line, flip bit, poison line;
+/// the burst partner is derived from the poison draw, not drawn, so
+/// enabling `burst` does not shift any stream).
 fn materialize_state(
     census: &CrashCensus,
     sel: &[bool],
@@ -543,11 +570,31 @@ fn materialize_state(
             poison_line = Some(poison_lines[frng.below(poison_lines.len())]);
         }
     }
+    // A burst takes out the drawn line plus an address-adjacent
+    // repairable neighbour (next line first, previous as fallback).
+    // Restricting the partner to `poison_lines` keeps the campaign's
+    // contract that every poisoned line is rebuildable by recovery;
+    // a line with no such neighbour degenerates to a single poison.
+    let poison_partner = match poison_line {
+        Some(line) if faults.burst => {
+            let next = LineAddr(line.0 + 1);
+            let prev = LineAddr(line.0.wrapping_sub(1));
+            if poison_lines.contains(&next) {
+                Some(next)
+            } else if line.0 > 0 && poison_lines.contains(&prev) {
+                Some(prev)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
     Materialized {
         image,
         torn_words_dropped,
         flip_line,
         poison_line,
+        poison_partner,
     }
 }
 
@@ -617,6 +664,7 @@ fn state_key(
         h.write(&buf);
     }
     h.write_u64(mat.poison_line.map_or(u64::MAX, |l| l.0));
+    h.write_u64(mat.poison_partner.map_or(u64::MAX, |l| l.0));
     match rng_fp {
         Some(fp) => {
             h.write_u64(1);
@@ -641,6 +689,9 @@ struct StateOutcome {
     nested_crashes: u64,
     retries: u64,
     retry_exhausted: bool,
+    repaired_lines: u64,
+    repair_failures: u64,
+    escalations: u64,
 }
 
 /// Resume one materialized state (fork the snapshot machine with its
@@ -655,11 +706,15 @@ fn judge_state(
         image,
         flip_line,
         poison_line,
+        poison_partner,
         ..
     } = mat;
     let mut post = rt.machine.fork_with_image(image);
     if let Some(line) = poison_line {
         post.mem_mut().poison_line(line);
+    }
+    if let Some(partner) = poison_partner {
+        post.mem_mut().poison_line(partner);
     }
     let mut out = StateOutcome {
         class: StateClass::Stuck,
@@ -671,6 +726,9 @@ fn judge_state(
         nested_crashes: 0,
         retries: 0,
         retry_exhausted: false,
+        repaired_lines: 0,
+        repair_failures: 0,
+        escalations: 0,
     };
 
     // Recovery, with up to `nested_bound` crashes injected *during* it;
@@ -719,6 +777,13 @@ fn judge_state(
     }
 
     out.class = if let (false, Some(stats)) = (stuck, converged) {
+        // Repair-ladder bookkeeping from the converged (final) attempt —
+        // interrupted nested attempts may repair lines that the re-entry
+        // then re-verifies, so only the attempt whose image survives is
+        // charged, keeping counts independent of the nested draw depth.
+        out.repaired_lines = stats.repaired_lines;
+        out.repair_failures = stats.repair_failures;
+        out.escalations = stats.escalations;
         let detected = stats.regions_inconsistent > 0 || stats.regions_quarantined > 0;
         let verdict = catch_unwind(AssertUnwindSafe(|| {
             post.drain_caches();
@@ -735,7 +800,7 @@ fn judge_state(
             }
         }
         if poison_line.is_some() {
-            if stats.regions_quarantined > 0 {
+            if stats.regions_quarantined > 0 || stats.repaired_lines > 0 {
                 out.poison_detected = true;
             }
             if !post.mem().has_poisoned_lines() {
@@ -806,6 +871,10 @@ fn run_unit(rt: &CaseRuntime, budget: &Budget, seed: u64, unit: &WorkUnit) -> Un
         if mat.poison_line.is_some() {
             out.tally.poisons += 1;
         }
+        if mat.poison_partner.is_some() {
+            out.tally.poisons += 1;
+            out.tally.bursts += 1;
+        }
         if duplicate {
             out.dedup_hits += 1;
         }
@@ -825,6 +894,9 @@ fn run_unit(rt: &CaseRuntime, budget: &Budget, seed: u64, unit: &WorkUnit) -> Un
         out.tally.nested_crashes += outcome.nested_crashes;
         out.tally.retries += outcome.retries;
         out.tally.retry_exhausted += u64::from(outcome.retry_exhausted);
+        out.tally.repaired_lines += outcome.repaired_lines;
+        out.tally.repair_failures += outcome.repair_failures;
+        out.tally.escalations += outcome.escalations;
         match outcome.class {
             StateClass::Consistent => out.consistent += 1,
             StateClass::Corrupt => out.corrupt += 1,

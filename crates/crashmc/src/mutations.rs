@@ -85,7 +85,7 @@ pub fn lp_skip_fold() -> CheckCase {
                     let idx = VALS.iter().map(|&(i, _)| i);
                     if !region_consistent(&mut ctx, &table, KEY, CK, arr, idx) {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         for (i, v) in VALS {
                             eager_store(&mut ctx, arr, i, v);
                         }
@@ -134,7 +134,7 @@ pub fn store_outside_region() -> CheckCase {
                     let mut ctx = m.ctx(0);
                     if !region_consistent(&mut ctx, &table, KEY, CK, arr, [8, 9].into_iter()) {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         eager_store(&mut ctx, arr, 8, 2.0);
                         eager_store(&mut ctx, arr, 9, 4.0);
                         ctx.sfence();
@@ -189,7 +189,7 @@ pub fn ep_skip_fence() -> CheckCase {
                     let marker = m.peek(markers, 0);
                     if marker != KEY as u64 + 1 {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         let mut ctx = m.ctx(0);
                         for (i, v) in VALS {
                             eager_store(&mut ctx, arr, i, v);
@@ -246,7 +246,7 @@ pub fn ep_skip_flush() -> CheckCase {
                     let marker = m.peek(markers, 0);
                     if marker != KEY as u64 + 1 {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         let mut ctx = m.ctx(0);
                         for (i, v) in VALS {
                             eager_store(&mut ctx, arr, i, v);
@@ -319,7 +319,7 @@ pub fn wal_data_before_log() -> CheckCase {
                     arena.recover(&mut ctx);
                     if arena.marker(&mut ctx) != KEY as u64 + 1 {
                         st.regions_inconsistent = 1;
-                        st.regions_repaired = 1;
+                        st.recomputed_regions = 1;
                         let mut rs = tp.begin(&mut ctx, KEY);
                         let v: f64 = ctx.load(arr, 0);
                         tp.store(&mut ctx, &mut rs, arr, 0, v + DELTA);
@@ -376,7 +376,7 @@ pub fn overlap_write_sets() -> CheckCase {
                         );
                         if !consistent {
                             st.regions_inconsistent += 1;
-                            st.regions_repaired += 1;
+                            st.recomputed_regions += 1;
                             let v: f64 = ctx.load(arr, 0);
                             let next = v + ADDS[tid];
                             eager_store(&mut ctx, arr, 0, next);
@@ -460,10 +460,10 @@ pub fn torn_rewrite() -> CheckCase {
                         return st;
                     }
                     st.regions_inconsistent += 1;
-                    st.regions_repaired += 1;
+                    st.recomputed_regions += 1;
                     if !region_consistent(&mut ctx, &table, K1, CK, vals, [0, 1].into_iter()) {
                         st.regions_inconsistent += 1;
-                        st.regions_repaired += 1;
+                        st.recomputed_regions += 1;
                         ctx.store(vals, 0, 100u64);
                         ctx.store(vals, 1, 50u64);
                         ctx.clflushopt(vals.addr(0));

@@ -440,11 +440,67 @@ impl Cholesky {
         ctx.sfence();
     }
 
+    /// The element indices of region `(j, block)` in checksum fold order.
+    fn region_indices(&self, j: usize, block: usize) -> Vec<usize> {
+        Self::region_rows(&self.params, j, block)
+            .into_iter()
+            .map(|r| self.l.idx(r, j))
+            .collect()
+    }
+
+    /// Rung 1 for a poisoned block under `LazyParity`. Structurally
+    /// hopeless here: a cache line of `l` spans eight adjacent columns,
+    /// i.e. eight disjoint single-column regions, so no region's parity
+    /// line owns all eight words of the poisoned line and reconstruction
+    /// refuses. The attempt is still made — and its failure recorded — so
+    /// the ladder's accounting reflects this kernel's geometry honestly
+    /// rather than silently skipping the rung.
+    fn block_poison_repair(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        block: usize,
+        poisoned: &[LineAddr],
+        stats: &mut RecoveryStats,
+    ) -> bool {
+        for j in 0..self.params.col_window {
+            if Self::region_rows(&self.params, j, block).is_empty() {
+                continue;
+            }
+            match lp_core::parity::try_poison_repair(
+                ctx,
+                &self.handles.table,
+                &self.handles.parity,
+                self.key(j, block),
+                kind,
+                self.l.array(),
+                &self.region_indices(j, block),
+                poisoned,
+            ) {
+                lp_core::parity::RepairVerdict::Repaired => {
+                    stats.repaired_lines += 1;
+                    return true;
+                }
+                lp_core::parity::RepairVerdict::Failed => {
+                    stats.repair_failures += 1;
+                    break;
+                }
+                // This column's region misses the poisoned line (columns
+                // are disjoint); a later column may still cover it.
+                lp_core::parity::RepairVerdict::Clean => continue,
+            }
+        }
+        stats.escalations += 1;
+        false
+    }
+
     /// Recover one block: audit *every* column, then replay the
     /// inconsistent ones in ascending order (later columns read earlier
     /// ones). Columns are disjoint, so every committed checksum stays
     /// valid for current data — a newest-first stop would miss a silent
-    /// media flip in an older column.
+    /// media flip in an older column. With `repair` (`LazyParity`) the
+    /// rung-1 parity attempt runs first; its structural failure (see
+    /// [`Self::block_poison_repair`]) escalates into the same quarantine.
     fn recover_block(
         &self,
         ctx: &mut CoreCtx<'_>,
@@ -452,10 +508,14 @@ impl Cholesky {
         block: usize,
         poisoned: &[LineAddr],
         stats: &mut RecoveryStats,
+        repair: bool,
     ) {
         let window = self.params.col_window;
         let mut bad: Vec<usize> = Vec::new();
-        if self.block_poisoned(poisoned, block) || self.block_rebuild_armed(ctx, block) {
+        if (self.block_poisoned(poisoned, block)
+            && !(repair && self.block_poison_repair(ctx, kind, block, poisoned, stats)))
+            || self.block_rebuild_armed(ctx, block)
+        {
             // Media fault inside the block: poison reads as a fixed
             // pattern a weak code can collide with, so no checksum verdict
             // is trusted — quarantine, zero every cell, replay everything.
@@ -469,6 +529,7 @@ impl Cholesky {
                 (0..window).filter(|&j| !Self::region_rows(&self.params, j, block).is_empty()),
             );
         } else {
+            let mut rung1_failed = false;
             for j in 0..window {
                 if Self::region_rows(&self.params, j, block).is_empty() {
                     continue;
@@ -477,8 +538,32 @@ impl Cholesky {
                 let folded = self.fold_region(ctx, kind, j, block);
                 if !self.handles.table.matches(ctx, self.key(j, block), folded) {
                     stats.regions_inconsistent += 1;
+                    if repair {
+                        // Rung 1 for a silent mismatch. Same geometry
+                        // verdict as the poison path: no single-line
+                        // substitution is fully owned by a one-column
+                        // region, so this fails and the column escalates
+                        // to recompute.
+                        if lp_core::parity::try_mismatch_repair(
+                            ctx,
+                            &self.handles.table,
+                            &self.handles.parity,
+                            self.key(j, block),
+                            kind,
+                            self.l.array(),
+                            &self.region_indices(j, block),
+                        ) {
+                            stats.repaired_lines += 1;
+                            continue;
+                        }
+                        stats.repair_failures += 1;
+                        rung1_failed = true;
+                    }
                     bad.push(j);
                 }
+            }
+            if rung1_failed {
+                stats.escalations += 1;
             }
             if bad.len() == window {
                 // Nothing committed: restore the pre-run zeros first so
@@ -487,10 +572,14 @@ impl Cholesky {
             }
         }
         for &j in &bad {
-            let mut sink = RecoverySink::new(kind);
+            let mut sink = if repair {
+                RecoverySink::with_parity(kind, self.handles.parity)
+            } else {
+                RecoverySink::new(kind)
+            };
             self.region_body(ctx, j, block, &mut sink);
             sink.commit(ctx, &self.handles.table, self.key(j, block));
-            stats.regions_repaired += 1;
+            stats.recomputed_regions += 1;
         }
     }
 
@@ -498,13 +587,14 @@ impl Cholesky {
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
         match self.scheme {
             Scheme::Base => RecoveryStats::default(),
-            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) | Scheme::LazyParity(kind) => {
+                let repair = matches!(self.scheme, Scheme::LazyParity(_));
                 let mut stats = RecoveryStats::default();
                 let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
                 for block in 0..self.params.nblocks() {
-                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats);
+                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats, repair);
                 }
                 stats.cycles = ctx.now() - start;
                 stats
@@ -556,7 +646,7 @@ impl Cholesky {
                         // Reuse the recovery sink purely for its eager
                         // commit; the checksum store is harmless here.
                         sink.commit(&mut ctx, &self.handles.table, self.key(j, block));
-                        stats.regions_repaired += 1;
+                        stats.recomputed_regions += 1;
                     }
                 }
                 stats.cycles = ctx.now() - start;
@@ -619,6 +709,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -626,6 +717,28 @@ mod tests {
             assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
             assert!(r.verified, "{scheme}");
         }
+    }
+
+    /// Rung 1 is structurally impossible here — every line of `l`
+    /// interleaves eight disjoint single-column regions, so no parity line
+    /// fully owns it. The ladder must record the failed attempt and
+    /// escalate honestly into the quarantine rebuild.
+    #[test]
+    fn parity_poison_escalates_to_quarantine() {
+        let params = CholeskyParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let k = Cholesky::setup(&mut machine, params, Scheme::lazy_parity_default()).unwrap();
+        assert_eq!(machine.run(k.plans()), Outcome::Completed);
+        machine.drain_caches();
+        machine.mem_mut().poison_line(k.repairable_lines()[0]);
+        let rstats = k.recover(&mut machine);
+        machine.drain_caches();
+        assert!(k.verify(&machine), "quarantine rebuild must verify");
+        assert_eq!(rstats.repaired_lines, 0);
+        assert_eq!(rstats.repair_failures, 1);
+        assert_eq!(rstats.escalations, 1);
+        assert_eq!(rstats.regions_quarantined, 1);
+        assert!(rstats.recomputed_regions > 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
 use lp_core::ep::EagerCommitter;
+use lp_core::parity::{lane_of, ParityArena, PARITY_FOLD_OPS};
 use lp_core::scheme::{RegionSession, ThreadPersist};
 use lp_core::table::ChecksumTable;
 use lp_sim::core::CoreCtx;
@@ -231,6 +232,7 @@ pub struct RecoverySink {
     committer: EagerCommitter,
     ck: RunningChecksum,
     kind: ChecksumKind,
+    parity: Option<(ParityArena, [u64; 8])>,
 }
 
 impl RecoverySink {
@@ -240,15 +242,34 @@ impl RecoverySink {
             committer: EagerCommitter::new(),
             ck: RunningChecksum::new(kind),
             kind,
+            parity: None,
+        }
+    }
+
+    /// A sink that also rebuilds the region's XOR parity line
+    /// (`LazyParity` recovery). The lanes are published durably *after*
+    /// the data and checksum are fenced — the R8 recovery ordering: parity
+    /// must never be observable ahead of the data it summarizes.
+    pub fn with_parity(kind: ChecksumKind, arena: ParityArena) -> Self {
+        RecoverySink {
+            committer: EagerCommitter::new(),
+            ck: RunningChecksum::new(kind),
+            kind,
+            parity: Some((arena, [0u64; 8])),
         }
     }
 
     /// Flush all written lines, fence, then durably store the recomputed
-    /// checksum in `table[key]`.
+    /// checksum in `table[key]` (and, under `LazyParity`, the rebuilt
+    /// parity line — last, per rule R8).
     pub fn commit(self, ctx: &mut CoreCtx<'_>, table: &ChecksumTable, key: usize) {
         self.committer.commit(ctx);
         table.store(ctx, key, self.ck.value());
         table.persist(ctx, key);
+        if let Some((arena, lanes)) = self.parity {
+            arena.store_lanes(ctx, key, &lanes);
+            arena.persist(ctx, key);
+        }
     }
 }
 
@@ -258,6 +279,10 @@ impl StoreSink for RecoverySink {
         self.committer.note(arr.addr(idx));
         self.ck.update(v.to_bits());
         ctx.compute(self.kind.cost_ops());
+        if let Some((_, lanes)) = &mut self.parity {
+            lanes[lane_of(arr.addr(idx))] ^= v.to_bits();
+            ctx.compute(PARITY_FOLD_OPS);
+        }
     }
 }
 

@@ -290,12 +290,28 @@ impl Conv2d {
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
         match self.scheme {
             Scheme::Base => RecoveryStats::default(),
-            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => self.recover_lazy(machine, kind),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
+                self.recover_lazy(machine, kind, false)
+            }
+            Scheme::LazyParity(kind) => self.recover_lazy(machine, kind, true),
             Scheme::Eager | Scheme::Wal => self.recover_marker_based(machine),
         }
     }
 
-    fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
+    /// The element indices of `block`'s region in checksum fold order.
+    fn region_indices(&self, block: usize) -> Vec<usize> {
+        let (n, bsize) = (self.params.n, self.params.bsize);
+        (block * bsize..(block + 1) * bsize)
+            .flat_map(|i| (0..n).map(move |j| self.output.idx(i, j)))
+            .collect()
+    }
+
+    fn recover_lazy(
+        &self,
+        machine: &mut Machine,
+        kind: ChecksumKind,
+        repair: bool,
+    ) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
         let poisoned = machine.mem().poisoned_lines();
         let (n, bsize) = (self.params.n, self.params.bsize);
@@ -303,12 +319,52 @@ impl Conv2d {
         let start = ctx.now();
         for block in 0..self.params.window() {
             stats.regions_checked += 1;
+            let mut rung1_failed = false;
             // A poisoned block is never trusted — poison reads as a fixed
-            // pattern that a weak code can collide with — so its checksum
-            // verdict is skipped and the block recomputed unconditionally.
+            // pattern that a weak code can collide with. Under `LazyParity`
+            // rung 1 reconstructs a single lost line from the block's
+            // parity and re-verifies before anything is written back;
+            // otherwise (or when reconstruction fails) the block is
+            // quarantined and recomputed unconditionally.
             if self.block_poisoned(&poisoned, block) {
-                stats.regions_quarantined += 1;
-            } else {
+                let repaired = repair
+                    && match lp_core::parity::try_poison_repair(
+                        &mut ctx,
+                        &self.handles.table,
+                        &self.handles.parity,
+                        block,
+                        kind,
+                        self.output.array(),
+                        &self.region_indices(block),
+                        &poisoned,
+                    ) {
+                        lp_core::parity::RepairVerdict::Repaired => {
+                            stats.repaired_lines += 1;
+                            true
+                        }
+                        lp_core::parity::RepairVerdict::Failed => {
+                            stats.repair_failures += 1;
+                            false
+                        }
+                        lp_core::parity::RepairVerdict::Clean => false,
+                    };
+                if !repaired {
+                    if repair {
+                        stats.escalations += 1;
+                    }
+                    stats.regions_quarantined += 1;
+                    let mut sink = if repair {
+                        RecoverySink::with_parity(kind, self.handles.parity)
+                    } else {
+                        RecoverySink::new(kind)
+                    };
+                    self.region_body(&mut ctx, block, &mut sink);
+                    sink.commit(&mut ctx, &self.handles.table, block);
+                    stats.recomputed_regions += 1;
+                    continue;
+                }
+            }
+            {
                 let out = self.output;
                 let indices = (block * bsize..(block + 1) * bsize)
                     .flat_map(move |i| (0..n).map(move |j| out.idx(i, j)));
@@ -324,11 +380,36 @@ impl Conv2d {
                     continue;
                 }
                 stats.regions_inconsistent += 1;
+                if repair {
+                    // Rung 1 for a silent mismatch: one flipped line is
+                    // reconstructible from the block's parity.
+                    if lp_core::parity::try_mismatch_repair(
+                        &mut ctx,
+                        &self.handles.table,
+                        &self.handles.parity,
+                        block,
+                        kind,
+                        self.output.array(),
+                        &self.region_indices(block),
+                    ) {
+                        stats.repaired_lines += 1;
+                        continue;
+                    }
+                    stats.repair_failures += 1;
+                    rung1_failed = true;
+                }
             }
-            let mut sink = RecoverySink::new(kind);
+            if rung1_failed {
+                stats.escalations += 1;
+            }
+            let mut sink = if repair {
+                RecoverySink::with_parity(kind, self.handles.parity)
+            } else {
+                RecoverySink::new(kind)
+            };
             self.region_body(&mut ctx, block, &mut sink);
             sink.commit(&mut ctx, &self.handles.table, block);
-            stats.regions_repaired += 1;
+            stats.recomputed_regions += 1;
         }
         stats.cycles = ctx.now() - start;
         stats
@@ -368,7 +449,7 @@ impl Conv2d {
                     let mut sink = EagerOnlySink::default();
                     self.region_body(&mut ctx, block, &mut sink);
                     sink.commit(&mut ctx);
-                    stats.regions_repaired += 1;
+                    stats.recomputed_regions += 1;
                 }
             }
             for &block in &owned[completed..] {
@@ -376,7 +457,7 @@ impl Conv2d {
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, block, &mut sink);
                 tp.commit(&mut ctx, rs);
-                stats.regions_repaired += 1;
+                stats.recomputed_regions += 1;
             }
         }
         stats.cycles = ctx.now() - start;
@@ -414,6 +495,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -421,6 +503,27 @@ mod tests {
             assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
             assert!(r.verified, "{scheme}");
         }
+    }
+
+    /// The headline rung-1 guarantee: on a fully committed image a single
+    /// poisoned line is reconstructed from parity alone — no region is
+    /// recomputed, nothing is quarantined, nothing escalates.
+    #[test]
+    fn parity_repairs_single_poison_without_recompute() {
+        let params = Conv2dParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let k = Conv2d::setup(&mut machine, params, Scheme::lazy_parity_default()).unwrap();
+        assert_eq!(machine.run(k.plans()), Outcome::Completed);
+        machine.drain_caches();
+        machine.mem_mut().poison_line(k.repairable_lines()[0]);
+        let rstats = k.recover(&mut machine);
+        machine.drain_caches();
+        assert!(k.verify(&machine), "repaired image must verify");
+        assert_eq!(rstats.repaired_lines, 1);
+        assert_eq!(rstats.recomputed_regions, 0);
+        assert_eq!(rstats.regions_quarantined, 0);
+        assert_eq!(rstats.repair_failures, 0);
+        assert_eq!(rstats.escalations, 0);
     }
 
     #[test]

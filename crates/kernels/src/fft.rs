@@ -439,12 +439,105 @@ impl Fft {
         })
     }
 
+    /// The elements of region `(stage, chunk)` in checksum fold order —
+    /// interleaved across the destination's `re`/`im` pair, exactly as
+    /// [`Self::fold_region`] and the forward stores walk them.
+    fn region_slots(&self, stage: usize, chunk: usize) -> Vec<lp_core::parity::Slot<f64>> {
+        let len = self.params.chunk_len();
+        let dst = self.dst(stage);
+        (chunk * len..(chunk + 1) * len)
+            .flat_map(|i| [(dst.re, i), (dst.im, i)])
+            .collect()
+    }
+
+    /// Rung 1 for a poisoned stage under `LazyParity`: attempt a parity
+    /// reconstruction in every chunk (chunks not covering a poisoned line
+    /// report `Clean` and cost nothing). Returns `true` only when every
+    /// affected chunk repaired — the stage then rejoins the normal
+    /// consistency audit; any failure records the escalation and the
+    /// caller quarantines the stage for replay.
+    fn stage_poison_repair(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        stage: usize,
+        poisoned: &[LineAddr],
+        stats: &mut RecoveryStats,
+    ) -> bool {
+        let mut all = true;
+        for chunk in 0..self.params.chunks {
+            match lp_core::parity::try_poison_repair_slots(
+                ctx,
+                &self.handles.table,
+                &self.handles.parity,
+                self.key(stage, chunk),
+                kind,
+                &self.region_slots(stage, chunk),
+                poisoned,
+            ) {
+                lp_core::parity::RepairVerdict::Repaired => stats.repaired_lines += 1,
+                lp_core::parity::RepairVerdict::Clean => {}
+                lp_core::parity::RepairVerdict::Failed => {
+                    stats.repair_failures += 1;
+                    all = false;
+                }
+            }
+        }
+        if !all {
+            stats.escalations += 1;
+        }
+        all
+    }
+
+    /// [`Self::stage_consistent`] with the rung-1 mismatch repair spliced
+    /// in: a chunk that fails its audit gets one parity-reconstruction
+    /// attempt before the stage is declared inconsistent. Unlike the plain
+    /// audit this never short-circuits — every chunk is examined so every
+    /// repairable flip in the stage is actually repaired.
+    fn stage_repair_consistent(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        stage: usize,
+        stats: &mut RecoveryStats,
+    ) -> bool {
+        let mut ok = true;
+        for chunk in 0..self.params.chunks {
+            let folded = self.fold_region(ctx, kind, stage, chunk);
+            if self
+                .handles
+                .table
+                .matches(ctx, self.key(stage, chunk), folded)
+            {
+                continue;
+            }
+            if lp_core::parity::try_mismatch_repair_slots(
+                ctx,
+                &self.handles.table,
+                &self.handles.parity,
+                self.key(stage, chunk),
+                kind,
+                &self.region_slots(stage, chunk),
+            ) {
+                stats.repaired_lines += 1;
+            } else {
+                stats.repair_failures += 1;
+                ok = false;
+            }
+        }
+        if !ok {
+            stats.escalations += 1;
+        }
+        ok
+    }
+
     /// Post-crash recovery: replay from the newest fully consistent stage
     /// (or from the preserved input).
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
-        let kind = match self.scheme {
+        let (kind, repair) = match self.scheme {
             Scheme::Base => return RecoveryStats::default(),
-            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => kind,
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => (kind, false),
+            Scheme::LazyParity(kind) => (kind, true),
             // EP/WAL: undo any open tx, then full eager replay from input.
             Scheme::Eager | Scheme::Wal => {
                 let mut stats = RecoveryStats::default();
@@ -464,7 +557,7 @@ impl Fft {
                         stats.regions_quarantined += 1;
                     }
                 }
-                self.replay_from(&mut ctx, ChecksumKind::Modular, 0, &mut stats);
+                self.replay_from(&mut ctx, ChecksumKind::Modular, 0, &mut stats, false);
                 stats.cycles = ctx.now() - start;
                 return stats;
             }
@@ -478,37 +571,53 @@ impl Fft {
         for stage in (0..window).rev() {
             // A stage whose destination holds a poisoned line cannot be
             // trusted regardless of its checksums: quarantine it and keep
-            // scanning, so the replay below fully rewrites it.
-            if self.stage_poisoned(&poisoned, stage) {
+            // scanning, so the replay below fully rewrites it — unless
+            // (`LazyParity`) rung 1 repairs every affected chunk, in which
+            // case the stage rejoins the audit below on its own merits.
+            if self.stage_poisoned(&poisoned, stage)
+                && !(repair
+                    && self.stage_poison_repair(&mut ctx, kind, stage, &poisoned, &mut stats))
+            {
                 stats.regions_quarantined += 1;
                 continue;
             }
             stats.regions_checked += self.params.chunks as u64;
-            if self.stage_consistent(&mut ctx, kind, stage) {
+            let consistent = if repair {
+                self.stage_repair_consistent(&mut ctx, kind, stage, &mut stats)
+            } else {
+                self.stage_consistent(&mut ctx, kind, stage)
+            };
+            if consistent {
                 resume = stage + 1;
                 break;
             }
             stats.regions_inconsistent += 1;
         }
-        self.replay_from(&mut ctx, kind, resume, &mut stats);
+        self.replay_from(&mut ctx, kind, resume, &mut stats, repair);
         stats.cycles = ctx.now() - start;
         stats
     }
 
-    /// Eagerly re-execute stages `from..window`, repairing checksums.
+    /// Eagerly re-execute stages `from..window`, repairing checksums (and,
+    /// under `repair`, the parity lines alongside them).
     fn replay_from(
         &self,
         ctx: &mut CoreCtx<'_>,
         kind: ChecksumKind,
         from: usize,
         stats: &mut RecoveryStats,
+        repair: bool,
     ) {
         for stage in from..self.params.window() {
             for chunk in 0..self.params.chunks {
-                let mut sink = RecoverySink::new(kind);
+                let mut sink = if repair {
+                    RecoverySink::with_parity(kind, self.handles.parity)
+                } else {
+                    RecoverySink::new(kind)
+                };
                 self.region_body(ctx, stage, chunk, &mut sink);
                 sink.commit(ctx, &self.handles.table, self.key(stage, chunk));
-                stats.regions_repaired += 1;
+                stats.recomputed_regions += 1;
             }
         }
     }
@@ -582,6 +691,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -589,6 +699,27 @@ mod tests {
             assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
             assert!(r.verified, "{scheme}");
         }
+    }
+
+    /// The headline rung-1 guarantee: on a fully committed image a single
+    /// poisoned line is reconstructed from parity alone — no region is
+    /// recomputed, nothing is quarantined, nothing escalates.
+    #[test]
+    fn parity_repairs_single_poison_without_recompute() {
+        let params = FftParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let k = Fft::setup(&mut machine, params, Scheme::lazy_parity_default()).unwrap();
+        assert_eq!(machine.run(k.plans()), Outcome::Completed);
+        machine.drain_caches();
+        machine.mem_mut().poison_line(k.repairable_lines()[0]);
+        let rstats = k.recover(&mut machine);
+        machine.drain_caches();
+        assert!(k.verify(&machine), "repaired image must verify");
+        assert_eq!(rstats.repaired_lines, 1);
+        assert_eq!(rstats.recomputed_regions, 0);
+        assert_eq!(rstats.regions_quarantined, 0);
+        assert_eq!(rstats.repair_failures, 0);
+        assert_eq!(rstats.escalations, 0);
     }
 
     #[test]
@@ -603,7 +734,7 @@ mod tests {
             let rstats = fft.recover(&mut machine);
             machine.drain_caches();
             assert!(fft.verify(&machine), "crash at {ops} ops");
-            assert!(rstats.regions_repaired > 0);
+            assert!(rstats.recomputed_regions > 0);
         }
     }
 

@@ -382,8 +382,58 @@ impl Gauss {
         ctx.sfence();
     }
 
+    /// The element indices of region `(p, block)` in checksum fold order.
+    fn region_indices(&self, p: usize, block: usize) -> Vec<usize> {
+        let n = self.params.n;
+        Self::region_rows(&self.params, p, block)
+            .flat_map(|r| (p..n).map(move |j| self.w.idx(r, j)))
+            .collect()
+    }
+
+    /// Rung 1 for a poisoned block under `LazyParity`: scan pivots
+    /// newest-first for a committed region whose parity line reconstructs
+    /// the offending line bit-exactly (stale pivots fail re-verification;
+    /// lines straddling the multiplier columns below the pivot are only
+    /// partially owned and refuse reconstruction). Returns `true` on
+    /// repair; `false` records the escalation to rung 2.
+    fn block_poison_repair(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        block: usize,
+        poisoned: &[LineAddr],
+        stats: &mut RecoveryStats,
+    ) -> bool {
+        for p in (0..self.params.pivot_window).rev() {
+            if Self::region_rows(&self.params, p, block).is_empty() {
+                continue;
+            }
+            match lp_core::parity::try_poison_repair(
+                ctx,
+                &self.handles.table,
+                &self.handles.parity,
+                self.key(p, block),
+                kind,
+                self.w.array(),
+                &self.region_indices(p, block),
+                poisoned,
+            ) {
+                lp_core::parity::RepairVerdict::Repaired => {
+                    stats.repaired_lines += 1;
+                    return true;
+                }
+                lp_core::parity::RepairVerdict::Failed => stats.repair_failures += 1,
+                lp_core::parity::RepairVerdict::Clean => break,
+            }
+        }
+        stats.escalations += 1;
+        false
+    }
+
     /// Recover one block: newest-first scan of its pivot checksums, then
-    /// replay of the later pivots (or everything, from the input).
+    /// replay of the later pivots (or everything, from the input). With
+    /// `repair` (`LazyParity`), the rung-1 parity repair runs before any
+    /// quarantine or recompute decision.
     fn recover_block(
         &self,
         ctx: &mut CoreCtx<'_>,
@@ -391,18 +441,27 @@ impl Gauss {
         block: usize,
         poisoned: &[LineAddr],
         stats: &mut RecoveryStats,
+        repair: bool,
     ) {
         let window = self.params.pivot_window;
         let mut resume = 0;
-        if self.block_poisoned(poisoned, block) {
-            // Media fault inside the block: poison reads as a fixed
-            // pattern a weak code can collide with, so no checksum verdict
-            // is trusted — quarantine, restore from the preserved input,
-            // and replay every pivot. The replay stores fresh checksums,
-            // so a crash mid-rebuild re-enters through the normal scan
-            // even after the rebuild's own writes scrub the poison.
+        let mut quarantined = false;
+        if self.block_poisoned(poisoned, block)
+            && !(repair && self.block_poison_repair(ctx, kind, block, poisoned, stats))
+        {
+            // Media fault inside the block that rung 1 could not (or,
+            // without parity, cannot) localize and reconstruct: poison
+            // reads as a fixed pattern a weak code can collide with, so no
+            // checksum verdict is trusted — quarantine, restore from the
+            // preserved input, and replay every pivot. The replay stores
+            // fresh checksums, so a crash mid-rebuild re-enters through
+            // the normal scan even after the rebuild's own writes scrub
+            // the poison.
             stats.regions_quarantined += 1;
-        } else {
+            quarantined = true;
+        }
+        if !quarantined {
+            let mut rung1_failed = false;
             for p in (0..window).rev() {
                 if Self::region_rows(&self.params, p, block).is_empty() {
                     continue;
@@ -414,6 +473,28 @@ impl Gauss {
                     break;
                 }
                 stats.regions_inconsistent += 1;
+                if repair {
+                    // Rung 1 for a silent mismatch: one flipped line of
+                    // pivot state `p` is reconstructible from its parity.
+                    if lp_core::parity::try_mismatch_repair(
+                        ctx,
+                        &self.handles.table,
+                        &self.handles.parity,
+                        self.key(p, block),
+                        kind,
+                        self.w.array(),
+                        &self.region_indices(p, block),
+                    ) {
+                        stats.repaired_lines += 1;
+                        resume = p + 1;
+                        break;
+                    }
+                    stats.repair_failures += 1;
+                    rung1_failed = true;
+                }
+            }
+            if rung1_failed && resume < window {
+                stats.escalations += 1;
             }
         }
         if resume == 0 {
@@ -423,10 +504,14 @@ impl Gauss {
             if Self::region_rows(&self.params, p, block).is_empty() {
                 continue;
             }
-            let mut sink = RecoverySink::new(kind);
+            let mut sink = if repair {
+                RecoverySink::with_parity(kind, self.handles.parity)
+            } else {
+                RecoverySink::new(kind)
+            };
             self.region_body(ctx, p, block, &mut sink);
             sink.commit(ctx, &self.handles.table, self.key(p, block));
-            stats.regions_repaired += 1;
+            stats.recomputed_regions += 1;
         }
     }
 
@@ -434,14 +519,15 @@ impl Gauss {
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
         match self.scheme {
             Scheme::Base => RecoveryStats::default(),
-            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) | Scheme::LazyParity(kind) => {
+                let repair = matches!(self.scheme, Scheme::LazyParity(_));
                 let mut stats = RecoveryStats::default();
                 let poisoned = machine.mem().poisoned_lines();
                 let mut ctx = machine.ctx(0);
                 let start = ctx.now();
                 // Block 0 first: it holds every pivot row of the window.
                 for block in 0..self.params.nblocks() {
-                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats);
+                    self.recover_block(&mut ctx, kind, block, &poisoned, &mut stats, repair);
                 }
                 stats.cycles = ctx.now() - start;
                 stats
@@ -493,7 +579,7 @@ impl Gauss {
                     }
                     stats.regions_checked += 1;
                     self.region_body(&mut ctx, p, block, &mut sink);
-                    stats.regions_repaired += 1;
+                    stats.recomputed_regions += 1;
                 }
             }
         }
@@ -541,6 +627,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -548,6 +635,27 @@ mod tests {
             assert_eq!(r.outcome, Outcome::Completed, "{scheme}");
             assert!(r.verified, "{scheme}");
         }
+    }
+
+    /// The headline rung-1 guarantee: on a fully committed image a single
+    /// poisoned line is reconstructed from parity alone — no region is
+    /// recomputed, nothing is quarantined, nothing escalates.
+    #[test]
+    fn parity_repairs_single_poison_without_recompute() {
+        let params = GaussParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let k = Gauss::setup(&mut machine, params, Scheme::lazy_parity_default()).unwrap();
+        assert_eq!(machine.run(k.plans()), Outcome::Completed);
+        machine.drain_caches();
+        machine.mem_mut().poison_line(k.flip_lines()[0]);
+        let rstats = k.recover(&mut machine);
+        machine.drain_caches();
+        assert!(k.verify(&machine), "repaired image must verify");
+        assert_eq!(rstats.repaired_lines, 1);
+        assert_eq!(rstats.recomputed_regions, 0);
+        assert_eq!(rstats.regions_quarantined, 0);
+        assert_eq!(rstats.repair_failures, 0);
+        assert_eq!(rstats.escalations, 0);
     }
 
     #[test]

@@ -385,7 +385,7 @@ impl Tmm {
         let mut sink = EagerOnlySink::default();
         for kb in 0..kbs_done {
             self.region_body(ctx, kb, ib, &mut sink);
-            stats.regions_repaired += 1;
+            stats.recomputed_regions += 1;
         }
         sink.commit(ctx);
         self.handles.table.store(ctx, key, REBUILD_CLEARED);
@@ -409,16 +409,66 @@ impl Tmm {
     pub fn recover(&self, machine: &mut Machine) -> RecoveryStats {
         match self.scheme {
             Scheme::Base => RecoveryStats::default(),
-            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => self.recover_lazy(machine, kind),
+            Scheme::Lazy(kind) | Scheme::LazyEagerCk(kind) => {
+                self.recover_lazy(machine, kind, false)
+            }
+            Scheme::LazyParity(kind) => self.recover_lazy(machine, kind, true),
             Scheme::Eager => self.recover_eager(machine),
             Scheme::Wal => self.recover_wal(machine),
         }
     }
 
+    /// Rung 1 for a poisoned strip under `LazyParity`: scan `kk`
+    /// newest-first for a committed region whose parity line reconstructs
+    /// the offending line bit-exactly (stale or not-yet-committed `kk`s
+    /// fail the re-verification and the scan continues). Returns `true` on
+    /// repair; `false` records the escalation to rung 2.
+    fn strip_poison_repair(
+        &self,
+        ctx: &mut CoreCtx<'_>,
+        kind: ChecksumKind,
+        ib: usize,
+        poisoned: &[LineAddr],
+        stats: &mut RecoveryStats,
+    ) -> bool {
+        let indices: Vec<usize> = Self::region_elems(&self.params, ib)
+            .map(|(i, j)| self.c.idx(i, j))
+            .collect();
+        for kb in (0..self.params.window()).rev() {
+            match lp_core::parity::try_poison_repair(
+                ctx,
+                &self.handles.table,
+                &self.handles.parity,
+                self.key(kb, ib),
+                kind,
+                self.c.array(),
+                &indices,
+                poisoned,
+            ) {
+                lp_core::parity::RepairVerdict::Repaired => {
+                    stats.repaired_lines += 1;
+                    return true;
+                }
+                lp_core::parity::RepairVerdict::Failed => stats.repair_failures += 1,
+                lp_core::parity::RepairVerdict::Clean => break,
+            }
+        }
+        stats.escalations += 1;
+        false
+    }
+
     /// Figure 9's recovery with the per-strip optimization: for each `ii`
     /// strip, scan `kk` checksums newest-first; the first match is the
-    /// strip's durable state, and only later `kk`s are recomputed.
-    fn recover_lazy(&self, machine: &mut Machine, kind: ChecksumKind) -> RecoveryStats {
+    /// strip's durable state, and only later `kk`s are recomputed. With
+    /// `repair` (`LazyParity`), each rung of the escalation ladder runs
+    /// first: parity-repair a poisoned or silently-flipped line, and only
+    /// recompute when reconstruction cannot re-verify.
+    fn recover_lazy(
+        &self,
+        machine: &mut Machine,
+        kind: ChecksumKind,
+        repair: bool,
+    ) -> RecoveryStats {
         let mut stats = RecoveryStats::default();
         let poisoned = machine.mem().poisoned_lines();
         let window = self.params.window();
@@ -428,15 +478,23 @@ impl Tmm {
         for ib in 0..self.params.nb() {
             // Newest-first scan (reverse program order, Figure 9 line 1).
             let mut resume = 0;
-            if self.strip_poisoned(&poisoned, ib) {
-                // Media fault inside the strip: poison reads as a fixed
-                // pattern a weak code can collide with, so no checksum
-                // verdict is trusted — quarantine and rebuild from the
-                // initial zeros. The replay stores fresh checksums, so a
-                // crash mid-rebuild re-enters through the normal scan even
-                // after the rebuild's own writes scrub the poison.
+            let mut quarantined = false;
+            if self.strip_poisoned(&poisoned, ib)
+                && !(repair && self.strip_poison_repair(&mut ctx, kind, ib, &poisoned, &mut stats))
+            {
+                // Media fault inside the strip that rung 1 could not (or,
+                // without parity, cannot) localize and reconstruct: poison
+                // reads as a fixed pattern a weak code can collide with,
+                // so no checksum verdict is trusted — quarantine and
+                // rebuild from the initial zeros. The replay stores fresh
+                // checksums, so a crash mid-rebuild re-enters through the
+                // normal scan even after the rebuild's own writes scrub
+                // the poison.
                 stats.regions_quarantined += window as u64;
-            } else {
+                quarantined = true;
+            }
+            if !quarantined {
+                let mut rung1_failed = false;
                 for kb in (0..window).rev() {
                     stats.regions_checked += 1;
                     let consistent = lp_core::recovery::region_consistent(
@@ -452,9 +510,35 @@ impl Tmm {
                         break;
                     }
                     stats.regions_inconsistent += 1;
+                    if repair {
+                        // Rung 1 for a silent mismatch: a single flipped
+                        // line of state `kb` is reconstructible from the
+                        // region's parity; anything else falls through.
+                        let indices: Vec<usize> = Self::region_elems(&self.params, ib)
+                            .map(|(i, j)| self.c.idx(i, j))
+                            .collect();
+                        if lp_core::parity::try_mismatch_repair(
+                            &mut ctx,
+                            &self.handles.table,
+                            &self.handles.parity,
+                            self.key(kb, ib),
+                            kind,
+                            self.c.array(),
+                            &indices,
+                        ) {
+                            stats.repaired_lines += 1;
+                            resume = kb + 1;
+                            break;
+                        }
+                        stats.repair_failures += 1;
+                        rung1_failed = true;
+                    }
                 }
                 if resume >= window {
                     continue; // strip fully durable
+                }
+                if rung1_failed {
+                    stats.escalations += 1;
                 }
             }
             if resume == 0 {
@@ -469,10 +553,14 @@ impl Tmm {
                 ctx.sfence();
             }
             for kb in resume..window {
-                let mut sink = RecoverySink::new(kind);
+                let mut sink = if repair {
+                    RecoverySink::with_parity(kind, self.handles.parity)
+                } else {
+                    RecoverySink::new(kind)
+                };
                 self.region_body(&mut ctx, kb, ib, &mut sink);
                 sink.commit(&mut ctx, &self.handles.table, self.key(kb, ib));
-                stats.regions_repaired += 1;
+                stats.recomputed_regions += 1;
             }
         }
         stats.cycles = ctx.now() - start;
@@ -545,7 +633,7 @@ impl Tmm {
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, kb, ib, &mut sink);
                 tp.commit(&mut ctx, rs);
-                stats.regions_repaired += 1;
+                stats.recomputed_regions += 1;
             }
         }
         stats.cycles = ctx.now() - start;
@@ -599,7 +687,7 @@ impl Tmm {
                 let mut sink = SchemeSink { tp, rs: &mut rs };
                 self.region_body(&mut ctx, kb, ib, &mut sink);
                 tp.commit(&mut ctx, rs);
-                stats.regions_repaired += 1;
+                stats.recomputed_regions += 1;
             }
         }
         stats.cycles = ctx.now() - start;
@@ -651,6 +739,7 @@ mod tests {
         for scheme in [
             Scheme::Base,
             Scheme::lazy_default(),
+            Scheme::lazy_parity_default(),
             Scheme::Eager,
             Scheme::Wal,
         ] {
@@ -658,6 +747,27 @@ mod tests {
             assert_eq!(run.outcome, Outcome::Completed, "{scheme}");
             assert!(run.verified, "{scheme} produced a wrong product");
         }
+    }
+
+    /// The headline rung-1 guarantee: on a fully committed image a single
+    /// poisoned line is reconstructed from parity alone — no region is
+    /// recomputed, nothing is quarantined, nothing escalates.
+    #[test]
+    fn parity_repairs_single_poison_without_recompute() {
+        let params = TmmParams::test_small();
+        let mut machine = Machine::new(cfg().with_cores(params.threads));
+        let k = Tmm::setup(&mut machine, params, Scheme::lazy_parity_default()).unwrap();
+        assert_eq!(machine.run(k.plans()), Outcome::Completed);
+        machine.drain_caches();
+        machine.mem_mut().poison_line(k.repairable_lines()[0]);
+        let rstats = k.recover(&mut machine);
+        machine.drain_caches();
+        assert!(k.verify(&machine), "repaired image must verify");
+        assert_eq!(rstats.repaired_lines, 1);
+        assert_eq!(rstats.recomputed_regions, 0);
+        assert_eq!(rstats.regions_quarantined, 0);
+        assert_eq!(rstats.repair_failures, 0);
+        assert_eq!(rstats.escalations, 0);
     }
 
     #[test]
@@ -796,7 +906,7 @@ mod tests {
         for ops in [100u64, 2_000, 30_000] {
             let (ok, rstats) = crash_and_recover(Scheme::Eager, CrashTrigger::AfterMemOps(ops));
             assert!(ok, "EP recovery failed for crash at {ops} ops");
-            assert!(rstats.regions_repaired > 0);
+            assert!(rstats.recomputed_regions > 0);
         }
     }
 
@@ -838,7 +948,7 @@ mod tests {
         assert_eq!(machine.run(tmm.plans()), Outcome::Completed);
         machine.drain_caches(); // everything durable
         let rstats = tmm.recover(&mut machine);
-        assert_eq!(rstats.regions_repaired, 0, "nothing to repair");
+        assert_eq!(rstats.recomputed_regions, 0, "nothing to repair");
         assert!(tmm.verify(&machine));
     }
 }

@@ -35,6 +35,7 @@ fn schemes() -> Vec<Scheme> {
         Scheme::Base,
         Scheme::Lazy(ChecksumKind::Modular),
         Scheme::Lazy(ChecksumKind::Adler32),
+        Scheme::LazyParity(ChecksumKind::Crc32),
         Scheme::LazyEagerCk(ChecksumKind::Modular),
         Scheme::Eager,
         Scheme::Wal,

@@ -83,9 +83,9 @@ fn tmm_eager_recovery_counters() {
     let (flushes, fences, r) = tmm_recovery(Scheme::Eager);
     println!(
         "tmm/eager recovery: flushes={flushes} fences={fences} repaired={}",
-        r.regions_repaired
+        r.recomputed_regions
     );
-    assert!(r.regions_repaired > 0, "crash must leave work to repair");
+    assert!(r.recomputed_regions > 0, "crash must leave work to repair");
     // Measured (deterministic): 1417 flushes / 18 fences with the
     // rebuild sink hoisted; 1513 / 21 with the pre-fix per-round sink.
     // The bounds sit between the two so the per-round shape fails.
@@ -98,9 +98,9 @@ fn gauss_eager_recovery_counters() {
     let (flushes, fences, r) = gauss_recovery(Scheme::Eager);
     println!(
         "gauss/eager recovery: flushes={flushes} fences={fences} repaired={}",
-        r.regions_repaired
+        r.recomputed_regions
     );
-    assert!(r.regions_repaired > 0, "crash must leave work to repair");
+    assert!(r.recomputed_regions > 0, "crash must leave work to repair");
     // Measured (deterministic): 252 flushes / 5 fences with the replay
     // sink hoisted out of the triple loop; 600 / 20 per-block.
     assert!(flushes <= 400, "replay re-flushes block lines: {flushes}");

@@ -1,0 +1,20 @@
+//! Fixture mirroring the lp-check sanitizer rig `parity_before_data`: a
+//! LazyParity region publishes its parity line mid-region, while half the
+//! protected stores it will end up summarizing are still to come. A crash
+//! in that window leaves durable parity describing data that never
+//! reached NVMM, so a later media repair reconstructs garbage.
+
+fn region(ctx: &mut CoreCtx<'_>) {
+    ctx.region_begin(KEY);
+    for i in 0..4 {
+        ctx.store(arr, i, v);
+        self.ck.update(v.to_bits());
+    }
+    self.parity.store_lanes(ctx, KEY, &lanes); // BUG: parity before data
+    for i in 4..8 {
+        ctx.store(arr, i, v);
+        self.ck.update(v.to_bits());
+    }
+    self.table.store(ctx, KEY, self.ck.value());
+    ctx.region_end();
+}

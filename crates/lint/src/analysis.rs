@@ -52,6 +52,9 @@ pub(crate) enum Kind {
     LogAppend,
     /// WAL arena header store (status/count/marker line).
     StatusPublish,
+    /// Parity-arena publish (`parity.store_lanes`, or a store whose
+    /// target is a parity arena).
+    ParityPublish,
     /// Flush of one target (`clflushopt`, `flush_range`, `flush_rows`),
     /// or of everything when the target could not be resolved.
     Flush(Option<String>),
@@ -103,6 +106,8 @@ pub(crate) fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> K
             };
             if cfg.is_table(&target) {
                 Kind::TablePublish
+            } else if cfg.is_parity(&target) {
+                Kind::ParityPublish
             } else if cfg.is_marker(&target) {
                 Kind::MarkerPublish
             } else if cfg.is_log(&target, is_wal_file) {
@@ -126,6 +131,7 @@ pub(crate) fn classify(call: &RawCall, cfg: &LintConfig, is_wal_file: bool) -> K
             }
         }
         "log_and_stage" => Kind::LogAppend,
+        "store_lanes" => Kind::ParityPublish,
         "clflushopt" | "clwb" | "flush_range" => {
             let t = arg_target(&call.arg0);
             Kind::Flush((!t.is_empty()).then_some(t))
@@ -197,6 +203,10 @@ struct AbsState {
     /// Line of a recovery progress-marker publish on this path (S4:
     /// repairs must precede it, so a later repair store is a violation).
     marker_line: Option<u32>,
+    /// Line of a forward-path parity publish on this path (S7: the
+    /// parity line summarizes the region's data, so a later protected
+    /// store in the same region is a violation).
+    parity_line: Option<u32>,
 }
 
 impl AbsState {
@@ -260,6 +270,10 @@ fn join(mut a: AbsState, b: &AbsState) -> AbsState {
     a.appends = a.appends.max(b.appends);
     a.log_fenced = a.log_fenced && b.log_fenced;
     a.marker_line = match (a.marker_line, b.marker_line) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    };
+    a.parity_line = match (a.parity_line, b.parity_line) {
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, y) => x.or(y),
     };
@@ -335,6 +349,7 @@ fn summary_flags(nodes: &[Node], cfg: &LintConfig, is_wal: bool, s: &mut FnSumma
                 | Kind::TablePersist
                 | Kind::MarkerPublish
                 | Kind::StatusPublish
+                | Kind::ParityPublish
                 | Kind::RegionEnd => {
                     s.does_store = true;
                     s.publishes = true;
@@ -506,6 +521,15 @@ impl<'a> Eval<'a> {
                         );
                     }
                 }
+                if let Some(pl) = st.parity_line {
+                    self.emit(
+                        SRule::S7ParityBeforeData,
+                        pl,
+                        format!(
+                            "parity line published before the protected store to `{target}` at line {line} it summarizes"
+                        ),
+                    );
+                }
                 st.unfenced.remove(&target);
                 st.unflushed.entry(target.clone()).or_insert(line);
                 st.unfolded.entry(target.clone()).or_insert(line);
@@ -519,6 +543,13 @@ impl<'a> Eval<'a> {
                         line,
                         "scheme store outside any open region (begin/commit do not cover it)"
                             .to_string(),
+                    );
+                }
+                if let Some(pl) = st.parity_line {
+                    self.emit(
+                        SRule::S7ParityBeforeData,
+                        pl,
+                        format!("parity line published before the scheme store at line {line}"),
                     );
                 }
                 // Scheme-managed store to an array we cannot name.
@@ -592,6 +623,23 @@ impl<'a> Eval<'a> {
                 st.appends = st.appends.saturating_add(1).min(8);
                 st.flushed
                     .retain(|_, f| !self.cfg.is_log(&f.base, self.is_wal_file));
+                st.fence_clean = None;
+            }
+            Kind::ParityPublish => {
+                if self.context == FnContext::Recovery {
+                    // Recovery re-publish: the parity vouches for the
+                    // repaired lines, so they must be flushed and fenced
+                    // first (the recovery half of dynamic R8).
+                    self.check_publish(
+                        SRule::S7ParityBeforeData,
+                        "parity line published in recovery",
+                        line,
+                        st,
+                    );
+                } else if st.parity_line.is_none() {
+                    st.parity_line = Some(line);
+                }
+                st.flushed.retain(|_, f| !self.cfg.is_parity(&f.base));
                 st.fence_clean = None;
             }
             Kind::Flush(target) => {
@@ -670,6 +718,7 @@ impl<'a> Eval<'a> {
             Kind::RegionBegin => {
                 st.begins.push(line);
                 st.unfolded.clear();
+                st.parity_line = None;
                 st.fence_clean = None;
             }
             Kind::RegionEnd => {
@@ -693,6 +742,7 @@ impl<'a> Eval<'a> {
                     }
                 }
                 st.unfolded.clear();
+                st.parity_line = None;
                 st.fence_clean = None;
             }
             Kind::DurableStore => {
@@ -1009,6 +1059,7 @@ impl<'a> Eval<'a> {
                     | Kind::TablePersist
                     | Kind::MarkerPublish
                     | Kind::StatusPublish
+                    | Kind::ParityPublish
                     | Kind::LogAppend
                     | Kind::RegionBegin
                     | Kind::RegionEnd => *publishes = true,
@@ -1402,6 +1453,66 @@ mod tests {
              }",
         );
         assert!(r.flags(SRule::S4MarkerBeforeRepairFence), "{r}");
+    }
+
+    #[test]
+    fn parity_published_before_data_is_s7() {
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.region_begin(key);\n\
+               ctx.store(a, 0, v);\n\
+               self.ck.update(v);\n\
+               self.parity.store_lanes(ctx, key, &lanes);\n\
+               ctx.store(a, 8, w);\n\
+               self.ck.update(w);\n\
+               self.table.store(ctx, key, self.ck.value());\n\
+               ctx.region_end();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S7ParityBeforeData), "{r}");
+        assert_eq!(r.of_rule(SRule::S7ParityBeforeData)[0].line, 5, "{r}");
+    }
+
+    #[test]
+    fn parity_published_last_is_clean() {
+        let r = lint(
+            "fn region(ctx: &mut C) {\n\
+               ctx.region_begin(key);\n\
+               ctx.store(a, 0, v);\n\
+               self.ck.update(v);\n\
+               self.table.store(ctx, key, self.ck.value());\n\
+               self.parity.store_lanes(ctx, key, &lanes);\n\
+               ctx.region_end();\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn recovery_parity_with_unfenced_repair_is_s7() {
+        let r = lint(
+            "fn repair_region(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               self.parity.store_lanes(ctx, key, &lanes);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+             }",
+        );
+        assert!(r.flags(SRule::S7ParityBeforeData), "{r}");
+        assert_eq!(r.of_rule(SRule::S7ParityBeforeData)[0].line, 3, "{r}");
+    }
+
+    #[test]
+    fn recovery_parity_after_fenced_repair_is_clean() {
+        let r = lint(
+            "fn repair_region(ctx: &mut C) {\n\
+               ctx.store(self.buf, 0, v);\n\
+               ctx.clflushopt(self.buf.addr(0));\n\
+               ctx.sfence();\n\
+               self.parity.store_lanes(ctx, key, &lanes);\n\
+             }",
+        );
+        assert!(r.is_clean(), "{r}");
     }
 
     // ---- W1–W4 / S6: write-efficiency and coverage rules ----

@@ -48,6 +48,8 @@ pub struct LintConfig {
     pub log_targets: Vec<String>,
     /// Store targets that are WAL arena headers (status/count/marker).
     pub log_header_targets: Vec<String>,
+    /// Store targets/receivers that are per-region parity arenas.
+    pub parity_targets: Vec<String>,
     /// Receivers whose `update` call folds a running checksum.
     pub fold_receivers: Vec<String>,
     /// Receivers whose `begin`/`commit` bracket a persistency region.
@@ -72,6 +74,7 @@ impl Default for LintConfig {
             table_targets: v(&["table"]),
             log_targets: v(&["entries", "log"]),
             log_header_targets: v(&["header"]),
+            parity_targets: v(&["parity"]),
             fold_receivers: v(&["ck", "checksum"]),
             region_receivers: v(&["tp"]),
             sink_receivers: v(&["sink"]),
@@ -118,6 +121,13 @@ impl LintConfig {
             .iter()
             .any(|t| t == Self::last_seg(target))
             && (file_is_wal || target.contains("arena"))
+    }
+
+    /// Whether `target` names a per-region parity arena.
+    pub fn is_parity(&self, target: &str) -> bool {
+        self.parity_targets
+            .iter()
+            .any(|t| t == Self::last_seg(target))
     }
 
     /// Whether `receiver` is a running-checksum fold target.

@@ -40,6 +40,10 @@ fn variant_of(scheme: Scheme) -> &'static str {
     match scheme {
         Scheme::Base => "Base",
         Scheme::Lazy(_) => "Lazy",
+        // LazyParity shares Lazy's in-region flush/fence profile (both
+        // zero): the parity lanes ride the same cache-resident path, so
+        // the cost grid keys it to the same coefficients.
+        Scheme::LazyParity(_) => "Lazy",
         Scheme::LazyEagerCk(_) => "LazyEagerCk",
         Scheme::Eager => "Eager",
         Scheme::Wal => "Wal",

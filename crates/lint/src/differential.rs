@@ -1,7 +1,8 @@
 //! Differential cross-validation against the dynamic verification stack.
 //!
-//! lp-crashmc carries ten mutation rigs (`mut:*` ordering bugs, `fmut:*`
-//! fault-interaction bugs) that the dynamic checkers provably flag. For
+//! The dynamic stack carries eleven mutation rigs (`mut:*` ordering
+//! bugs, `fmut:*` fault-interaction bugs — ten in lp-crashmc, plus the
+//! lp-check sanitizer's `parity_before_data`) that it provably flags. For
 //! each rig this module carries a source *fixture* reproducing the rig's
 //! buggy persist-order pattern in kernel-API idiom; the differential run
 //! asserts that `lp-lint` flags every statically-decidable fixture with
@@ -54,8 +55,11 @@ pub const CLEAN_FIXTURE: (&str, &str) = (
     include_str!("../fixtures/clean_control.rs"),
 );
 
-/// Static expectations for all ten rigs, in lp-crashmc registration
-/// order (`mutations::all()` then `fault_mutations::all()`).
+/// Static expectations for all eleven rigs, in lp-crashmc registration
+/// order (`mutations::all()` then `fault_mutations::all()`), plus the
+/// lp-check sanitizer rig for R8 (certification masks the premature
+/// parity at runtime — no corrupt crash state exists for lp-crashmc to
+/// exhibit — so its dynamic ground truth is the sanitizer suite).
 pub fn expectations() -> Vec<RigExpectation> {
     vec![
         RigExpectation {
@@ -146,6 +150,15 @@ pub fn expectations() -> Vec<RigExpectation> {
                 fixture: "recovery_marker_first.rs",
                 src: include_str!("../fixtures/recovery_marker_first.rs"),
                 rule: SRule::S4MarkerBeforeRepairFence,
+            },
+        },
+        RigExpectation {
+            rig: "mut:parity_before_data",
+            dynamic_rule: Rule::R8,
+            verdict: Verdict::Static {
+                fixture: "parity_before_data.rs",
+                src: include_str!("../fixtures/parity_before_data.rs"),
+                rule: SRule::S7ParityBeforeData,
             },
         },
     ]

@@ -11,7 +11,7 @@
 //! joining at branch merges, and flowing obligations through helper calls
 //! via per-function summaries.
 //!
-//! Safety rules S1–S6 are static twins of dynamic checker rules (see
+//! Safety rules S1–S7 are static twins of dynamic checker rules (see
 //! [`lp_check::report::Rule::static_twin`]); efficiency rules W1–W4 are
 //! validated against the simulator's `flushes`/`fences` counters (see
 //! [`costcheck`] and `lp-lint --cost-check`):
@@ -24,6 +24,7 @@
 //! | S4 | recovery progress markers stored only after repair stores are flushed and fenced | R7 |
 //! | S5 | every `region_begin` is matched by `region_end`/abort on all paths | R1 |
 //! | S6 | every persisted LP data line is folded into a checksum before region commit | R2 |
+//! | S7 | the parity line is published only after every protected store of its region | R8 |
 //! | W1 | no line is flushed twice without an intervening store on any path | `flushes` counter |
 //! | W2 | no fence is unreachable by any store or flush | `fences` counter |
 //! | W3 | no element flush of a line already covered by a range flush | `flushes` counter |

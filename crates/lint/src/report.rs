@@ -25,6 +25,11 @@ pub enum SRule {
     /// S6: every persisted data line on an LP path is folded into some
     /// checksum before the region commits (coverage twin of dynamic R2).
     S6UncoveredData,
+    /// S7: the parity line is published only after every protected store
+    /// of its region — forward regions must not store data after the
+    /// parity publish, and recovery must not re-publish parity while a
+    /// repaired line is still unfenced (static twin of dynamic R8).
+    S7ParityBeforeData,
     /// W1: the same line(s) are flushed twice with no intervening store
     /// on any path — the second flush is wasted write traffic.
     W1RedundantFlush,
@@ -50,6 +55,7 @@ impl SRule {
             SRule::S4MarkerBeforeRepairFence => "S4",
             SRule::S5UnbalancedRegion => "S5",
             SRule::S6UncoveredData => "S6",
+            SRule::S7ParityBeforeData => "S7",
             SRule::W1RedundantFlush => "W1",
             SRule::W2RedundantFence => "W2",
             SRule::W3ShadowedFlush => "W3",
@@ -66,6 +72,9 @@ impl SRule {
             SRule::S4MarkerBeforeRepairFence => "recovery marker stored before repair fence",
             SRule::S5UnbalancedRegion => "region begin/commit unbalanced or store outside region",
             SRule::S6UncoveredData => "persisted data not folded into any checksum before commit",
+            SRule::S7ParityBeforeData => {
+                "parity line published before the region data it summarizes"
+            }
             SRule::W1RedundantFlush => "same line flushed twice with no intervening store",
             SRule::W2RedundantFence => "fence that no unflushed store can reach",
             SRule::W3ShadowedFlush => "element flush already covered by a range flush",
@@ -82,6 +91,7 @@ impl SRule {
             "S4" => Some(SRule::S4MarkerBeforeRepairFence),
             "S5" => Some(SRule::S5UnbalancedRegion),
             "S6" => Some(SRule::S6UncoveredData),
+            "S7" => Some(SRule::S7ParityBeforeData),
             "W1" => Some(SRule::W1RedundantFlush),
             "W2" => Some(SRule::W2RedundantFence),
             "W3" => Some(SRule::W3ShadowedFlush),
@@ -91,7 +101,7 @@ impl SRule {
     }
 
     /// All rules, in id order.
-    pub fn all() -> [SRule; 10] {
+    pub fn all() -> [SRule; 11] {
         [
             SRule::S1StoreNotCovered,
             SRule::S2PublishBeforeCover,
@@ -99,6 +109,7 @@ impl SRule {
             SRule::S4MarkerBeforeRepairFence,
             SRule::S5UnbalancedRegion,
             SRule::S6UncoveredData,
+            SRule::S7ParityBeforeData,
             SRule::W1RedundantFlush,
             SRule::W2RedundantFence,
             SRule::W3ShadowedFlush,
@@ -115,6 +126,7 @@ impl SRule {
             SRule::S4MarkerBeforeRepairFence => Twin::DynamicRule("R7"),
             SRule::S5UnbalancedRegion => Twin::DynamicRule("R1"),
             SRule::S6UncoveredData => Twin::DynamicRule("R2"),
+            SRule::S7ParityBeforeData => Twin::DynamicRule("R8"),
             SRule::W1RedundantFlush => Twin::Counter("flushes"),
             SRule::W2RedundantFence => Twin::Counter("fences"),
             SRule::W3ShadowedFlush => Twin::Counter("flushes"),
@@ -129,7 +141,7 @@ impl SRule {
 /// a simulator `Stats` counter when the flagged redundancy is removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Twin {
-    /// An `lp_check::report::Rule` id (`"R1"`..`"R7"`).
+    /// An `lp_check::report::Rule` id (`"R1"`..`"R8"`).
     DynamicRule(&'static str),
     /// A `Stats` counter name (`"flushes"` / `"fences"`).
     Counter(&'static str),
@@ -331,6 +343,7 @@ mod tests {
             assert_eq!(SRule::from_id(r.id()), Some(r));
         }
         assert_eq!(SRule::from_id("S9"), None);
+        assert_eq!(SRule::from_id("S7"), Some(SRule::S7ParityBeforeData));
         assert_eq!(SRule::from_id("W5"), None);
     }
 

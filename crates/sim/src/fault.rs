@@ -33,6 +33,10 @@ pub struct FaultConfig {
     pub torn: bool,
     /// Inject bit flips and poisoned lines into the post-crash image.
     pub media: bool,
+    /// Widen each poison draw to *two adjacent* lines (a media burst).
+    /// Implies `media`; single-line poisons become the burst's degenerate
+    /// case only when no repairable neighbour exists.
+    pub burst: bool,
     /// Inject crashes during recovery (bounded retries).
     pub nested: bool,
     /// Maximum injected crashes per recovery (the paper-facing bound `k`);
@@ -50,8 +54,9 @@ impl FaultConfig {
         FaultConfig::default()
     }
 
-    /// Parse a comma-separated class list (`torn`, `media`, `nested`; e.g.
-    /// `"torn,nested"`).
+    /// Parse a comma-separated class list (`torn`, `media`, `media-burst`,
+    /// `nested`; e.g. `"torn,nested"`). `media-burst` enables `media` and
+    /// widens each poison draw to two adjacent lines.
     ///
     /// # Errors
     ///
@@ -65,10 +70,14 @@ impl FaultConfig {
             match item {
                 "torn" => cfg.torn = true,
                 "media" => cfg.media = true,
+                "media-burst" => {
+                    cfg.media = true;
+                    cfg.burst = true;
+                }
                 "nested" => cfg.nested = true,
                 other => {
                     return Err(format!(
-                        "unknown fault class '{other}' (expected torn, media, nested)"
+                        "unknown fault class '{other}' (expected torn, media, media-burst, nested)"
                     ))
                 }
             }
@@ -89,7 +98,7 @@ impl std::fmt::Display for FaultConfig {
             parts.push("torn".to_string());
         }
         if self.media {
-            parts.push("media".to_string());
+            parts.push(if self.burst { "media-burst" } else { "media" }.to_string());
         }
         if self.nested {
             parts.push(format!("nested(k={})", self.nested_bound));
@@ -145,6 +154,14 @@ mod tests {
         assert!(all.torn && all.media && all.nested && all.any());
         assert!(!FaultConfig::parse("").unwrap().any());
         assert!(FaultConfig::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn media_burst_implies_media() {
+        let cfg = FaultConfig::parse("media-burst").unwrap();
+        assert!(cfg.media && cfg.burst && cfg.any());
+        assert!(!FaultConfig::parse("media").unwrap().burst);
+        assert_eq!(cfg.to_string(), "media-burst");
     }
 
     #[test]

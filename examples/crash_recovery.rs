@@ -47,7 +47,10 @@ fn main() {
     let rstats = tmm.recover(&mut machine);
     println!(
         "recovery: checked {} regions, {} inconsistent, recomputed {} ({} cycles)",
-        rstats.regions_checked, rstats.regions_inconsistent, rstats.regions_repaired, rstats.cycles
+        rstats.regions_checked,
+        rstats.regions_inconsistent,
+        rstats.recomputed_regions,
+        rstats.cycles
     );
 
     machine.drain_caches();

@@ -148,7 +148,7 @@ fn recovery_is_idempotent() {
     tmm.recover(&mut machine);
     // Running recovery again finds nothing to repair.
     let again = tmm.recover(&mut machine);
-    assert_eq!(again.regions_repaired, 0, "second pass must be a no-op");
+    assert_eq!(again.recomputed_regions, 0, "second pass must be a no-op");
     machine.drain_caches();
     assert!(tmm.verify(&machine));
 }

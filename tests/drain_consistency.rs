@@ -69,7 +69,7 @@ fn recovery_on_a_drained_image_is_a_no_op() {
         pk.machine.drain_caches();
         let stats = (pk.recover)(&mut pk.machine);
         assert_eq!(
-            stats.regions_repaired, 0,
+            stats.recomputed_regions, 0,
             "drained image needed repairs under {kind:?}"
         );
         assert!(
@@ -86,7 +86,7 @@ fn recovery_on_a_drained_image_is_a_no_op() {
         pk.machine.drain_caches();
         let stats = (pk.recover)(&mut pk.machine);
         assert_eq!(
-            stats.regions_repaired, 0,
+            stats.recomputed_regions, 0,
             "{scheme}: drained image repaired"
         );
         assert!((pk.verify)(&pk.machine), "{scheme}: verify after recovery");

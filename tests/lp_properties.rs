@@ -3,11 +3,13 @@
 //! crash-point-independent recovery, and region associativity.
 
 use lp_core::checksum::{ChecksumKind, RunningChecksum};
-use lp_core::scheme::Scheme;
+use lp_core::parity::{can_certify, try_mismatch_repair, try_poison_repair, RepairVerdict};
+use lp_core::scheme::{Scheme, SchemeHandles};
 use lp_kernels::conv2d::{Conv2d, Conv2dParams};
 use lp_kernels::tmm::{Tmm, TmmParams};
 use lp_sim::config::MachineConfig;
 use lp_sim::machine::{Machine, Outcome};
+use lp_sim::mem::PArray;
 use lp_sim::prelude::CrashTrigger;
 use lp_sim::rng::Rng64;
 
@@ -135,6 +137,121 @@ fn conv2d_lp_recovery_from_arbitrary_crash() {
         }
         machine.drain_caches();
         assert!(conv.verify(&machine), "case {case}: crash at {ops} ops");
+    }
+}
+
+/// Commit one LazyParity region of `values` (length a multiple of 8, so
+/// every line is fully owned) and drain, leaving a durable image the
+/// parity repair rungs can work against.
+fn committed_parity_region(
+    kind: ChecksumKind,
+    values: &[f64],
+) -> (Machine, SchemeHandles, PArray<f64>) {
+    assert_eq!(values.len() % 8, 0, "regions must own whole lines");
+    let mut m = Machine::new(
+        MachineConfig::default()
+            .with_cores(1)
+            .with_nvmm_bytes(1 << 20),
+    );
+    let arr = m.alloc::<f64>(values.len()).unwrap();
+    let h = SchemeHandles::alloc(&mut m, Scheme::LazyParity(kind), 4, 1, 0).unwrap();
+    let tp = h.thread(0);
+    {
+        let mut ctx = m.ctx(0);
+        let mut rs = tp.begin(&mut ctx, 1);
+        for (i, &v) in values.iter().enumerate() {
+            tp.store(&mut ctx, &mut rs, arr, i, v);
+        }
+        tp.commit(&mut ctx, rs);
+    }
+    m.drain_caches();
+    (m, h, arr)
+}
+
+/// Rung-1 poison repair is a bit-identical reconstruction for ANY region
+/// shape, ANY poisoned line, and EVERY checksum kind that can certify it
+/// — and because the XOR lanes are checksum-independent, the repaired
+/// images agree across kinds too.
+#[test]
+fn parity_poison_repair_bit_identical_for_any_line() {
+    for seed in 0..8u64 {
+        let mut rng = Rng64::new(0x9a71_0000 + seed);
+        let lines = rng.range_inclusive(2, 6);
+        let values: Vec<f64> = (0..lines * 8)
+            .map(|_| f64::from_bits(rng.next_u64() >> 12 | 0x3ff0_0000_0000_0000))
+            .collect();
+        let target = rng.below(lines);
+        let mut images: Vec<Vec<u64>> = Vec::new();
+        for kind in ChecksumKind::ALL {
+            if !can_certify(kind, values.len()) {
+                continue;
+            }
+            let (mut m, h, arr) = committed_parity_region(kind, &values);
+            let golden: Vec<u64> = (0..values.len())
+                .map(|i| m.peek(arr, i).to_bits())
+                .collect();
+            m.mem_mut().poison_line(arr.addr(target * 8).line());
+            let poisoned = m.mem_mut().poisoned_lines();
+            let indices: Vec<usize> = (0..values.len()).collect();
+            let v = {
+                let mut ctx = m.ctx(0);
+                try_poison_repair(
+                    &mut ctx, &h.table, &h.parity, 1, kind, arr, &indices, &poisoned,
+                )
+            };
+            assert_eq!(v, RepairVerdict::Repaired, "{kind} seed {seed}");
+            assert!(!m.mem().has_poisoned_lines(), "{kind} seed {seed}");
+            let after: Vec<u64> = (0..values.len())
+                .map(|i| m.peek(arr, i).to_bits())
+                .collect();
+            assert_eq!(golden, after, "{kind} seed {seed}: not bit-identical");
+            images.push(after);
+        }
+        assert!(images.len() >= 2, "seed {seed}: too few certifying kinds");
+        assert!(
+            images.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: reconstruction differed across checksum kinds"
+        );
+    }
+}
+
+/// A word-granular torn prefix — a crash that replayed only the first
+/// `t` of a line's eight words from some other write — fails the region
+/// audit, and rung-1 mismatch repair localizes the line and restores the
+/// committed bytes exactly, for every tear width 1..=7.
+#[test]
+fn parity_mismatch_repair_fixes_word_granular_torn_prefixes() {
+    let kind = ChecksumKind::Crc32;
+    for seed in 0..4u64 {
+        let mut rng = Rng64::new(0x70a2_0000 + seed);
+        let lines = rng.range_inclusive(2, 5);
+        let values: Vec<f64> = (0..lines * 8)
+            .map(|_| f64::from_bits(rng.next_u64() >> 12 | 0x3ff0_0000_0000_0000))
+            .collect();
+        for torn_words in 1..8usize {
+            let (mut m, h, arr) = committed_parity_region(kind, &values);
+            let golden: Vec<u64> = (0..values.len())
+                .map(|i| m.peek(arr, i).to_bits())
+                .collect();
+            let line = rng.below(lines);
+            for w in 0..torn_words {
+                let i = line * 8 + w;
+                m.poke(arr, i, values[i] + 7.25); // the torn, uncommitted bits
+            }
+            let indices: Vec<usize> = (0..values.len()).collect();
+            let repaired = {
+                let mut ctx = m.ctx(0);
+                try_mismatch_repair(&mut ctx, &h.table, &h.parity, 1, kind, arr, &indices)
+            };
+            assert!(repaired, "seed {seed}: {torn_words}-word tear not repaired");
+            let after: Vec<u64> = (0..values.len())
+                .map(|i| m.peek(arr, i).to_bits())
+                .collect();
+            assert_eq!(
+                golden, after,
+                "seed {seed}: {torn_words}-word tear repair not bit-identical"
+            );
+        }
     }
 }
 
